@@ -1,0 +1,90 @@
+// Ablation A4: checkpoint level cost over the DEEP-ER memory hierarchy.
+// Measures the time for an 8-rank collective checkpoint of varying size at
+// each SCR level (local NVMe, buddy NVMe, NAM, global BeeGFS), plus the
+// Young/Daly optimal interval each cost implies at the prototype's MTBF.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/table.hpp"
+#include "io/beegfs.hpp"
+#include "io/local_store.hpp"
+#include "io/nam_store.hpp"
+#include "pmpi/runtime.hpp"
+#include "scr/scr.hpp"
+
+using namespace cbsim;
+
+namespace {
+
+double checkpointSec(scr::ScrConfig cfg, std::size_t bytesPerRank) {
+  sim::Engine engine;
+  hw::Machine machine(engine, hw::MachineConfig::deepEr(8, 8));
+  extoll::Fabric fabric(machine);
+  rm::ResourceManager rmm(machine);
+  pmpi::AppRegistry registry;
+  pmpi::Runtime rt(machine, fabric, rmm, registry);
+  io::BeeGfs fs(machine, fabric);
+  io::LocalStore local(machine, fabric);
+  io::NamStore nam(machine, fabric);
+  scr::Scr lib(machine, fs, local, nam, cfg);
+
+  double out = 0;
+  registry.add("ck", [&](pmpi::Env& env) {
+    const std::vector<std::byte> state(bytesPerRank, std::byte{0x5A});
+    env.barrier(env.world());
+    const double t0 = env.wtime();
+    lib.checkpoint(env, env.world(), 0, pmpi::ConstBytes(state));
+    env.barrier(env.world());
+    if (env.rank() == 0) out = env.wtime() - t0;
+  });
+  rt.launch("ck", hw::NodeKind::Cluster, 8);
+  engine.run();
+  return out;
+}
+
+scr::ScrConfig only(scr::Level l) {
+  scr::ScrConfig c;
+  c.localEvery = l == scr::Level::Local ? 1 : 0;
+  c.buddyEvery = l == scr::Level::Buddy ? 1 : 0;
+  c.globalEvery = l == scr::Level::Global ? 1 : 0;
+  c.namEvery = l == scr::Level::Nam ? 1 : 0;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A4: checkpoint cost per SCR level ===\n");
+  std::printf("(8 Cluster ranks, collective checkpoint, time to completion)\n\n");
+
+  const std::vector<std::size_t> sizes = {4u << 20, 64u << 20, 256u << 20};
+  core::Table t({"level", "4 MiB/rank [ms]", "64 MiB/rank [ms]",
+                 "256 MiB/rank [ms]"});
+  for (const scr::Level l : {scr::Level::Local, scr::Level::Buddy,
+                             scr::Level::Nam, scr::Level::Global}) {
+    std::vector<std::string> row = {toString(l)};
+    for (const std::size_t sz : sizes) {
+      row.push_back(core::Table::num(checkpointSec(only(l), sz) * 1e3, 1));
+    }
+    t.addRow(row);
+  }
+  t.print();
+
+  std::printf("\nYoung/Daly optimal interval at a 24 h node-MTBF machine\n"
+              "(64 MiB/rank):\n");
+  core::Table yd({"level", "checkpoint cost [ms]", "optimal interval [min]"});
+  for (const scr::Level l : {scr::Level::Local, scr::Level::Buddy,
+                             scr::Level::Nam, scr::Level::Global}) {
+    const double c = checkpointSec(only(l), 64u << 20);
+    const auto interval =
+        scr::youngDalyInterval(sim::SimTime::seconds(c), sim::SimTime::sec(86400));
+    yd.addRow({toString(l), core::Table::num(c * 1e3, 1),
+               core::Table::num(interval.toSeconds() / 60.0, 1)});
+  }
+  yd.print();
+  std::printf("\nCheap levels justify frequent checkpoints; the global level\n"
+              "is reserved for rare, catastrophic failures — the multi-level\n"
+              "rationale of the DEEP-ER resiliency stack.\n");
+  return 0;
+}

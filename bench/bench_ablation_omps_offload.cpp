@@ -1,0 +1,74 @@
+// Ablation A8: when does OmpSs-style offloading pay off?  Sweeps the task
+// grain of a vectorizable kernel and compares local (Cluster) execution
+// against offloading to a Booster worker — locating the crossover where
+// the KNL's throughput beats the transfer + latency cost of offloading.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/system.hpp"
+#include "core/table.hpp"
+#include "omps/task_runtime.hpp"
+
+using namespace cbsim;
+
+namespace {
+
+double runTasks(double flopsPerTask, bool offload, int tasks) {
+  core::System sys(hw::MachineConfig::deepEr(4, 4));
+  omps::KernelRegistry kernels;
+  hw::Work w;
+  w.flops = flopsPerTask;
+  w.vectorEfficiency = 0.9;  // wide, regular SIMD kernel
+  kernels.add("k", [](pmpi::ConstBytes in) {
+    return std::vector<std::byte>(in.begin(), in.end());
+  }, w);
+  omps::TaskRuntime::registerWorker(sys.apps(), kernels);
+
+  double out = 0;
+  sys.apps().add("driver", [&](pmpi::Env& env) {
+    omps::TaskRuntime rt(env, kernels);
+    for (int i = 0; i < tasks; ++i) {
+      rt.createRegion("r" + std::to_string(i), std::size_t{1 << 16});
+    }
+    const double t0 = env.wtime();
+    for (int i = 0; i < tasks; ++i) {
+      const std::string r = "r" + std::to_string(i);
+      if (offload) {
+        rt.submitOffload("k", {omps::inout(r)}, hw::NodeKind::Booster);
+      } else {
+        rt.submit("k", {omps::inout(r)});
+      }
+    }
+    rt.wait();
+    out = env.wtime() - t0;
+  });
+  sys.mpi().launch("driver", hw::NodeKind::Cluster, 1);
+  sys.run();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A8: offload crossover vs task grain ===\n");
+  std::printf("(8 sequential-wave tasks, SIMD-friendly kernel, 64 KiB data)\n\n");
+  core::Table t({"flops/task", "local Cluster [ms]", "offload Booster [ms]",
+                 "winner"});
+  for (const double flops : {1e8, 1e9, 1e10, 1e11, 1e12}) {
+    const double local = runTasks(flops, false, 8);
+    const double off = runTasks(flops, true, 8);
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0e", flops);
+    t.addRow({label, core::Table::num(local * 1e3, 2),
+              core::Table::num(off * 1e3, 2),
+              off < local ? "offload" : "local"});
+  }
+  t.print();
+  std::printf("\nSmall tasks drown in spawn/transfer latency; large\n"
+              "vectorizable tasks gain the KNL's throughput advantage —\n"
+              "which is why the DEEP offload pragma targets \"large,\n"
+              "complex tasks\" (paper section III-B).\n");
+  return 0;
+}

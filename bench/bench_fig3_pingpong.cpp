@@ -1,0 +1,104 @@
+// Reproduces Fig. 3: end-to-end MPI bandwidth and latency versus message
+// size on the DEEP-ER prototype, for CN-CN, BN-BN and CN-BN node pairs.
+// Paper reference points: 1.0 us CN-CN and 1.8 us BN-BN small-message
+// latency (Table I), ~1.4 us CN-BN, and a common ~10 GB/s bandwidth
+// plateau set by the EXTOLL Tourmalet link for large messages.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pmpi/env.hpp"
+#include "pmpi/runtime.hpp"
+#include "xpic/driver.hpp"  // not used for xpic; keeps include set honest
+
+namespace {
+
+using namespace cbsim;
+using pmpi::Env;
+
+/// One ping-pong measurement between the first two nodes of the given
+/// kinds; returns one-way latency in microseconds.
+double pingPongUs(hw::NodeKind a, hw::NodeKind b, std::size_t bytes,
+                  int reps) {
+  sim::Engine engine;
+  hw::Machine machine(engine, hw::MachineConfig::deepEr(2, 2));
+  extoll::Fabric fabric(machine);
+  rm::ResourceManager rm(machine);
+  pmpi::AppRegistry registry;
+  pmpi::Runtime rt(machine, fabric, rm, registry);
+
+  double result = 0;
+  registry.add("pp", [&](Env& env) {
+    std::vector<std::byte> buf(bytes);
+    const auto span = pmpi::Bytes(buf);
+    const auto cspan = pmpi::ConstBytes(buf);
+    env.barrier(env.world());
+    if (env.rank() == 0) {
+      const double t0 = env.wtime();
+      for (int i = 0; i < reps; ++i) {
+        env.send(env.world(), 1, 1, cspan);
+        env.recv(env.world(), 1, 2, span);
+      }
+      result = (env.wtime() - t0) / (2.0 * reps) * 1e6;
+    } else {
+      for (int i = 0; i < reps; ++i) {
+        env.recv(env.world(), 0, 1, span);
+        env.send(env.world(), 0, 2, cspan);
+      }
+    }
+  });
+
+  // Place rank 0 on a node of kind `a`, rank 1 on kind `b`.
+  const int na = machine.nodesOfKind(a).front();
+  const int nb = a == b ? machine.nodesOfKind(b)[1] : machine.nodesOfKind(b).front();
+  pmpi::JobSpec spec;
+  spec.appName = "pp";
+  spec.nodes = {na, nb};
+  rt.launch(spec);
+  engine.run();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  struct Pair {
+    const char* label;
+    hw::NodeKind a, b;
+  };
+  const Pair pairs[] = {
+      {"CN-CN", hw::NodeKind::Cluster, hw::NodeKind::Cluster},
+      {"BN-BN", hw::NodeKind::Booster, hw::NodeKind::Booster},
+      {"CN-BN", hw::NodeKind::Cluster, hw::NodeKind::Booster},
+  };
+
+  std::printf("=== Fig. 3: end-to-end MPI ping-pong on the DEEP-ER fabric ===\n\n");
+  std::printf("%10s | %29s | %29s\n", "", "Bandwidth [MByte/s]", "Latency [us]");
+  std::printf("%10s | %9s %9s %9s | %9s %9s %9s\n", "msg size", "CN-CN",
+              "BN-BN", "CN-BN", "CN-CN", "BN-BN", "CN-BN");
+
+  for (std::size_t bytes = 1; bytes <= (4u << 20); bytes *= 4) {
+    double lat[3], bw[3];
+    for (int p = 0; p < 3; ++p) {
+      const double us = pingPongUs(pairs[p].a, pairs[p].b, bytes, 3);
+      lat[p] = us;
+      bw[p] = static_cast<double>(bytes) / us;  // B/us == MB/s
+    }
+    std::printf("%10zu | %9.1f %9.1f %9.1f | %9.2f %9.2f %9.2f\n", bytes,
+                bw[0], bw[1], bw[2], lat[0], lat[1], lat[2]);
+  }
+
+  std::printf("\n--- Table I / Fig. 3 reference points (paper -> measured) ---\n");
+  std::printf("CN-CN small-message latency: 1.0 us -> %.2f us\n",
+              pingPongUs(hw::NodeKind::Cluster, hw::NodeKind::Cluster, 1, 10));
+  std::printf("BN-BN small-message latency: 1.8 us -> %.2f us\n",
+              pingPongUs(hw::NodeKind::Booster, hw::NodeKind::Booster, 1, 10));
+  std::printf("CN-BN small-message latency: ~1.4 us -> %.2f us\n",
+              pingPongUs(hw::NodeKind::Cluster, hw::NodeKind::Booster, 1, 10));
+  const double bigBw =
+      (4 << 20) /
+      pingPongUs(hw::NodeKind::Cluster, hw::NodeKind::Cluster, 4 << 20, 3);
+  std::printf("large-message bandwidth plateau: ~10000 MB/s -> %.0f MB/s\n", bigBw);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Fig. 7: xPic runtime split into Fields / Particles / Total on
+// one node per solver, for Cluster-only, Booster-only, and C+B modes —
+// plus the derived section IV-C statements (6x field gap, 1.35x particle
+// gap, 1.28x / 1.21x total gains, 3-4% inter-solver communication).
+
+#include <cstdio>
+
+#include "xpic/driver.hpp"
+
+namespace {
+
+using cbsim::xpic::Mode;
+using cbsim::xpic::Report;
+using cbsim::xpic::XpicConfig;
+
+void printRow(const char* label, double c, double b, double cb) {
+  std::printf("%-10s %12.2f %12.2f %12.2f\n", label, c, b, cb);
+}
+
+}  // namespace
+
+int main() {
+  XpicConfig cfg = XpicConfig::tableII();
+
+  std::printf("=== Fig. 7: xPic runtime on one node per solver (DEEP-ER) ===\n");
+  std::printf("Workload (Table II): %d cells, %d particles/cell (modeled), "
+              "%d steps\n\n",
+              cfg.cells(), cfg.ppcModeled, cfg.steps);
+
+  const Report rc = runXpic(Mode::ClusterOnly, 1, cfg);
+  const Report rb = runXpic(Mode::BoosterOnly, 1, cfg);
+  const Report rcb = runXpic(Mode::ClusterBooster, 1, cfg);
+
+  std::printf("%-10s %12s %12s %12s   [simulated seconds]\n", "", "Cluster",
+              "Booster", "C+B");
+  printRow("Fields", rc.fieldsSec, rb.fieldsSec, rcb.fieldsSec);
+  printRow("Particles", rc.particlesSec, rb.particlesSec, rcb.particlesSec);
+  printRow("Total", rc.wallSec, rb.wallSec, rcb.wallSec);
+
+  std::printf("\n--- Section IV-C checks (paper -> measured) ---\n");
+  std::printf("field solver Cluster advantage   : 6.00x -> %.2fx\n",
+              rb.fieldsSec / rc.fieldsSec);
+  std::printf("particle solver Booster advantage: 1.35x -> %.2fx\n",
+              rc.particlesSec / rb.particlesSec);
+  std::printf("C+B gain vs Cluster-only         : 1.28x -> %.2fx\n",
+              rc.wallSec / rcb.wallSec);
+  std::printf("C+B gain vs Booster-only         : 1.21x -> %.2fx\n",
+              rb.wallSec / rcb.wallSec);
+  // Inter-module exchange volume: two padded interface transfers per step
+  // at the fabric's ~10 GB/s goodput.
+  const double xferSec = 2.0 * cfg.steps * cfg.cells() *
+                         cfg.interfaceDoublesPerCell * 8.0 / 10e9;
+  std::printf("inter-module exchange share of C+B runtime: 3-4%% -> %.1f%%\n",
+              100.0 * xferSec / rcb.wallSec);
+  std::printf("solver-internal comm share: fields %.1f%%, particles %.1f%%\n",
+              rcb.fieldCommPct(), rcb.particleCommPct());
+  std::printf("\nphysics: particles=%lld netCharge=%.2e fieldE=%.3e kinE=%.3e "
+              "cgIters=%d\n",
+              rcb.particleCount, rcb.netCharge, rcb.fieldEnergy,
+              rcb.kineticEnergy, rcb.cgIterations);
+  return 0;
+}

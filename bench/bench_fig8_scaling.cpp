@@ -1,0 +1,71 @@
+// Reproduces Fig. 8: xPic strong-scaling runtime and parallel efficiency at
+// 1, 2, 4, 8 nodes per solver, for Cluster-only, Booster-only and C+B modes.
+// The paper's headline: at 8 nodes per solver the distributed code runs
+// 1.38x faster than Cluster-only and 1.34x faster than Booster-only, with
+// parallel efficiencies of 85% (C+B) vs 79% (Cluster) and 77% (Booster).
+
+#include <array>
+#include <cstdio>
+#include <map>
+
+#include "xpic/driver.hpp"
+
+namespace {
+
+using cbsim::xpic::Mode;
+using cbsim::xpic::Report;
+using cbsim::xpic::XpicConfig;
+
+constexpr std::array<int, 4> kNodes = {1, 2, 4, 8};
+constexpr std::array<Mode, 3> kModes = {Mode::ClusterOnly, Mode::BoosterOnly,
+                                        Mode::ClusterBooster};
+
+}  // namespace
+
+int main() {
+  const XpicConfig cfg = XpicConfig::tableII();
+  std::printf("=== Fig. 8: xPic strong scaling on the DEEP-ER prototype ===\n");
+  std::printf("Workload (Table II): %d cells, %d particles/cell (modeled), "
+              "%d steps\n\n",
+              cfg.cells(), cfg.ppcModeled, cfg.steps);
+
+  std::map<Mode, std::map<int, Report>> results;
+  for (const Mode m : kModes) {
+    for (const int n : kNodes) {
+      results[m][n] = runXpic(m, n, cfg);
+    }
+  }
+
+  std::printf("Runtime [simulated s]\n");
+  std::printf("%-14s %10s %10s %10s %10s\n", "nodes/solver", "1", "2", "4", "8");
+  for (const Mode m : kModes) {
+    std::printf("%-14s", toString(m));
+    for (const int n : kNodes) std::printf(" %10.2f", results[m][n].wallSec);
+    std::printf("\n");
+  }
+
+  std::printf("\nParallel efficiency  E(n) = T(1) / (n * T(n))\n");
+  std::printf("%-14s %10s %10s %10s %10s\n", "nodes/solver", "1", "2", "4", "8");
+  for (const Mode m : kModes) {
+    std::printf("%-14s", toString(m));
+    const double t1 = results[m][1].wallSec;
+    for (const int n : kNodes) {
+      std::printf(" %10.2f", t1 / (n * results[m][n].wallSec));
+    }
+    std::printf("\n");
+  }
+
+  const double c8 = results[Mode::ClusterOnly][8].wallSec;
+  const double b8 = results[Mode::BoosterOnly][8].wallSec;
+  const double cb8 = results[Mode::ClusterBooster][8].wallSec;
+  std::printf("\n--- Section IV-C checks at 8 nodes/solver (paper -> measured) ---\n");
+  std::printf("C+B gain vs Cluster-only : 1.38x -> %.2fx\n", c8 / cb8);
+  std::printf("C+B gain vs Booster-only : 1.34x -> %.2fx\n", b8 / cb8);
+  std::printf("efficiency C+B           : 0.85  -> %.2f\n",
+              results[Mode::ClusterBooster][1].wallSec / (8 * cb8));
+  std::printf("efficiency Cluster       : 0.79  -> %.2f\n",
+              results[Mode::ClusterOnly][1].wallSec / (8 * c8));
+  std::printf("efficiency Booster       : 0.77  -> %.2f\n",
+              results[Mode::BoosterOnly][1].wallSec / (8 * b8));
+  return 0;
+}

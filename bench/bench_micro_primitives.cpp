@@ -1,0 +1,97 @@
+// Ablation A10: real-time performance of the simulator's own primitives
+// (google-benchmark).  These numbers bound how large a simulated system or
+// how long a simulated run this library can handle on the host machine:
+// event throughput, process context-switch rate, and end-to-end message
+// cost through the full pmpi + fabric stack.
+
+#include <benchmark/benchmark.h>
+
+#include "pmpi/env.hpp"
+#include "pmpi/runtime.hpp"
+#include "sim/engine.hpp"
+
+using namespace cbsim;
+using namespace cbsim::sim::literals;
+
+namespace {
+
+void BM_EngineEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    int sink = 0;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      engine.schedule(sim::SimTime::ns(i), [&sink] { ++sink; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineEventDispatch)->Arg(1000)->Arg(10000);
+
+void BM_ProcessContextSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    const int hops = static_cast<int>(state.range(0));
+    engine.spawn("hopper", [hops](sim::Context& ctx) {
+      for (int i = 0; i < hops; ++i) ctx.delay(1_ns);
+    });
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ProcessContextSwitch)->Arg(256)->Arg(1024);
+
+void BM_PmpiPingPong(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    hw::Machine machine(engine, hw::MachineConfig::deepEr(2, 1));
+    extoll::Fabric fabric(machine);
+    rm::ResourceManager rmm(machine);
+    pmpi::AppRegistry registry;
+    pmpi::Runtime rt(machine, fabric, rmm, registry);
+    registry.add("pp", [bytes](pmpi::Env& env) {
+      std::vector<std::byte> buf(bytes);
+      for (int i = 0; i < 16; ++i) {
+        if (env.rank() == 0) {
+          env.send(env.world(), 1, 1, pmpi::ConstBytes(buf));
+          env.recv(env.world(), 1, 2, pmpi::Bytes(buf));
+        } else {
+          env.recv(env.world(), 0, 1, pmpi::Bytes(buf));
+          env.send(env.world(), 0, 2, pmpi::ConstBytes(buf));
+        }
+      }
+    });
+    rt.launch("pp", hw::NodeKind::Cluster, 2);
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 32);  // messages per run
+}
+BENCHMARK(BM_PmpiPingPong)->Arg(8)->Arg(65536);
+
+void BM_CollectiveAllreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    hw::Machine machine(engine, hw::MachineConfig::deepEr(16, 8));
+    extoll::Fabric fabric(machine);
+    rm::ResourceManager rmm(machine);
+    pmpi::AppRegistry registry;
+    pmpi::Runtime rt(machine, fabric, rmm, registry);
+    registry.add("ar", [](pmpi::Env& env) {
+      for (int i = 0; i < 8; ++i) {
+        (void)env.allreduceValue(env.world(), 1.0, pmpi::Op::Sum);
+      }
+    });
+    rt.launch("ar", hw::NodeKind::Cluster, ranks);
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_CollectiveAllreduce)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Reproduces Table I: hardware configuration of the DEEP-ER prototype —
+// printed from the machine model, with the derived peak-performance and
+// latency rows cross-checked against the paper's numbers.
+
+#include <cstdio>
+
+#include "extoll/fabric.hpp"
+#include "hw/machine.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace cbsim;
+  sim::Engine engine;
+  hw::Machine machine(engine, hw::MachineConfig::deepEr());
+  const hw::Node& cn = machine.node(machine.nodesOfKind(hw::NodeKind::Cluster).front());
+  const hw::Node& bn = machine.node(machine.nodesOfKind(hw::NodeKind::Booster).front());
+  extoll::Fabric fabric(machine);
+
+  const auto& net = machine.config().switches.front().net;
+
+  std::printf("=== Table I: hardware configuration of the DEEP-ER prototype ===\n\n");
+  std::printf("%-24s %-26s %-30s\n", "Feature", "Cluster", "Booster");
+  std::printf("%-24s %-26s %-30s\n", "Processor", cn.cpu.model.c_str(),
+              bn.cpu.model.c_str());
+  std::printf("%-24s %-26s %-30s\n", "Microarchitecture",
+              cn.cpu.microarchitecture.c_str(), bn.cpu.microarchitecture.c_str());
+  std::printf("%-24s %-26d %-30d\n", "Sockets per node", cn.cpu.sockets,
+              bn.cpu.sockets);
+  std::printf("%-24s %-26d %-30d\n", "Cores per node", cn.cpu.cores, bn.cpu.cores);
+  std::printf("%-24s %-26d %-30d\n", "Threads per node", cn.cpu.threads(),
+              bn.cpu.threads());
+  std::printf("%-24s %-26.1f %-30.1f\n", "Frequency [GHz]", cn.cpu.freqGHz,
+              bn.cpu.freqGHz);
+  char cmem[64], bmem[64];
+  std::snprintf(cmem, sizeof cmem, "%.0f GB", cn.cpu.memGiB);
+  std::snprintf(bmem, sizeof bmem, "%.0f GB MCDRAM + %.0f GB DDR4",
+                bn.cpu.fastMemGiB, bn.cpu.memGiB);
+  std::printf("%-24s %-26s %-30s\n", "Memory (RAM)", cmem, bmem);
+  std::printf("%-24s %-26.0f %-30.0f\n", "NVMe capacity [GB]",
+              machine.nvme(cn.id).spec().capacityGB,
+              machine.nvme(bn.id).spec().capacityGB);
+  std::printf("%-24s %-26s %-30s\n", "Interconnect", net.name.c_str(),
+              net.name.c_str());
+  std::printf("%-24s %-26.0f %-30.0f\n", "Max link bandwidth [Gbit/s]",
+              net.linkBandwidthGBs * 8, net.linkBandwidthGBs * 8);
+  std::printf("%-24s %-26d %-30d\n", "Node count",
+              static_cast<int>(machine.nodesOfKind(hw::NodeKind::Cluster).size()),
+              static_cast<int>(machine.nodesOfKind(hw::NodeKind::Booster).size()));
+  std::printf("%-24s %-26.1f %-30.1f\n", "Peak perf [TFlop/s]",
+              machine.peakTflops(hw::NodeKind::Cluster),
+              machine.peakTflops(hw::NodeKind::Booster));
+
+  std::printf("\n--- Derived cross-checks (paper -> model) ---\n");
+  std::printf("Cluster peak : 16 TFlop/s -> %.1f TFlop/s\n",
+              machine.peakTflops(hw::NodeKind::Cluster));
+  std::printf("Booster peak : 20 TFlop/s -> %.1f TFlop/s\n",
+              machine.peakTflops(hw::NodeKind::Booster));
+  std::printf("MPI latency  : 1.0 us CN / 1.8 us BN -> %.2f / %.2f us\n",
+              (2 * cn.mpiSwOverhead + fabric.pathLatency(0, 1)).toMicros(),
+              (2 * bn.mpiSwOverhead + fabric.pathLatency(bn.id, bn.id + 1)).toMicros());
+  std::printf("NAM devices  : 2 x 2 GB -> %d x %.0f GB\n", machine.namCount(),
+              machine.nam(0).spec().capacityGB);
+  std::printf("Storage      : 3 servers, 57 TB -> %d servers, %.0f TB\n",
+              static_cast<int>(machine.nodesOfKind(hw::NodeKind::Storage).size()),
+              3 * machine.disk(machine.nodesOfKind(hw::NodeKind::Storage).front())
+                      .spec().capacityGB / 1000.0);
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "xpic/config.hpp"
+#include "xpic/workmodel.hpp"
+
+namespace cbsim::core {
+
+PartitionPlanner::PartitionPlanner(const hw::Machine& machine)
+    : machine_(machine) {}
+
+std::vector<hw::NodeKind> PartitionPlanner::computeKinds() const {
+  std::vector<hw::NodeKind> kinds;
+  for (const hw::NodeKind k :
+       {hw::NodeKind::Cluster, hw::NodeKind::Booster, hw::NodeKind::Analytics}) {
+    if (!machine_.nodesOfKind(k).empty()) kinds.push_back(k);
+  }
+  return kinds;
+}
+
+const hw::Node* PartitionPlanner::sampleNode(hw::NodeKind kind) const {
+  const auto nodes = machine_.nodesOfKind(kind);
+  return nodes.empty() ? nullptr : &machine_.node(nodes.front());
+}
+
+double PartitionPlanner::predictStepSec(const CodeRegion& r,
+                                        hw::NodeKind kind) const {
+  const hw::Node* node = sampleNode(kind);
+  if (node == nullptr) return std::numeric_limits<double>::infinity();
+  const double footprint = node->cpu.memGiB + node->cpu.fastMemGiB;
+  if (r.memFootprintGiB > footprint) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const hw::CpuModel cpu(node->cpu);
+  const int threads = r.threadsUsable > 0 ? r.threadsUsable : node->cpu.threads();
+  const double computeSec = cpu.time(r.workPerStep, threads).toSeconds();
+  // Latency-bound messages: two software traversals plus the wire.
+  const double msgSec = r.latencyMsgsPerStep *
+                        (2.0 * node->mpiSwOverhead + sim::SimTime::ns(300))
+                            .toSeconds();
+  const double netCfgBw =
+      machine_.config().switches.at(static_cast<std::size_t>(node->switchId))
+          .net.linkBandwidthGBs *
+      machine_.config().switches.at(static_cast<std::size_t>(node->switchId))
+          .net.protocolEfficiency;
+  const double volumeSec = r.commBytesPerStep / (netCfgBw * 1e9);
+  return computeSec + msgSec + volumeSec;
+}
+
+std::vector<Placement> PartitionPlanner::plan(
+    std::span<const CodeRegion> regions) const {
+  std::vector<Placement> out;
+  const auto kinds = computeKinds();
+  for (const CodeRegion& r : regions) {
+    Placement p;
+    p.region = r.name;
+    p.predictedStepSec = std::numeric_limits<double>::infinity();
+    for (const hw::NodeKind k : kinds) {
+      const double t = predictStepSec(r, k);
+      p.perModule[k] = t;
+      if (t < p.predictedStepSec) {
+        p.predictedStepSec = t;
+        p.module = k;
+      }
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+ModeEstimate PartitionPlanner::evaluateModes(
+    std::span<const CodeRegion> regions, double interfaceBytesPerStep) const {
+  ModeEstimate e;
+  for (const CodeRegion& r : regions) {
+    e.clusterOnlySec += predictStepSec(r, hw::NodeKind::Cluster);
+    e.boosterOnlySec += predictStepSec(r, hw::NodeKind::Booster);
+  }
+  const auto placements = plan(regions);
+  for (const Placement& p : placements) {
+    e.partitionedSec += p.predictedStepSec;
+  }
+  // The partitioned mode pays the interface exchange (both directions) on
+  // the fabric.
+  e.interfaceSec = 2.0 * interfaceBytesPerStep / 10e9;
+  e.partitionedSec += e.interfaceSec;
+  return e;
+}
+
+std::vector<CodeRegion> PartitionPlanner::xpicRegions() {
+  const xpic::XpicConfig cfg = xpic::XpicConfig::tableII();
+  const double cells = cfg.cells();
+  const double particles = cells * cfg.ppcModeled;
+
+  CodeRegion fields;
+  fields.name = "field-solver";
+  // ~30 CG iterations plus the two curl updates per step.
+  fields.workPerStep = xpic::workmodel::cgIteration(cells);
+  for (int i = 1; i < 30; ++i) fields.workPerStep += xpic::workmodel::cgIteration(cells);
+  fields.workPerStep += xpic::workmodel::curlUpdate(cells);
+  fields.workPerStep += xpic::workmodel::curlUpdate(cells);
+  fields.latencyMsgsPerStep = 30 * 6;  // halo + allreduce traffic of the CG
+  fields.memFootprintGiB = 0.01;
+
+  CodeRegion pcl;
+  pcl.name = "particle-solver";
+  pcl.workPerStep = xpic::workmodel::mover(particles, cfg.moverIterations);
+  pcl.workPerStep += xpic::workmodel::moments(particles);
+  pcl.latencyMsgsPerStep = 16;  // migration exchanges
+  pcl.commBytesPerStep = 1e5;
+  pcl.memFootprintGiB = particles * 60.0 / (1 << 30);
+  return {fields, pcl};
+}
+
+}  // namespace cbsim::core

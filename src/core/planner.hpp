@@ -1,0 +1,81 @@
+#pragma once
+
+// Partition planner — the Cluster-Booster co-design methodology as an API.
+//
+// The paper's argument (sections II-A, IV): characterize each code region
+// by its computational profile, predict its per-step time on every module
+// of the machine, and map each region to the module where it runs fastest;
+// regions with poor single-thread behaviour and frequent global
+// communication belong on the Cluster, wide vectorizable kernels on the
+// Booster.  This component turns that argument into a reusable planning
+// tool, and reproduces the paper's conclusion for xPic's two regions.
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hpp"
+
+namespace cbsim::core {
+
+/// Profile of one application code region (per step, per node-share of
+/// the workload).
+struct CodeRegion {
+  std::string name;
+  hw::Work workPerStep;
+  int threadsUsable = 0;        ///< 0 = every hardware thread
+  double latencyMsgsPerStep = 0;  ///< latency-bound messages issued per step
+  double commBytesPerStep = 0;    ///< bandwidth-bound communication volume
+  double memFootprintGiB = 0;
+};
+
+struct Placement {
+  std::string region;
+  hw::NodeKind module;
+  double predictedStepSec = 0;
+  std::map<hw::NodeKind, double> perModule;  ///< all evaluated candidates
+};
+
+/// Per-application mode comparison (monolithic vs partitioned).
+struct ModeEstimate {
+  double clusterOnlySec = 0;
+  double boosterOnlySec = 0;
+  double partitionedSec = 0;
+  /// Interface exchange cost included in partitionedSec.
+  double interfaceSec = 0;
+  [[nodiscard]] bool partitionedWins() const {
+    return partitionedSec < clusterOnlySec && partitionedSec < boosterOnlySec;
+  }
+};
+
+class PartitionPlanner {
+ public:
+  explicit PartitionPlanner(const hw::Machine& machine);
+
+  /// Predicted per-step time of `r` on one node of `kind`; +infinity when
+  /// the region cannot be placed there (memory footprint).
+  [[nodiscard]] double predictStepSec(const CodeRegion& r,
+                                      hw::NodeKind kind) const;
+
+  /// Best module per region across the machine's compute-node kinds.
+  [[nodiscard]] std::vector<Placement> plan(
+      std::span<const CodeRegion> regions) const;
+
+  /// Compares running all regions on one module vs. the planned split,
+  /// with the inter-module interface exchange charged to the split.
+  [[nodiscard]] ModeEstimate evaluateModes(std::span<const CodeRegion> regions,
+                                           double interfaceBytesPerStep) const;
+
+  /// The xPic regions with the calibrated workload model (Table II scale),
+  /// for examples and self-tests.
+  static std::vector<CodeRegion> xpicRegions();
+
+ private:
+  [[nodiscard]] std::vector<hw::NodeKind> computeKinds() const;
+  [[nodiscard]] const hw::Node* sampleNode(hw::NodeKind kind) const;
+
+  const hw::Machine& machine_;
+};
+
+}  // namespace cbsim::core

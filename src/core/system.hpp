@@ -1,0 +1,54 @@
+#pragma once
+
+// Facade bundling a complete simulated Cluster-Booster system: machine,
+// fabric, resource manager, app registry and the pmpi runtime.  This is
+// the one object examples and downstream users construct.
+
+#include <memory>
+#include <stdexcept>
+
+#include "extoll/fabric.hpp"
+#include "hw/machine.hpp"
+#include "pmpi/env.hpp"
+#include "pmpi/runtime.hpp"
+#include "rm/resource_manager.hpp"
+#include "sim/engine.hpp"
+
+namespace cbsim::core {
+
+class System {
+ public:
+  explicit System(hw::MachineConfig cfg = hw::MachineConfig::deepEr(),
+                  pmpi::ProtocolParams params = {})
+      : machine_(engine_, std::move(cfg)),
+        fabric_(machine_),
+        resources_(machine_),
+        runtime_(machine_, fabric_, resources_, registry_, params) {}
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] hw::Machine& machine() { return machine_; }
+  [[nodiscard]] extoll::Fabric& fabric() { return fabric_; }
+  [[nodiscard]] rm::ResourceManager& resources() { return resources_; }
+  [[nodiscard]] pmpi::AppRegistry& apps() { return registry_; }
+  [[nodiscard]] pmpi::Runtime& mpi() { return runtime_; }
+
+  /// Runs the simulation to completion; throws on deadlock.
+  sim::RunStats run() {
+    sim::RunStats st = engine_.run();
+    if (st.deadlocked()) {
+      throw std::runtime_error("simulation deadlocked; first blocked process: " +
+                               st.blockedProcesses.front());
+    }
+    return st;
+  }
+
+ private:
+  sim::Engine engine_;
+  hw::Machine machine_;
+  extoll::Fabric fabric_;
+  rm::ResourceManager resources_;
+  pmpi::AppRegistry registry_;
+  pmpi::Runtime runtime_;
+};
+
+}  // namespace cbsim::core

@@ -1,0 +1,171 @@
+#include "extoll/fabric.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace cbsim::extoll {
+
+using sim::SimTime;
+
+Fabric::Fabric(hw::Machine& machine)
+    : machine_(machine), engine_(machine.engine()) {
+  const auto& cfg = machine_.config();
+  const int eps = machine_.endpointCount();
+  const int nLinks = 2 * eps + 2 * static_cast<int>(cfg.trunks.size());
+  linkBusy_.assign(static_cast<std::size_t>(nLinks), SimTime::zero());
+  linkBwGBs_.resize(static_cast<std::size_t>(nLinks));
+  linkEff_.resize(static_cast<std::size_t>(nLinks));
+  for (int ep = 0; ep < eps; ++ep) {
+    const auto& net = cfg.switches.at(
+        static_cast<std::size_t>(machine_.endpointSwitch(ep))).net;
+    for (const int l : {upLink(ep), downLink(ep)}) {
+      linkBwGBs_[static_cast<std::size_t>(l)] = net.linkBandwidthGBs;
+      linkEff_[static_cast<std::size_t>(l)] = net.protocolEfficiency;
+    }
+  }
+  for (std::size_t t = 0; t < cfg.trunks.size(); ++t) {
+    const auto& net = cfg.switches.at(static_cast<std::size_t>(cfg.trunks[t].switchA)).net;
+    for (const int l : {trunkLink(static_cast<int>(t), true),
+                        trunkLink(static_cast<int>(t), false)}) {
+      linkBwGBs_[static_cast<std::size_t>(l)] = cfg.trunks[t].bandwidthGBs;
+      linkEff_[static_cast<std::size_t>(l)] = net.protocolEfficiency;
+    }
+  }
+  for (int id : machine_.nodesOfKind(hw::NodeKind::Bridge)) {
+    bridgeNodes_.push_back(id);
+  }
+}
+
+int Fabric::effectiveSwitch(int ep, int peerSwitch) const {
+  if (ep < machine_.nodeCount() &&
+      machine_.node(ep).kind == hw::NodeKind::Bridge) {
+    return peerSwitch;  // dual-homed: one NIC per network
+  }
+  return machine_.endpointSwitch(ep);
+}
+
+Fabric::Path Fabric::route(int srcEp, int dstEp) const {
+  const auto& cfg = machine_.config();
+  const int s1 = effectiveSwitch(srcEp, machine_.endpointSwitch(dstEp));
+  const int s2 = effectiveSwitch(dstEp, s1);
+  Path p;
+  if (s1 == s2) {
+    const auto& net = cfg.switches.at(static_cast<std::size_t>(s1)).net;
+    p.links = {upLink(srcEp), downLink(dstEp)};
+    p.latency = 2 * net.nicLatency + 2 * net.wireLatency + net.switchLatency;
+  } else {
+    for (std::size_t t = 0; t < cfg.trunks.size(); ++t) {
+      const auto& tr = cfg.trunks[t];
+      const bool fwd = tr.switchA == s1 && tr.switchB == s2;
+      const bool rev = tr.switchA == s2 && tr.switchB == s1;
+      if (fwd || rev) {
+        const auto& netA = cfg.switches.at(static_cast<std::size_t>(s1)).net;
+        const auto& netB = cfg.switches.at(static_cast<std::size_t>(s2)).net;
+        p.links = {upLink(srcEp), trunkLink(static_cast<int>(t), fwd),
+                   downLink(dstEp)};
+        p.latency = netA.nicLatency + netA.wireLatency + netA.switchLatency +
+                    tr.latency + netB.switchLatency + netB.wireLatency +
+                    netB.nicLatency;
+        break;
+      }
+    }
+    if (p.links.empty()) {
+      if (cfg.bridgeBetweenSwitches && !bridgeNodes_.empty()) {
+        p.bridgeNode = bridgeNodes_[nextBridge_++ % bridgeNodes_.size()];
+        return p;
+      }
+      throw std::runtime_error("fabric: no route between switches");
+    }
+  }
+  p.bwGBs = 1e18;
+  for (const int l : p.links) {
+    p.bwGBs = std::min(p.bwGBs, linkBwGBs_[static_cast<std::size_t>(l)] *
+                                    linkEff_[static_cast<std::size_t>(l)]);
+  }
+  return p;
+}
+
+SimTime Fabric::occupy(const Path& path, double bytes) {
+  SimTime t0 = engine_.now();
+  for (const int l : path.links) {
+    t0 = std::max(t0, linkBusy_[static_cast<std::size_t>(l)]);
+  }
+  const SimTime occ = SimTime::seconds(bytes / (path.bwGBs * 1e9));
+  for (const int l : path.links) {
+    linkBusy_[static_cast<std::size_t>(l)] = t0 + occ;
+  }
+  return t0 + path.latency + occ;
+}
+
+void Fabric::deliverLeg(int srcEp, int dstEp, double bytes,
+                        std::function<void()> onArrive) {
+  const Path p = route(srcEp, dstEp);
+  if (p.bridgeNode >= 0) {
+    ++stats_.bridgeHops;
+    const int bridgeEp = machine_.endpointOfNode(p.bridgeNode);
+    const hw::Node& bridge = machine_.node(p.bridgeNode);
+    // Store-and-forward: receive fully, CPU forwards (software + memcpy),
+    // then inject onto the second network.
+    const SimTime fwd =
+        bridge.mpiSwOverhead +
+        SimTime::seconds(bytes / (bridge.cpu.memBwGBs * 1e9));
+    deliverLeg(srcEp, bridgeEp, bytes,
+               [this, bridgeEp, dstEp, bytes, fwd,
+                onArrive = std::move(onArrive)]() mutable {
+                 engine_.schedule(fwd, [this, bridgeEp, dstEp, bytes,
+                                        onArrive = std::move(onArrive)]() mutable {
+                   deliverLeg(bridgeEp, dstEp, bytes, std::move(onArrive));
+                 });
+               });
+    return;
+  }
+  const SimTime arrival = occupy(p, bytes);
+  engine_.scheduleAt(arrival, std::move(onArrive));
+}
+
+void Fabric::send(int srcEp, int dstEp, double bytes,
+                  std::function<void()> onArrive) {
+  ++stats_.messages;
+  stats_.bytes += bytes;
+  if (srcEp == dstEp) {
+    // Loopback: shared-memory copy on the node, never touches the NIC.
+    const double bw = (srcEp < machine_.nodeCount()
+                           ? machine_.node(srcEp).cpu.memBwGBs
+                           : 10.0) * 1e9;
+    engine_.schedule(SimTime::ns(100) + SimTime::seconds(bytes / bw),
+                     std::move(onArrive));
+    return;
+  }
+  deliverLeg(srcEp, dstEp, bytes, std::move(onArrive));
+}
+
+SimTime Fabric::pathLatency(int srcEp, int dstEp) const {
+  if (srcEp == dstEp) return SimTime::ns(100);
+  const Path p = route(srcEp, dstEp);
+  if (p.bridgeNode >= 0) {
+    const int bridgeEp = machine_.endpointOfNode(p.bridgeNode);
+    return pathLatency(srcEp, bridgeEp) +
+           machine_.node(p.bridgeNode).mpiSwOverhead +
+           pathLatency(bridgeEp, dstEp);
+  }
+  return p.latency;
+}
+
+double Fabric::bottleneckBwGBs(int srcEp, int dstEp) const {
+  if (srcEp == dstEp) {
+    return srcEp < machine_.nodeCount() ? machine_.node(srcEp).cpu.memBwGBs
+                                        : 10.0;
+  }
+  const Path p = route(srcEp, dstEp);
+  if (p.bridgeNode >= 0) {
+    const int bridgeEp = machine_.endpointOfNode(p.bridgeNode);
+    const double legs = std::min(bottleneckBwGBs(srcEp, bridgeEp),
+                                 bottleneckBwGBs(bridgeEp, dstEp));
+    // Sequential store-and-forward halves the effective streaming rate.
+    return legs / 2.0;
+  }
+  return p.bwGBs;
+}
+
+}  // namespace cbsim::extoll

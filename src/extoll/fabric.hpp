@@ -1,0 +1,88 @@
+#pragma once
+
+// Fabric model (EXTOLL Tourmalet on the DEEP-ER prototype; InfiniBand +
+// EXTOLL with bridge nodes on the gen-1 DEEP prototype).
+//
+// The model is message-granular: a transfer occupies every link on its path
+// for bytes / (link bandwidth * protocol efficiency) (cut-through, so the
+// serialization time is paid once end-to-end), and experiences a fixed
+// per-element latency (NIC, wire, switch, trunk).  Links are serialized via
+// busy-until clocks, so concurrent traffic sees queueing — this is where
+// collective algorithms and the C+B interface exchange get their contention
+// behaviour from.
+//
+// Endpoint numbering follows hw::Machine: [0, nodeCount) node NICs, then
+// NAM devices.  Gen-1 bridge nodes are dual-homed: their NIC is considered
+// attached to whichever network their peer lives on, and Cluster<->Booster
+// messages store-and-forward through a bridge node's CPU.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "sim/engine.hpp"
+
+namespace cbsim::extoll {
+
+class Fabric {
+ public:
+  struct Stats {
+    std::uint64_t messages = 0;
+    double bytes = 0.0;
+    std::uint64_t bridgeHops = 0;
+  };
+
+  explicit Fabric(hw::Machine& machine);
+
+  /// Injects a transfer of `bytes` from endpoint `srcEp` to `dstEp`.
+  /// `onArrive` runs (as an engine event) when the last byte lands at the
+  /// destination NIC.  Endpoint software costs (MPI stack) are NOT charged
+  /// here — that is the pmpi layer's job; RDMA targets like the NAM have
+  /// none, which is exactly the paper's point about the NAM.
+  void send(int srcEp, int dstEp, double bytes,
+            std::function<void()> onArrive);
+
+  /// Zero-byte end-to-end latency of the path (no queueing).
+  [[nodiscard]] sim::SimTime pathLatency(int srcEp, int dstEp) const;
+
+  /// Effective (protocol-derated) bottleneck bandwidth of the path in GB/s.
+  [[nodiscard]] double bottleneckBwGBs(int srcEp, int dstEp) const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] hw::Machine& machine() const { return machine_; }
+
+ private:
+  struct Path {
+    std::vector<int> links;   ///< indices into linkBusy_/linkBwGBs_
+    sim::SimTime latency;     ///< sum of fixed element latencies
+    double bwGBs;             ///< effective bottleneck bandwidth
+    int bridgeNode = -1;      ///< store-and-forward bridge, or -1
+  };
+
+  [[nodiscard]] int upLink(int ep) const { return 2 * ep; }
+  [[nodiscard]] int downLink(int ep) const { return 2 * ep + 1; }
+  [[nodiscard]] int trunkLink(int trunkIdx, bool aToB) const {
+    return 2 * machine_.endpointCount() + 2 * trunkIdx + (aToB ? 0 : 1);
+  }
+
+  /// Resolves the dual-homing of bridge nodes: a bridge NIC counts as
+  /// attached to its peer's network.
+  [[nodiscard]] int effectiveSwitch(int ep, int peerSwitch) const;
+  [[nodiscard]] Path route(int srcEp, int dstEp) const;
+  /// Books the path's links and returns the arrival time.
+  sim::SimTime occupy(const Path& path, double bytes);
+  void deliverLeg(int srcEp, int dstEp, double bytes,
+                  std::function<void()> onArrive);
+
+  hw::Machine& machine_;
+  sim::Engine& engine_;
+  std::vector<sim::SimTime> linkBusy_;
+  std::vector<double> linkBwGBs_;      ///< raw link rate
+  std::vector<double> linkEff_;        ///< protocol efficiency of the link's net
+  std::vector<int> bridgeNodes_;
+  mutable std::size_t nextBridge_ = 0; ///< round-robin bridge selection
+  Stats stats_;
+};
+
+}  // namespace cbsim::extoll

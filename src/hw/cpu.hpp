@@ -1,0 +1,89 @@
+#pragma once
+
+// Processor specifications and the roofline + Amdahl timing model.
+
+#include <algorithm>
+#include <string>
+
+#include "hw/work.hpp"
+#include "sim/time.hpp"
+
+namespace cbsim::hw {
+
+/// Static description of one node's processor complex.
+struct CpuSpec {
+  std::string model;
+  std::string microarchitecture;
+  int sockets = 1;
+  int cores = 1;            ///< total physical cores per node
+  int threadsPerCore = 1;   ///< SMT ways
+  double freqGHz = 1.0;
+  double flopsPerCyclePerCore = 2.0;  ///< peak DP flops/cycle (FMA * SIMD width)
+  double scalarIpc = 1.0;   ///< sustained scalar instr/cycle, single thread
+  double memBwGBs = 50.0;   ///< sustainable DDR bandwidth, whole node
+  double fastMemBwGBs = 0.0;  ///< MCDRAM-class bandwidth (0 = absent)
+  double fastMemGiB = 0.0;
+  double memGiB = 64.0;
+  /// Fraction of peak reachable by gather/scatter-dominated (irregular)
+  /// vector kernels.  Big OoO cores hide the latency well; in-order or
+  /// narrow many-core designs do not.
+  double gatherScatterEff = 0.5;
+  /// OpenMP fork/join cost model (charged at scalar rate per region).
+  double forkJoinBaseCycles = 1000.0;
+  double forkJoinPerThreadCycles = 10.0;
+
+  [[nodiscard]] int threads() const { return cores * threadsPerCore; }
+  [[nodiscard]] double peakGflops() const {
+    return cores * freqGHz * flopsPerCyclePerCore;
+  }
+  /// Proxy for single-thread performance in giga-ops/s; drives serial
+  /// sections and latency-sensitive protocol processing.
+  [[nodiscard]] double scalarGops() const { return freqGHz * scalarIpc; }
+};
+
+/// Converts Work into time on a given CpuSpec.
+///
+/// time = serialOps / scalar_rate                      (Amdahl term)
+///      + max( flops / vector_rate(threads),
+///             bytes / bandwidth )                     (roofline term)
+class CpuModel {
+ public:
+  explicit CpuModel(CpuSpec spec) : spec_(std::move(spec)) {}
+
+  [[nodiscard]] const CpuSpec& spec() const { return spec_; }
+
+  /// Time for `w` using `threads` OpenMP-style threads (clamped to the
+  /// node's thread capacity; flop throughput saturates at physical cores).
+  [[nodiscard]] sim::SimTime time(const Work& w, int threads) const {
+    const int t = std::clamp(threads, 1, spec_.threads());
+    const int flopCores = std::min(t, spec_.cores);
+    const double irr = std::clamp(w.irregularFraction, 0.0, 1.0);
+    const double eff = std::clamp(w.vectorEfficiency, 1e-6, 1.0) *
+                       ((1.0 - irr) + irr * spec_.gatherScatterEff);
+    const double vectorRate =
+        flopCores * spec_.freqGHz * 1e9 * spec_.flopsPerCyclePerCore * eff;
+    const double bw = bandwidthGBs(w.fitsFastMemory) * 1e9;
+    const double parallelSec = std::max(w.flops / vectorRate, w.bytes / bw);
+    const double forkJoinOps =
+        w.parallelRegions *
+        (spec_.forkJoinBaseCycles + t * spec_.forkJoinPerThreadCycles);
+    const double serialSec =
+        (w.serialOps + forkJoinOps) / (spec_.scalarGops() * 1e9);
+    return sim::SimTime::seconds(serialSec + parallelSec);
+  }
+
+  /// Time using all hardware threads of the node.
+  [[nodiscard]] sim::SimTime time(const Work& w) const {
+    return time(w, spec_.threads());
+  }
+
+  [[nodiscard]] double bandwidthGBs(bool fitsFast) const {
+    return (fitsFast && spec_.fastMemBwGBs > 0.0) ? spec_.fastMemBwGBs
+                                                  : spec_.memBwGBs;
+  }
+
+ private:
+  CpuSpec spec_;
+};
+
+}  // namespace cbsim::hw

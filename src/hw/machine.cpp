@@ -1,0 +1,319 @@
+#include "hw/machine.hpp"
+
+#include <stdexcept>
+
+namespace cbsim::hw {
+
+namespace {
+
+std::string twoDigit(const std::string& prefix, int i) {
+  return prefix + (i < 10 ? "0" : "") + std::to_string(i);
+}
+
+}  // namespace
+
+int MachineConfig::totalNodes() const {
+  int n = 0;
+  for (const auto& g : groups) n += g.count;
+  return n;
+}
+
+// ---- Reference CPU specs ---------------------------------------------------
+
+CpuSpec MachineConfig::xeonHaswell() {
+  CpuSpec s;
+  s.model = "Intel Xeon E5-2680 v3";
+  s.microarchitecture = "Haswell";
+  s.sockets = 2;
+  s.cores = 24;  // 12 per socket
+  s.threadsPerCore = 2;
+  s.freqGHz = 2.5;
+  s.flopsPerCyclePerCore = 16.0;  // AVX2: 2 FMA ports x 4 DP lanes
+  s.scalarIpc = 2.2;
+  s.memBwGBs = 120.0;  // 2 sockets x 4ch DDR4-2133, STREAM-sustained
+  s.memGiB = 128.0;
+  s.gatherScatterEff = 0.60;  // OoO cores hide gather latency well
+  return s;
+}
+
+CpuSpec MachineConfig::xeonPhiKnl() {
+  CpuSpec s;
+  s.model = "Intel Xeon Phi 7210";
+  s.microarchitecture = "Knights Landing (KNL)";
+  s.sockets = 1;
+  s.cores = 64;
+  s.threadsPerCore = 4;
+  s.freqGHz = 1.3;
+  s.flopsPerCyclePerCore = 32.0;  // AVX-512: 2 VPUs x 8 DP lanes x FMA
+  s.scalarIpc = 0.7;              // Silvermont-derived core: low sustained IPC
+  s.memBwGBs = 80.0;              // DDR4 6ch
+  s.fastMemBwGBs = 420.0;         // MCDRAM
+  s.fastMemGiB = 16.0;
+  s.memGiB = 96.0;
+  s.gatherScatterEff = 0.15;  // AVX-512 gathers are microcoded & slow on KNL
+  return s;
+}
+
+CpuSpec MachineConfig::xeonSandyBridge() {
+  CpuSpec s;
+  s.model = "Intel Xeon E5-2680";
+  s.microarchitecture = "Sandy Bridge";
+  s.sockets = 2;
+  s.cores = 16;
+  s.threadsPerCore = 2;
+  s.freqGHz = 2.7;
+  s.flopsPerCyclePerCore = 8.0;  // AVX (no FMA)
+  s.scalarIpc = 2.0;
+  s.memBwGBs = 80.0;
+  s.memGiB = 32.0;
+  s.gatherScatterEff = 0.50;
+  return s;
+}
+
+CpuSpec MachineConfig::xeonPhiKnc() {
+  CpuSpec s;
+  s.model = "Intel Xeon Phi 7120 (KNC)";
+  s.microarchitecture = "Knights Corner";
+  s.sockets = 1;
+  s.cores = 61;
+  s.threadsPerCore = 4;
+  s.freqGHz = 1.238;
+  s.flopsPerCyclePerCore = 16.0;  // 512-bit SIMD, FMA, in-order
+  s.scalarIpc = 0.5;              // in-order core, needs SMT to fill pipe
+  s.memBwGBs = 170.0;             // GDDR5
+  s.memGiB = 16.0;
+  s.gatherScatterEff = 0.08;      // in-order: irregular access stalls the pipe
+  return s;
+}
+
+namespace {
+
+CpuSpec storageServerCpu() {
+  CpuSpec s;
+  s.model = "Intel Xeon E5-2630 v3";
+  s.microarchitecture = "Haswell";
+  s.sockets = 2;
+  s.cores = 16;
+  s.threadsPerCore = 2;
+  s.freqGHz = 2.4;
+  s.flopsPerCyclePerCore = 16.0;
+  s.scalarIpc = 2.2;
+  s.memBwGBs = 100.0;
+  s.memGiB = 64.0;
+  return s;
+}
+
+NetClassSpec extollTourmalet() {
+  NetClassSpec n;
+  n.name = "EXTOLL Tourmalet A3";
+  n.linkBandwidthGBs = 12.5;  // 100 Gbit/s (Table I)
+  n.protocolEfficiency = 0.80;
+  return n;
+}
+
+NetClassSpec infinibandQdr() {
+  NetClassSpec n;
+  n.name = "InfiniBand QDR";
+  n.linkBandwidthGBs = 4.0;  // 32 Gbit/s data rate
+  n.protocolEfficiency = 0.85;
+  n.switchLatency = sim::SimTime::ns(150);
+  return n;
+}
+
+}  // namespace
+
+// ---- Presets ----------------------------------------------------------------
+
+MachineConfig MachineConfig::deepEr(int clusterNodes, int boosterNodes) {
+  MachineConfig cfg;
+  cfg.name = "DEEP-ER prototype (gen 2)";
+  cfg.switches.push_back({"extoll-fabric", extollTourmalet()});
+
+  NodeGroupSpec cn;
+  cn.kind = NodeKind::Cluster;
+  cn.count = clusterNodes;
+  cn.namePrefix = "cn";
+  cn.cpu = xeonHaswell();
+  cn.nvme = NvmeSpec{};
+  cn.switchId = 0;
+  cn.mpiSwOverhead = sim::SimTime::ns(350);
+  cn.activeWatts = 385.0;  // dual-socket Haswell node incl. DDR4 + NIC
+  cfg.groups.push_back(cn);
+
+  NodeGroupSpec bn;
+  bn.kind = NodeKind::Booster;
+  bn.count = boosterNodes;
+  bn.namePrefix = "bn";
+  bn.cpu = xeonPhiKnl();
+  bn.nvme = NvmeSpec{};
+  bn.switchId = 0;
+  bn.mpiSwOverhead = sim::SimTime::ns(750);
+  bn.activeWatts = 275.0;  // KNL 7210 215W TDP + MCDRAM/DDR4 + NIC
+  cfg.groups.push_back(bn);
+
+  NodeGroupSpec st;
+  st.kind = NodeKind::Storage;
+  st.count = 3;  // one metadata + two storage servers
+  st.namePrefix = "st";
+  st.cpu = storageServerCpu();
+  st.disk = DiskSpec{};
+  st.switchId = 0;
+  st.mpiSwOverhead = sim::SimTime::ns(350);
+  cfg.groups.push_back(st);
+
+  cfg.nams.push_back({NamSpec{}, 0});
+  cfg.nams.push_back({NamSpec{}, 0});
+  return cfg;
+}
+
+MachineConfig MachineConfig::deepGen1(int clusterNodes, int boosterNodes,
+                                      int bridgeNodes) {
+  MachineConfig cfg;
+  cfg.name = "DEEP prototype (gen 1)";
+  cfg.switches.push_back({"cluster-infiniband", infinibandQdr()});
+  cfg.switches.push_back({"booster-extoll", extollTourmalet()});
+  cfg.bridgeBetweenSwitches = true;  // KNC cannot run the fabric stand-alone
+
+  NodeGroupSpec cn;
+  cn.kind = NodeKind::Cluster;
+  cn.count = clusterNodes;
+  cn.namePrefix = "cn";
+  cn.cpu = xeonSandyBridge();
+  cn.switchId = 0;
+  cn.mpiSwOverhead = sim::SimTime::ns(400);
+  cfg.groups.push_back(cn);
+
+  NodeGroupSpec bn;
+  bn.kind = NodeKind::Booster;
+  bn.count = boosterNodes;
+  bn.namePrefix = "bn";
+  bn.cpu = xeonPhiKnc();
+  bn.switchId = 1;
+  bn.mpiSwOverhead = sim::SimTime::ns(1400);  // in-order KNC protocol path
+  cfg.groups.push_back(bn);
+
+  NodeGroupSpec br;
+  br.kind = NodeKind::Bridge;
+  br.count = bridgeNodes;
+  br.namePrefix = "bi";
+  br.cpu = xeonSandyBridge();
+  br.switchId = 0;  // bridge NIC A on IB; NIC B on EXTOLL handled by routing
+  br.mpiSwOverhead = sim::SimTime::ns(400);
+  cfg.groups.push_back(br);
+  return cfg;
+}
+
+MachineConfig MachineConfig::deepEst(int clusterNodes, int boosterNodes,
+                                     int analyticsNodes) {
+  MachineConfig cfg = deepEr(clusterNodes, boosterNodes);
+  cfg.name = "DEEP-EST modular system";
+
+  NodeGroupSpec da;
+  da.kind = NodeKind::Analytics;
+  da.count = analyticsNodes;
+  da.namePrefix = "dn";
+  CpuSpec cpu = xeonHaswell();
+  cpu.model = "Intel Xeon (large-memory data analytics)";
+  cpu.memGiB = 512.0;
+  cpu.memBwGBs = 160.0;
+  da.cpu = cpu;
+  da.nvme = NvmeSpec{};
+  da.switchId = 0;
+  da.mpiSwOverhead = sim::SimTime::ns(350);
+  cfg.groups.push_back(da);
+  return cfg;
+}
+
+// ---- Machine ----------------------------------------------------------------
+
+Machine::Machine(sim::Engine& engine, MachineConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  int id = 0;
+  for (std::size_t g = 0; g < config_.groups.size(); ++g) {
+    const NodeGroupSpec& grp = config_.groups[g];
+    if (grp.switchId < 0 ||
+        grp.switchId >= static_cast<int>(config_.switches.size())) {
+      throw std::invalid_argument("node group attached to unknown switch");
+    }
+    for (int i = 0; i < grp.count; ++i, ++id) {
+      Node n;
+      n.id = id;
+      n.kind = grp.kind;
+      n.name = twoDigit(grp.namePrefix, i);
+      n.groupIndex = static_cast<int>(g);
+      n.switchId = grp.switchId;
+      n.cpu = grp.cpu;
+      n.hasNvme = grp.nvme.has_value();
+      n.mpiSwOverhead = grp.mpiSwOverhead;
+      n.activeWatts = grp.activeWatts;
+      nodes_.push_back(n);
+      cpuModels_.push_back(std::make_unique<CpuModel>(grp.cpu));
+      nvmes_.push_back(grp.nvme ? std::make_unique<NvmeDevice>(engine_, *grp.nvme)
+                                : nullptr);
+      disks_.push_back(grp.disk ? std::make_unique<DiskDevice>(engine_, *grp.disk)
+                                : nullptr);
+    }
+  }
+  for (const auto& na : config_.nams) {
+    if (na.switchId < 0 ||
+        na.switchId >= static_cast<int>(config_.switches.size())) {
+      throw std::invalid_argument("NAM attached to unknown switch");
+    }
+    nams_.push_back(std::make_unique<NamDevice>(na.spec));
+    namSwitches_.push_back(na.switchId);
+  }
+}
+
+const CpuModel& Machine::cpuModel(int nodeId) const {
+  return *cpuModels_.at(static_cast<std::size_t>(nodeId));
+}
+
+std::vector<int> Machine::nodesOfKind(NodeKind kind) const {
+  std::vector<int> out;
+  for (const Node& n : nodes_) {
+    if (n.kind == kind) out.push_back(n.id);
+  }
+  return out;
+}
+
+NvmeDevice& Machine::nvme(int nodeId) {
+  auto& dev = nvmes_.at(static_cast<std::size_t>(nodeId));
+  if (!dev) throw std::out_of_range("node has no NVMe device");
+  return *dev;
+}
+
+bool Machine::hasNvme(int nodeId) const {
+  return nvmes_.at(static_cast<std::size_t>(nodeId)) != nullptr;
+}
+
+DiskDevice& Machine::disk(int nodeId) {
+  auto& dev = disks_.at(static_cast<std::size_t>(nodeId));
+  if (!dev) throw std::out_of_range("node has no disk array");
+  return *dev;
+}
+
+bool Machine::hasDisk(int nodeId) const {
+  return disks_.at(static_cast<std::size_t>(nodeId)) != nullptr;
+}
+
+int Machine::endpointSwitch(int endpoint) const {
+  if (endpoint < nodeCount()) return node(endpoint).switchId;
+  return namSwitches_.at(static_cast<std::size_t>(endpoint - nodeCount()));
+}
+
+double Machine::nodeActiveWatts(NodeKind kind) const {
+  for (const Node& n : nodes_) {
+    if (n.kind == kind) return n.activeWatts;
+  }
+  return 0.0;
+}
+
+double Machine::peakTflops(NodeKind kind) const {
+  double gf = 0.0;
+  for (const Node& n : nodes_) {
+    if (n.kind == kind) gf += CpuModel(n.cpu).spec().peakGflops();
+  }
+  return gf / 1000.0;
+}
+
+}  // namespace cbsim::hw

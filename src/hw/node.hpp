@@ -1,0 +1,49 @@
+#pragma once
+
+// Node taxonomy of a modular (Cluster-Booster) machine.
+
+#include <string>
+
+#include "cpu.hpp"
+#include "sim/time.hpp"
+
+namespace cbsim::hw {
+
+enum class NodeKind {
+  Cluster,   ///< general-purpose Xeon node (CN)
+  Booster,   ///< stand-alone many-core node (BN): KNC gen-1, KNL gen-2
+  Storage,   ///< BeeGFS metadata / storage server
+  Bridge,    ///< gen-1 only: Xeon node bridging InfiniBand <-> EXTOLL
+  Analytics, ///< DEEP-EST data-analytics module node
+};
+
+[[nodiscard]] constexpr const char* toString(NodeKind k) {
+  switch (k) {
+    case NodeKind::Cluster: return "Cluster";
+    case NodeKind::Booster: return "Booster";
+    case NodeKind::Storage: return "Storage";
+    case NodeKind::Bridge: return "Bridge";
+    case NodeKind::Analytics: return "Analytics";
+  }
+  return "?";
+}
+
+/// One physical node, instantiated by Machine from a MachineConfig group.
+struct Node {
+  int id = -1;          ///< dense machine-wide id; doubles as fabric endpoint
+  NodeKind kind = NodeKind::Cluster;
+  std::string name;     ///< e.g. "cn03", "bn01"
+  int groupIndex = -1;  ///< index into MachineConfig::groups
+  int switchId = -1;    ///< fabric switch this node's NIC attaches to
+  CpuSpec cpu;
+  bool hasNvme = false;
+  /// Node power draw under load (whole node: CPU + memory + NIC).
+  double activeWatts = 300.0;
+  /// Host-side MPI protocol processing per message endpoint.  Partially
+  /// NIC-offloaded, partially host code, hence not simply proportional to
+  /// scalar speed: 0.35 us on Haswell vs 0.75 us on KNL reproduces the
+  /// 1.0 / 1.8 us end-to-end latencies of the paper's Table I / Fig. 3.
+  sim::SimTime mpiSwOverhead = sim::SimTime::ns(350);
+};
+
+}  // namespace cbsim::hw

@@ -1,0 +1,116 @@
+#pragma once
+
+// Block storage device models: node-local NVMe (Intel DC P3700 class) and
+// server-class spinning disks behind the storage servers.  Devices serialize
+// requests through a busy-until clock, so concurrent clients observe
+// queueing delay — the effect BeeOND/SIONlib exist to mitigate.
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace cbsim::hw {
+
+struct NvmeSpec {
+  std::string model = "Intel DC P3700";
+  double capacityGB = 400.0;
+  double readBwGBs = 2.8;   ///< sequential read, PCIe gen3 x4
+  double writeBwGBs = 1.9;  ///< sequential write
+  sim::SimTime latency = sim::SimTime::us(20);
+};
+
+struct DiskSpec {
+  std::string model = "7.2k SAS spinning disk array";
+  double capacityGB = 19000.0;          ///< per storage server (57 TB / 3)
+  double readBwGBs = 0.35;              ///< array streaming rate
+  double writeBwGBs = 0.30;
+  /// Per-request overhead at the array controller; streaming stripes hit
+  /// the write-back cache, not a raw seek, hence well below a disk seek.
+  sim::SimTime latency = sim::SimTime::ms(1);
+};
+
+/// Shared implementation: request serialization over a busy-until clock.
+class BlockDevice {
+ public:
+  BlockDevice(sim::Engine& engine, double readBwGBs, double writeBwGBs,
+              sim::SimTime latency, double capacityGB)
+      : engine_(engine),
+        readBwGBs_(readBwGBs),
+        writeBwGBs_(writeBwGBs),
+        latency_(latency),
+        capacityBytes_(capacityGB * 1e9) {}
+
+  /// Blocks the calling process for the queueing + service time of a read.
+  void read(sim::Context& ctx, double bytes) { access(ctx, bytes, false); }
+  /// Blocks the calling process for the queueing + service time of a write.
+  void write(sim::Context& ctx, double bytes) { access(ctx, bytes, true); }
+
+  /// Books a request without blocking the caller: advances the device's
+  /// busy-until clock and returns the completion time.  Used by clients
+  /// that wait on fabric transfers and device service together (the io/
+  /// stack), or that run the device asynchronously (BeeOND async flush).
+  [[nodiscard]] sim::SimTime reserve(double bytes, bool isWrite) {
+    const sim::SimTime start = std::max(engine_.now(), busyUntil_);
+    const sim::SimTime done = start + serviceTime(bytes, isWrite);
+    busyUntil_ = done;
+    (isWrite ? bytesWritten_ : bytesRead_) += bytes;
+    return done;
+  }
+
+  /// Pure service time (no queueing); used by asynchronous paths that
+  /// model overlap themselves.
+  [[nodiscard]] sim::SimTime serviceTime(double bytes, bool isWrite) const {
+    const double bw = (isWrite ? writeBwGBs_ : readBwGBs_) * 1e9;
+    return latency_ + sim::SimTime::seconds(bytes / bw);
+  }
+
+  [[nodiscard]] double capacityBytes() const { return capacityBytes_; }
+  [[nodiscard]] sim::SimTime busyUntil() const { return busyUntil_; }
+
+  /// Total bytes moved, for utilization reporting.
+  [[nodiscard]] double bytesRead() const { return bytesRead_; }
+  [[nodiscard]] double bytesWritten() const { return bytesWritten_; }
+
+ private:
+  void access(sim::Context& ctx, double bytes, bool isWrite) {
+    const sim::SimTime done = reserve(bytes, isWrite);
+    ctx.delay(done - engine_.now());
+  }
+
+  sim::Engine& engine_;
+  double readBwGBs_;
+  double writeBwGBs_;
+  sim::SimTime latency_;
+  double capacityBytes_;
+  sim::SimTime busyUntil_ = sim::SimTime::zero();
+  double bytesRead_ = 0.0;
+  double bytesWritten_ = 0.0;
+};
+
+class NvmeDevice : public BlockDevice {
+ public:
+  NvmeDevice(sim::Engine& engine, const NvmeSpec& spec = {})
+      : BlockDevice(engine, spec.readBwGBs, spec.writeBwGBs, spec.latency,
+                    spec.capacityGB),
+        spec_(spec) {}
+  [[nodiscard]] const NvmeSpec& spec() const { return spec_; }
+
+ private:
+  NvmeSpec spec_;
+};
+
+class DiskDevice : public BlockDevice {
+ public:
+  DiskDevice(sim::Engine& engine, const DiskSpec& spec = {})
+      : BlockDevice(engine, spec.readBwGBs, spec.writeBwGBs, spec.latency,
+                    spec.capacityGB),
+        spec_(spec) {}
+  [[nodiscard]] const DiskSpec& spec() const { return spec_; }
+
+ private:
+  DiskSpec spec_;
+};
+
+}  // namespace cbsim::hw

@@ -1,0 +1,55 @@
+#pragma once
+
+// BeeOND-like node-local cache layer in front of the global file system
+// (paper section III-C).  Writes land on the local NVMe at device speed and
+// are flushed to BeeGFS either synchronously (data safe on the global
+// store when write() returns) or asynchronously (flush overlaps with the
+// application; drain() waits for completion).  This is what "speeds up the
+// applications' I/O operations and reduces the frequency of accesses to
+// the global storage".
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/beegfs.hpp"
+
+namespace cbsim::io {
+
+class BeeondCache {
+ public:
+  enum class Mode { Sync, Async };
+
+  BeeondCache(hw::Machine& machine, BeeGfs& fs, Mode mode)
+      : machine_(machine), fs_(fs), mode_(mode) {}
+
+  /// Writes through the node-local cache; flushes per `mode`.
+  void write(pmpi::Env& env, const std::string& path, std::size_t offset,
+             pmpi::ConstBytes data);
+
+  /// Reads from the local cache when the node holds the data, falling back
+  /// to the global file system otherwise.
+  std::size_t read(pmpi::Env& env, const std::string& path, std::size_t offset,
+                   pmpi::Bytes out);
+
+  /// Blocks until every asynchronous flush issued by any node completed.
+  void drain(pmpi::Env& env);
+
+  [[nodiscard]] int pendingFlushes() const { return pending_; }
+  [[nodiscard]] bool cachedOn(int node, const std::string& path) const {
+    return cache_.count({node, path}) != 0;
+  }
+
+ private:
+  BeeGfs::File ensureCreated(pmpi::Env& env, const std::string& path);
+
+  hw::Machine& machine_;
+  BeeGfs& fs_;
+  Mode mode_;
+  std::map<std::pair<int, std::string>, std::vector<std::byte>> cache_;
+  std::map<std::string, BeeGfs::File> handles_;
+  int pending_ = 0;
+  std::vector<sim::Process*> drainWaiters_;
+};
+
+}  // namespace cbsim::io

@@ -1,0 +1,41 @@
+#pragma once
+
+// Network Attached Memory access layer (paper section II-B).  A NAM put/get
+// is an RDMA operation straight to the device: fabric time plus device
+// service time, with NO software overhead on the remote side — there is no
+// CPU there, the whole point of the NAM design.
+
+#include <string>
+#include <vector>
+
+#include "extoll/fabric.hpp"
+#include "pmpi/env.hpp"
+
+namespace cbsim::io {
+
+class NamStore {
+ public:
+  NamStore(hw::Machine& machine, extoll::Fabric& fabric)
+      : machine_(machine), fabric_(fabric) {}
+
+  [[nodiscard]] int deviceCount() const { return machine_.namCount(); }
+
+  /// RDMA-put; false (after the wire round trip) when the device is full.
+  bool put(pmpi::Env& env, int namIdx, const std::string& key,
+           pmpi::ConstBytes data);
+  /// RDMA-get; false when the key is absent.
+  bool get(pmpi::Env& env, int namIdx, const std::string& key,
+           std::vector<std::byte>& out);
+  bool erase(int namIdx, const std::string& key) {
+    return machine_.nam(namIdx).erase(key);
+  }
+  [[nodiscard]] std::size_t usedBytes(int namIdx) {
+    return machine_.nam(namIdx).usedBytes();
+  }
+
+ private:
+  hw::Machine& machine_;
+  extoll::Fabric& fabric_;
+};
+
+}  // namespace cbsim::io

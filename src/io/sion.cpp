@@ -1,0 +1,109 @@
+#include "io/sion.hpp"
+
+#include <stdexcept>
+
+namespace cbsim::io {
+
+namespace {
+
+constexpr std::size_t kAlign = 1 << 20;  // chunk alignment = stripe size
+
+std::size_t alignUp(std::size_t v) { return (v + kAlign - 1) / kAlign * kAlign; }
+
+pmpi::ConstBytes bytesOf(const std::vector<std::int64_t>& v) {
+  return std::as_bytes(std::span<const std::int64_t>(v));
+}
+
+}  // namespace
+
+SionFile SionFile::createCollective(pmpi::Env& env, pmpi::Comm comm, BeeGfs& fs,
+                                    const std::string& path,
+                                    std::size_t chunkBytes) {
+  const int n = env.commSize(comm);
+  const int r = env.commRank(comm);
+
+  const std::int64_t mine = static_cast<std::int64_t>(chunkBytes);
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(n));
+  env.allgather(comm, std::span<const std::int64_t>(&mine, 1),
+                std::span<std::int64_t>(sizes));
+
+  // Chunk table: header is one aligned block, chunks are aligned so
+  // concurrent writers stripe onto disjoint targets.
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(n));
+  std::size_t pos = kAlign;
+  for (int i = 0; i < n; ++i) {
+    offsets[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(pos);
+    pos += alignUp(static_cast<std::size_t>(sizes[static_cast<std::size_t>(i)]));
+  }
+
+  SionFile sf;
+  sf.fs_ = &fs;
+  sf.chunkOffset_ = static_cast<std::size_t>(offsets[static_cast<std::size_t>(r)]);
+  sf.chunkSize_ = chunkBytes;
+
+  if (r == 0) {
+    sf.file_ = fs.create(env, path);  // the single metadata create
+    std::vector<std::int64_t> header;
+    header.push_back(n);
+    header.insert(header.end(), offsets.begin(), offsets.end());
+    header.insert(header.end(), sizes.begin(), sizes.end());
+    fs.write(env, sf.file_, 0, bytesOf(header));
+  }
+  env.barrier(comm);
+  // Non-root ranks attach to the already-created container without any
+  // further metadata round trip (the layout came via the collective).
+  sf.file_ = fs.attach(path);
+  return sf;
+}
+
+SionFile SionFile::openCollective(pmpi::Env& env, pmpi::Comm comm, BeeGfs& fs,
+                                  const std::string& path) {
+  const int r = env.commRank(comm);
+  const int n = env.commSize(comm);
+
+  std::vector<std::int64_t> table(1 + 2 * static_cast<std::size_t>(n));
+  BeeGfs::File f;
+  if (r == 0) {
+    f = fs.open(env, path);  // single metadata open
+    fs.read(env, f, 0, std::as_writable_bytes(std::span<std::int64_t>(table)));
+  }
+  env.bcast(comm, 0, std::span<std::int64_t>(table));
+  if (table[0] != n) {
+    throw std::runtime_error("SionFile: container written by a different task count");
+  }
+
+  SionFile sf;
+  sf.fs_ = &fs;
+  sf.file_ = fs.attach(path);
+  sf.chunkOffset_ =
+      static_cast<std::size_t>(table[1 + static_cast<std::size_t>(r)]);
+  sf.chunkSize_ = static_cast<std::size_t>(
+      table[1 + static_cast<std::size_t>(n + r)]);
+  return sf;
+}
+
+void SionFile::write(pmpi::Env& env, pmpi::ConstBytes data) {
+  if (cursor_ + data.size() > chunkSize_) {
+    throw std::runtime_error("SionFile: write exceeds declared chunk size");
+  }
+  fs_->write(env, file_, chunkOffset_ + cursor_, data);
+  cursor_ += data.size();
+}
+
+std::size_t SionFile::read(pmpi::Env& env, pmpi::Bytes out) {
+  const std::size_t n =
+      fs_->read(env, file_, chunkOffset_ + cursor_,
+                out.subspan(0, std::min(out.size(), chunkSize_ - cursor_)));
+  cursor_ += n;
+  return n;
+}
+
+void SionFile::close(pmpi::Env& env, pmpi::Comm comm) {
+  env.barrier(comm);
+  if (env.commRank(comm) == 0) {
+    fs_->close(env, file_);
+  }
+  file_ = BeeGfs::File{};
+}
+
+}  // namespace cbsim::io

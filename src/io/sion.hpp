@@ -1,0 +1,50 @@
+#pragma once
+
+// SIONlib-like task-local I/O concentration layer (paper section III-C).
+//
+// N tasks writing task-local data normally create N files — N metadata
+// creates and N unaligned write streams, which crushes the parallel file
+// system's metadata server.  A Sion container bundles all task-local
+// streams into ONE shared file: a single collective create, a small header
+// holding the chunk table, and per-task chunks aligned to the stripe size
+// so concurrent writers land on disjoint storage targets.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/beegfs.hpp"
+
+namespace cbsim::io {
+
+class SionFile {
+ public:
+  /// Collective create over `comm`: every rank declares the maximum bytes
+  /// it will write; rank 0 creates the file and writes the chunk table.
+  static SionFile createCollective(pmpi::Env& env, pmpi::Comm comm, BeeGfs& fs,
+                                   const std::string& path,
+                                   std::size_t chunkBytes);
+
+  /// Collective open for reading an existing container.
+  static SionFile openCollective(pmpi::Env& env, pmpi::Comm comm, BeeGfs& fs,
+                                 const std::string& path);
+
+  /// Appends task-local data inside this rank's chunk.
+  void write(pmpi::Env& env, pmpi::ConstBytes data);
+  /// Sequentially reads this rank's chunk.
+  std::size_t read(pmpi::Env& env, pmpi::Bytes out);
+  /// Collective close; rank 0 updates the metadata.
+  void close(pmpi::Env& env, pmpi::Comm comm);
+
+  [[nodiscard]] std::size_t chunkOffset() const { return chunkOffset_; }
+  [[nodiscard]] std::size_t chunkSize() const { return chunkSize_; }
+
+ private:
+  BeeGfs* fs_ = nullptr;
+  BeeGfs::File file_;
+  std::size_t chunkOffset_ = 0;
+  std::size_t chunkSize_ = 0;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace cbsim::io

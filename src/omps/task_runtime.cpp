@@ -1,0 +1,304 @@
+#include "omps/task_runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace cbsim::omps {
+
+namespace {
+constexpr int kTagTaskSize = 900;
+constexpr int kTagTaskBody = 901;
+constexpr int kTagReplySize = 902;
+constexpr int kTagReplyBody = 903;
+}  // namespace
+
+// ---- KernelRegistry ------------------------------------------------------------
+
+void KernelRegistry::add(const std::string& name, KernelFn fn, hw::Work work) {
+  if (!kernels_.emplace(name, Kernel{std::move(fn), work}).second) {
+    throw std::invalid_argument("kernel already registered: " + name);
+  }
+}
+
+const Kernel& KernelRegistry::lookup(const std::string& name) const {
+  const auto it = kernels_.find(name);
+  if (it == kernels_.end()) {
+    throw std::out_of_range("no such kernel: " + name);
+  }
+  return it->second;
+}
+
+// ---- TaskRuntime ----------------------------------------------------------------
+
+TaskRuntime::TaskRuntime(pmpi::Env& env, const KernelRegistry& kernels)
+    : env_(env), kernels_(kernels) {}
+
+TaskRuntime::~TaskRuntime() {
+  // Shut down spawned workers (zero-size task = goodbye).
+  for (auto& [kind, comm] : workers_) {
+    env_.sendValue<std::uint64_t>(comm, 0, kTagTaskSize, 0);
+  }
+}
+
+void TaskRuntime::createRegion(const std::string& name, std::size_t bytes) {
+  regions_[name].assign(bytes, std::byte{0});
+}
+
+void TaskRuntime::createRegion(const std::string& name, pmpi::ConstBytes init) {
+  regions_[name].assign(init.begin(), init.end());
+}
+
+std::span<std::byte> TaskRuntime::region(const std::string& name) {
+  return regions_.at(name);
+}
+
+pmpi::ConstBytes TaskRuntime::regionData(const std::string& name) const {
+  return regions_.at(name);
+}
+
+int TaskRuntime::addTask(const std::string& kernel,
+                         std::vector<Access> accesses,
+                         std::optional<hw::NodeKind> target) {
+  Task t;
+  t.id = static_cast<int>(tasks_.size());
+  t.kernel = kernel;
+  t.offloadTarget = target;
+
+  for (const Access& a : accesses) {
+    if (regions_.count(a.region) == 0) {
+      throw std::out_of_range("task accesses unknown region: " + a.region);
+    }
+    const auto writer = lastWriter_.find(a.region);
+    if (a.mode == Access::Mode::In) {
+      if (writer != lastWriter_.end()) t.deps.push_back(writer->second);
+      readersSinceWrite_[a.region].push_back(t.id);
+    } else {
+      // Out / InOut: true dependency on the last writer plus
+      // anti-dependencies on every reader since then.
+      if (writer != lastWriter_.end()) t.deps.push_back(writer->second);
+      for (const int r : readersSinceWrite_[a.region]) t.deps.push_back(r);
+      readersSinceWrite_[a.region].clear();
+      lastWriter_[a.region] = t.id;
+      if (a.mode == Access::Mode::InOut) {
+        readersSinceWrite_[a.region].clear();
+      }
+    }
+  }
+  std::sort(t.deps.begin(), t.deps.end());
+  t.deps.erase(std::unique(t.deps.begin(), t.deps.end()), t.deps.end());
+  t.accesses = std::move(accesses);
+  tasks_.push_back(std::move(t));
+  return tasks_.back().id;
+}
+
+int TaskRuntime::submit(const std::string& kernel,
+                        std::vector<Access> accesses) {
+  return addTask(kernel, std::move(accesses), std::nullopt);
+}
+
+int TaskRuntime::submitOffload(const std::string& kernel,
+                               std::vector<Access> accesses,
+                               hw::NodeKind target) {
+  return addTask(kernel, std::move(accesses), target);
+}
+
+std::vector<std::byte> TaskRuntime::gatherInputs(const Task& t) const {
+  std::vector<std::byte> in;
+  for (const Access& a : t.accesses) {
+    if (a.mode == Access::Mode::Out) continue;
+    const auto& r = regions_.at(a.region);
+    in.insert(in.end(), r.begin(), r.end());
+  }
+  return in;
+}
+
+void TaskRuntime::scatterOutputs(const Task& t, pmpi::ConstBytes out) {
+  std::size_t pos = 0;
+  for (const Access& a : t.accesses) {
+    if (a.mode == Access::Mode::In) continue;
+    auto& r = regions_.at(a.region);
+    if (pos + r.size() > out.size()) {
+      throw std::runtime_error("kernel '" + t.kernel +
+                               "' produced too little output");
+    }
+    std::memcpy(r.data(), out.data() + pos, r.size());
+    pos += r.size();
+  }
+}
+
+bool TaskRuntime::consumeFailure(int id) {
+  const auto it = failures_.find(id);
+  if (it == failures_.end() || it->second <= 0) return false;
+  --it->second;
+  return true;
+}
+
+pmpi::Comm TaskRuntime::workerComm(hw::NodeKind target) {
+  const auto it = workers_.find(target);
+  if (it != workers_.end()) return it->second;
+  pmpi::SpawnOptions opts;
+  opts.partition = target;
+  const pmpi::Comm c = env_.commSpawn(kWorkerApp, 1, opts);
+  workers_.emplace(target, c);
+  return c;
+}
+
+void TaskRuntime::runLocalWave(const std::vector<Task*>& wave) {
+  // Analytic list scheduling: each task occupies one core; the wave's
+  // tasks are independent by construction.
+  const hw::CpuModel& cpu = env_.runtime().machine().cpuModel(env_.node().id);
+  const int workers = std::max(1, env_.threads());
+  std::vector<double> freeAt(static_cast<std::size_t>(workers), 0.0);
+  double makespan = 0.0;
+
+  for (Task* t : wave) {
+    if (journal_ != nullptr && journal_->count(t->id) != 0) {
+      // Fast-forward: restore the journaled outputs, skip execution.
+      scatterOutputs(*t, journal_->at(t->id));
+      ++fastForwarded_;
+      continue;
+    }
+    const Kernel& k = kernels_.lookup(t->kernel);
+    int attempts = 1;
+
+    // Input snapshot (resiliency): saved before the task may clobber its
+    // inout regions.
+    std::map<std::string, std::vector<std::byte>> snapshot;
+    const bool hasInout =
+        std::any_of(t->accesses.begin(), t->accesses.end(), [](const Access& a) {
+          return a.mode != Access::Mode::In;
+        });
+    if (snapshots_) {
+      for (const Access& a : t->accesses) {
+        if (a.mode != Access::Mode::Out) snapshot[a.region] = regions_.at(a.region);
+      }
+    }
+
+    while (consumeFailure(t->id)) {
+      // A failing attempt corrupts the task's writable regions before
+      // dying; restart needs the snapshot when inputs were overwritten.
+      for (const Access& a : t->accesses) {
+        if (a.mode != Access::Mode::In) {
+          std::fill(regions_.at(a.region).begin(), regions_.at(a.region).end(),
+                    std::byte{0xEE});
+        }
+      }
+      if (hasInout && !snapshots_) {
+        throw std::runtime_error("task " + std::to_string(t->id) +
+                                 " failed with inout data and no snapshot");
+      }
+      for (const auto& [name, data] : snapshot) {
+        regions_.at(name).assign(data.begin(), data.end());
+      }
+      ++attempts;
+      ++restarted_;
+    }
+
+    const std::vector<std::byte> out = k.fn(gatherInputs(*t));
+    scatterOutputs(*t, out);
+    if (journal_ != nullptr) (*journal_)[t->id] = out;
+    ++executed_;
+
+    // Schedule the (possibly repeated) execution onto the earliest-free core.
+    const double dur =
+        cpu.time(k.work, 1).toSeconds() * static_cast<double>(attempts);
+    auto slot = std::min_element(freeAt.begin(), freeAt.end());
+    *slot += dur;
+    makespan = std::max(makespan, *slot);
+  }
+  env_.computeDelay(sim::SimTime::seconds(makespan));
+}
+
+void TaskRuntime::runOffloadTask(Task& t) {
+  const pmpi::Comm w = workerComm(*t.offloadTarget);
+  for (;;) {
+    // Ship: [u64 name length][name][inputs].
+    std::vector<std::byte> blob;
+    const std::uint64_t nameLen = t.kernel.size();
+    const auto* np = reinterpret_cast<const std::byte*>(&nameLen);
+    blob.insert(blob.end(), np, np + sizeof nameLen);
+    const auto* cp = reinterpret_cast<const std::byte*>(t.kernel.data());
+    blob.insert(blob.end(), cp, cp + t.kernel.size());
+    const auto in = gatherInputs(t);
+    blob.insert(blob.end(), in.begin(), in.end());
+
+    env_.sendValue<std::uint64_t>(w, 0, kTagTaskSize, blob.size());
+    env_.send(w, 0, kTagTaskBody, pmpi::ConstBytes(blob));
+
+    const auto replySize = env_.recvValue<std::uint64_t>(w, 0, kTagReplySize);
+    std::vector<std::byte> reply(replySize);
+    env_.recv(w, 0, kTagReplyBody, pmpi::Bytes(reply));
+
+    if (consumeFailure(t.id)) {
+      // Offloaded-task restart: the result is discarded (lost with the
+      // failed worker) and the task re-shipped; work done in parallel by
+      // other tasks is unaffected.
+      ++restarted_;
+      continue;
+    }
+    scatterOutputs(t, reply);
+    if (journal_ != nullptr) (*journal_)[t.id] = reply;
+    ++executed_;
+    ++offloaded_;
+    return;
+  }
+}
+
+void TaskRuntime::wait() {
+  std::size_t remaining =
+      static_cast<std::size_t>(std::count_if(tasks_.begin(), tasks_.end(),
+                                             [](const Task& t) { return !t.done; }));
+  while (remaining > 0) {
+    std::vector<Task*> locals;
+    std::vector<Task*> offloads;
+    for (Task& t : tasks_) {
+      if (t.done) continue;
+      const bool ready = std::all_of(t.deps.begin(), t.deps.end(), [&](int d) {
+        return tasks_[static_cast<std::size_t>(d)].done;
+      });
+      if (!ready) continue;
+      (t.offloadTarget ? offloads : locals).push_back(&t);
+    }
+    if (locals.empty() && offloads.empty()) {
+      throw std::logic_error("omps: dependency cycle in task graph");
+    }
+    // Offloaded tasks of the wave execute on their module while the local
+    // wave runs here — the overlap the offload pragma is for.
+    runLocalWave(locals);
+    for (Task* t : offloads) runOffloadTask(*t);
+    for (Task* t : locals) t->done = true;
+    for (Task* t : offloads) t->done = true;
+    remaining -= locals.size() + offloads.size();
+  }
+}
+
+void TaskRuntime::registerWorker(pmpi::AppRegistry& apps,
+                                 const KernelRegistry& kernels) {
+  if (apps.contains(kWorkerApp)) return;
+  apps.add(kWorkerApp, [&kernels](pmpi::Env& env) {
+    const pmpi::Comm up = env.parent();
+    for (;;) {
+      const auto size = env.recvValue<std::uint64_t>(up, 0, kTagTaskSize);
+      if (size == 0) return;  // shutdown
+      std::vector<std::byte> blob(size);
+      env.recv(up, 0, kTagTaskBody, pmpi::Bytes(blob));
+
+      std::uint64_t nameLen = 0;
+      std::memcpy(&nameLen, blob.data(), sizeof nameLen);
+      const std::string name(
+          reinterpret_cast<const char*>(blob.data() + sizeof nameLen), nameLen);
+      const pmpi::ConstBytes input(blob.data() + sizeof nameLen + nameLen,
+                                   blob.size() - sizeof nameLen - nameLen);
+
+      const Kernel& k = kernels.lookup(name);
+      env.compute(k.work);  // charged on the worker's (offload target) node
+      const std::vector<std::byte> out = k.fn(input);
+
+      env.sendValue<std::uint64_t>(up, 0, kTagReplySize, out.size());
+      env.send(up, 0, kTagReplyBody, pmpi::ConstBytes(out));
+    }
+  });
+}
+
+}  // namespace cbsim::omps

@@ -1,0 +1,157 @@
+#pragma once
+
+// OmpSs-like data-flow task runtime (paper section III-B).
+//
+// Application code registers kernels (named, offloadable data transforms
+// with a hw::Work cost) and submits tasks annotated with region accesses
+// (in / out / inout), mirroring OmpSs pragmas.  The runtime derives the
+// dependency graph from the accesses, schedules ready tasks concurrently
+// on the node's cores, and — the DEEP extension [9] — can offload tasks
+// to a worker spawned on another module via the global MPI, shipping the
+// input regions there and the outputs back, overlapped with local work.
+//
+// Resiliency (paper section III-D):
+//  * input snapshots: task inputs are saved before execution, so a failed
+//    task can be restarted in place,
+//  * fast-forward: a journal of completed task outputs lets a re-started
+//    run skip straight past already-computed tasks,
+//  * offload restart: a failed offloaded task is re-shipped without losing
+//    the work other tasks performed in parallel.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/work.hpp"
+#include "pmpi/env.hpp"
+#include "pmpi/registry.hpp"
+
+namespace cbsim::omps {
+
+/// A kernel transforms the concatenated input regions into the
+/// concatenated output regions.  Kernels must be pure data transforms;
+/// their simulated cost is carried by Kernel::work, charged on whichever
+/// node executes them.
+using KernelFn =
+    std::function<std::vector<std::byte>(pmpi::ConstBytes input)>;
+
+struct Kernel {
+  KernelFn fn;
+  hw::Work work;
+};
+
+class KernelRegistry {
+ public:
+  void add(const std::string& name, KernelFn fn, hw::Work work);
+  [[nodiscard]] const Kernel& lookup(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return kernels_.count(name) != 0;
+  }
+
+ private:
+  std::map<std::string, Kernel> kernels_;
+};
+
+/// Region access annotation (the pragma's in/out/inout clauses).
+struct Access {
+  std::string region;
+  enum class Mode { In, Out, InOut } mode = Mode::In;
+};
+
+[[nodiscard]] inline Access in(std::string r) {
+  return {std::move(r), Access::Mode::In};
+}
+[[nodiscard]] inline Access out(std::string r) {
+  return {std::move(r), Access::Mode::Out};
+}
+[[nodiscard]] inline Access inout(std::string r) {
+  return {std::move(r), Access::Mode::InOut};
+}
+
+/// Journal for the fast-forward resiliency feature: task index -> output
+/// bytes of that task.  Owned by the caller so it survives a job restart.
+using Journal = std::map<int, std::vector<std::byte>>;
+
+class TaskRuntime {
+ public:
+  TaskRuntime(pmpi::Env& env, const KernelRegistry& kernels);
+  ~TaskRuntime();
+
+  // ---- Regions ---------------------------------------------------------------
+  void createRegion(const std::string& name, std::size_t bytes);
+  void createRegion(const std::string& name, pmpi::ConstBytes init);
+  [[nodiscard]] std::span<std::byte> region(const std::string& name);
+  [[nodiscard]] pmpi::ConstBytes regionData(const std::string& name) const;
+
+  // ---- Task submission ----------------------------------------------------------
+  /// Local task (the plain OmpSs pragma).  Returns the task id.
+  int submit(const std::string& kernel, std::vector<Access> accesses);
+  /// Offloaded task (the DEEP offload pragma): runs on a worker job spawned
+  /// on `target` nodes, inputs/outputs move through the intercommunicator.
+  int submitOffload(const std::string& kernel, std::vector<Access> accesses,
+                    hw::NodeKind target);
+
+  /// Executes all submitted tasks respecting dependencies; local ready
+  /// tasks share the node's cores, offloaded tasks overlap with them.
+  void wait();
+
+  // ---- Resiliency ------------------------------------------------------------------
+  void enableInputSnapshots(bool on) { snapshots_ = on; }
+  /// Attach a journal: completed tasks record their outputs; already
+  /// journaled tasks are fast-forwarded (outputs restored, kernel skipped).
+  void attachJournal(Journal* journal) { journal_ = journal; }
+  /// The next `times` executions of task `id` fail (requires snapshots for
+  /// in-place restart of tasks with inout regions).
+  void injectTaskFailure(int id, int times = 1) { failures_[id] = times; }
+
+  // ---- Introspection -----------------------------------------------------------------
+  [[nodiscard]] int tasksExecuted() const { return executed_; }
+  [[nodiscard]] int tasksRestarted() const { return restarted_; }
+  [[nodiscard]] int tasksFastForwarded() const { return fastForwarded_; }
+  [[nodiscard]] int tasksOffloaded() const { return offloaded_; }
+
+  /// Name of the worker app; register it on the AppRegistry used by the
+  /// runtime before any offload (done once per program).
+  static constexpr const char* kWorkerApp = "omps.worker";
+  static void registerWorker(pmpi::AppRegistry& apps,
+                             const KernelRegistry& kernels);
+
+ private:
+  struct Task {
+    int id = -1;
+    std::string kernel;
+    std::vector<Access> accesses;
+    std::optional<hw::NodeKind> offloadTarget;
+    std::vector<int> deps;
+    bool done = false;
+  };
+
+  int addTask(const std::string& kernel, std::vector<Access> accesses,
+              std::optional<hw::NodeKind> target);
+  [[nodiscard]] std::vector<std::byte> gatherInputs(const Task& t) const;
+  void scatterOutputs(const Task& t, pmpi::ConstBytes out);
+  bool consumeFailure(int id);
+  void runLocalWave(const std::vector<Task*>& wave);
+  void runOffloadTask(Task& t);
+  pmpi::Comm workerComm(hw::NodeKind target);
+
+  pmpi::Env& env_;
+  const KernelRegistry& kernels_;
+  std::map<std::string, std::vector<std::byte>> regions_;
+  std::vector<Task> tasks_;
+  std::map<std::string, int> lastWriter_;
+  std::map<std::string, std::vector<int>> readersSinceWrite_;
+  std::map<hw::NodeKind, pmpi::Comm> workers_;
+  std::map<int, int> failures_;
+  Journal* journal_ = nullptr;
+  bool snapshots_ = true;
+  int executed_ = 0;
+  int restarted_ = 0;
+  int fastForwarded_ = 0;
+  int offloaded_ = 0;
+};
+
+}  // namespace cbsim::omps

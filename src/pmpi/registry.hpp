@@ -1,0 +1,42 @@
+#pragma once
+
+// Registry of "executables".  MPI_Comm_spawn names a binary; in this
+// in-process reproduction, a binary is a registered callable.  The xPic
+// compilation script's two outputs (__CLUSTER__ / __BOOSTER__ binaries,
+// paper section IV-B) become two registry entries.
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace cbsim::pmpi {
+
+class Env;
+using RankMain = std::function<void(Env&)>;
+
+class AppRegistry {
+ public:
+  void add(const std::string& name, RankMain main) {
+    if (!apps_.emplace(name, std::move(main)).second) {
+      throw std::invalid_argument("app already registered: " + name);
+    }
+  }
+
+  [[nodiscard]] const RankMain& lookup(const std::string& name) const {
+    const auto it = apps_.find(name);
+    if (it == apps_.end()) {
+      throw std::out_of_range("no such app registered: " + name);
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return apps_.count(name) != 0;
+  }
+
+ private:
+  std::map<std::string, RankMain> apps_;
+};
+
+}  // namespace cbsim::pmpi

@@ -1,0 +1,394 @@
+#include "pmpi/runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "pmpi/env.hpp"
+
+namespace cbsim::pmpi {
+
+using sim::SimTime;
+
+Runtime::Runtime(hw::Machine& machine, extoll::Fabric& fabric,
+                 rm::ResourceManager& rm, AppRegistry& registry,
+                 ProtocolParams params)
+    : machine_(machine),
+      fabric_(fabric),
+      rm_(rm),
+      registry_(registry),
+      params_(params) {}
+
+Runtime::~Runtime() { engine().shutdown(); }
+
+// ---- Communicators -----------------------------------------------------------
+
+const Runtime::CommInfo& Runtime::commInfo(Comm c) const {
+  if (!c.valid()) throw std::invalid_argument("invalid communicator");
+  return comms_.at(static_cast<std::size_t>(c.id()));
+}
+
+int Runtime::rankIn(Comm c, int procIdx) const {
+  const CommInfo& info = commInfo(c);
+  for (std::size_t i = 0; i < info.groupA.size(); ++i) {
+    if (info.groupA[i] == procIdx) return static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < info.groupB.size(); ++i) {
+    if (info.groupB[i] == procIdx) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Runtime::localSize(Comm c, int procIdx) const {
+  const CommInfo& info = commInfo(c);
+  for (const int p : info.groupB) {
+    if (p == procIdx) return static_cast<int>(info.groupB.size());
+  }
+  return static_cast<int>(info.groupA.size());
+}
+
+int Runtime::remoteSize(Comm c, int procIdx) const {
+  const CommInfo& info = commInfo(c);
+  if (!info.inter) return static_cast<int>(info.groupA.size());
+  for (const int p : info.groupB) {
+    if (p == procIdx) return static_cast<int>(info.groupA.size());
+  }
+  return static_cast<int>(info.groupB.size());
+}
+
+int Runtime::sendTarget(Comm c, int srcProcIdx, int dstRank) const {
+  const CommInfo& info = commInfo(c);
+  if (!info.inter) {
+    return info.groupA.at(static_cast<std::size_t>(dstRank));
+  }
+  // Intercomm: the destination rank indexes the *other* group.
+  const bool srcInA =
+      std::find(info.groupA.begin(), info.groupA.end(), srcProcIdx) !=
+      info.groupA.end();
+  const auto& remote = srcInA ? info.groupB : info.groupA;
+  return remote.at(static_cast<std::size_t>(dstRank));
+}
+
+Comm Runtime::makeIntracomm(std::vector<int> members) {
+  CommInfo info;
+  info.id = static_cast<int>(comms_.size());
+  info.inter = false;
+  info.groupA = std::move(members);
+  comms_.push_back(std::move(info));
+  return Comm(comms_.back().id);
+}
+
+Comm Runtime::makeIntercomm(std::vector<int> groupA, std::vector<int> groupB) {
+  CommInfo info;
+  info.id = static_cast<int>(comms_.size());
+  info.inter = true;
+  info.groupA = std::move(groupA);
+  info.groupB = std::move(groupB);
+  comms_.push_back(std::move(info));
+  return Comm(comms_.back().id);
+}
+
+Comm Runtime::internComm(std::uint64_t key, const std::vector<int>& members) {
+  const auto it = internedComms_.find(key);
+  if (it != internedComms_.end()) return it->second;
+  const Comm c = makeIntracomm(members);
+  internedComms_.emplace(key, c);
+  return c;
+}
+
+// ---- Message engine -----------------------------------------------------------
+
+bool Runtime::matches(const RequestState& r, const Proc::UnexpectedMsg& m) {
+  return r.commId == m.commId &&
+         (r.srcFilter == AnySource || r.srcFilter == m.srcRank) &&
+         (r.tagFilter == AnyTag || r.tagFilter == m.tag);
+}
+
+Request Runtime::postSend(Proc& src, Comm c, int dstRank, int tag,
+                          ConstBytes data, SendMode mode) {
+  const int dstIdx = sendTarget(c, src.idx, dstRank);
+  const int srcRank = rankIn(c, src.idx);
+  if (srcRank < 0) throw std::logic_error("sender not a member of comm");
+
+  auto req = std::make_shared<RequestState>();
+  req->commId = c.id();
+
+  const bool rendezvous =
+      mode == SendMode::Synchronous || data.size() > params_.eagerThreshold;
+  const int srcEp = machine_.endpointOfNode(src.nodeId);
+  const int dstEp = machine_.endpointOfNode(proc(dstIdx).nodeId);
+
+  Proc::UnexpectedMsg msg;
+  msg.commId = c.id();
+  msg.srcRank = srcRank;
+  msg.tag = tag;
+  msg.bytes = data.size();
+  msg.srcProcIdx = src.idx;
+  if (rendezvous) {
+    // RTS carries no payload; the sender's buffer is pinned in the request
+    // until the RDMA transfer completes.
+    req->sendBuf = data;
+    msg.rendezvous = true;
+    msg.sendReq = req;
+    fabric_.send(srcEp, dstEp, params_.ctrlMsgBytes,
+                 [this, dstIdx, msg = std::move(msg)]() mutable {
+                   deliverRts(dstIdx, std::move(msg));
+                 });
+  } else {
+    // Eager: payload travels with the message; the send buffer is free as
+    // soon as the local copy is made.
+    msg.payload.assign(data.begin(), data.end());
+    req->done = true;
+    fabric_.send(srcEp, dstEp,
+                 static_cast<double>(data.size()) + params_.headerBytes,
+                 [this, dstIdx, msg = std::move(msg)]() mutable {
+                   deliverEager(dstIdx, std::move(msg));
+                 });
+  }
+  return req;
+}
+
+Request Runtime::postRecv(Proc& dst, Comm c, int srcRank, int tag, Bytes buf) {
+  auto req = std::make_shared<RequestState>();
+  req->isRecv = true;
+  req->commId = c.id();
+  req->srcFilter = srcRank;
+  req->tagFilter = tag;
+  req->recvBuf = buf;
+
+  for (auto it = dst.unexpected.begin(); it != dst.unexpected.end(); ++it) {
+    if (matches(*req, *it)) {
+      Proc::UnexpectedMsg msg = std::move(*it);
+      dst.unexpected.erase(it);
+      if (msg.rendezvous) {
+        startRendezvousTransfer(dst, req, std::move(msg));
+      } else {
+        completeEagerRecv(dst, req, std::move(msg));
+      }
+      return req;
+    }
+  }
+  dst.posted.push_back(req);
+  return req;
+}
+
+bool Runtime::tryMatchArrival(Proc& dst, Proc::UnexpectedMsg& msg) {
+  for (auto it = dst.posted.begin(); it != dst.posted.end(); ++it) {
+    if (matches(**it, msg)) {
+      const Request req = *it;
+      dst.posted.erase(it);
+      if (msg.rendezvous) {
+        startRendezvousTransfer(dst, req, std::move(msg));
+      } else {
+        completeEagerRecv(dst, req, std::move(msg));
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void Runtime::deliverEager(int dstProcIdx, Proc::UnexpectedMsg msg) {
+  Proc& dst = *procs_.at(static_cast<std::size_t>(dstProcIdx));
+  if (!tryMatchArrival(dst, msg)) {
+    dst.unexpected.push_back(std::move(msg));
+  }
+}
+
+void Runtime::deliverRts(int dstProcIdx, Proc::UnexpectedMsg msg) {
+  Proc& dst = *procs_.at(static_cast<std::size_t>(dstProcIdx));
+  if (!tryMatchArrival(dst, msg)) {
+    dst.unexpected.push_back(std::move(msg));
+  }
+}
+
+void Runtime::completeEagerRecv(Proc& dst, const Request& req,
+                                Proc::UnexpectedMsg msg) {
+  // Receiver-side protocol processing happens after the match.
+  const hw::Node& node = machine_.node(dst.nodeId);
+  engine().schedule(
+      node.mpiSwOverhead, [this, &dst, req, msg = std::move(msg)]() {
+        if (msg.payload.size() > req->recvBuf.size()) {
+          throw std::runtime_error("pmpi: eager message truncates receive buffer");
+        }
+        std::memcpy(req->recvBuf.data(), msg.payload.data(), msg.payload.size());
+        completeRequest(dst, req, msg.srcRank, msg.tag, msg.payload.size());
+      });
+}
+
+void Runtime::startRendezvousTransfer(Proc& dst, const Request& req,
+                                      Proc::UnexpectedMsg msg) {
+  if (msg.bytes > req->recvBuf.size()) {
+    throw std::runtime_error("pmpi: rendezvous message truncates receive buffer");
+  }
+  const hw::Node& dstNode = machine_.node(dst.nodeId);
+  const int dstEp = machine_.endpointOfNode(dst.nodeId);
+  const Proc& src = proc(msg.srcProcIdx);
+  const int srcEp = machine_.endpointOfNode(src.nodeId);
+
+  // Receiver processes the RTS, sends the CTS; on CTS arrival the payload
+  // moves as one RDMA transfer straight into the receive buffer (no
+  // further endpoint software on the payload path).
+  engine().schedule(dstNode.mpiSwOverhead, [this, &dst, req, srcEp, dstEp,
+                                            msg = std::move(msg)]() mutable {
+    fabric_.send(dstEp, srcEp, params_.ctrlMsgBytes, [this, &dst, req, srcEp,
+                                                      dstEp,
+                                                      msg = std::move(msg)]() mutable {
+      fabric_.send(srcEp, dstEp,
+                   static_cast<double>(msg.bytes) + params_.headerBytes,
+                   [this, &dst, req, msg = std::move(msg)]() {
+                     const Request sendReq = msg.sendReq;
+                     std::memcpy(req->recvBuf.data(), sendReq->sendBuf.data(),
+                                 msg.bytes);
+                     completeRequest(dst, req, msg.srcRank, msg.tag, msg.bytes);
+                     Proc& src = *procs_.at(static_cast<std::size_t>(msg.srcProcIdx));
+                     completeRequest(src, sendReq, msg.srcRank, msg.tag,
+                                     msg.bytes);
+                   });
+    });
+  });
+}
+
+void Runtime::completeRequest(Proc& owner, const Request& req, int srcRank,
+                              int tag, std::size_t bytes) {
+  req->done = true;
+  req->status.source = srcRank;
+  req->status.tag = tag;
+  req->status.bytes = bytes;
+  if (owner.sproc != nullptr) engine().wake(*owner.sproc);
+}
+
+// ---- Process management ---------------------------------------------------------
+
+Job& Runtime::launch(const JobSpec& spec) {
+  return startJob(spec.appName, spec.nodes, spec.procsPerNode,
+                  spec.threadsPerProc, SimTime::zero(), Comm{}, -1);
+}
+
+Job& Runtime::launch(const std::string& appName, hw::NodeKind kind,
+                     int nodeCount, int procsPerNode, int threadsPerProc) {
+  auto alloc = rm_.allocate(kind, nodeCount);
+  if (!alloc) {
+    throw std::runtime_error("pmpi: not enough free " +
+                             std::string(hw::toString(kind)) + " nodes");
+  }
+  return startJob(appName, alloc->nodes, procsPerNode, threadsPerProc,
+                  SimTime::zero(), Comm{}, alloc->id);
+}
+
+Job& Runtime::startJob(const std::string& appName,
+                       const std::vector<int>& nodes, int procsPerNode,
+                       int threadsPerProc, SimTime startDelay, Comm parent,
+                       int allocationId) {
+  if (nodes.empty() || procsPerNode < 1) {
+    throw std::invalid_argument("pmpi: empty job");
+  }
+  const RankMain& main = registry_.lookup(appName);
+
+  jobs_.emplace_back();
+  Job& job = jobs_.back();
+  job.id = static_cast<int>(jobs_.size()) - 1;
+  job.appName = appName;
+  job.allocationId = allocationId;
+
+  const int nprocs = static_cast<int>(nodes.size()) * procsPerNode;
+  std::vector<int> members;
+  for (int r = 0; r < nprocs; ++r) {
+    auto proc = std::make_unique<Proc>();
+    proc->idx = static_cast<int>(procs_.size());
+    proc->jobId = job.id;
+    proc->rank = r;
+    proc->nodeId = nodes.at(static_cast<std::size_t>(r / procsPerNode));
+    const int hwThreads = machine_.node(proc->nodeId).cpu.threads();
+    proc->threads = threadsPerProc > 0 ? threadsPerProc
+                                       : std::max(1, hwThreads / procsPerNode);
+    proc->parent = parent;
+    members.push_back(proc->idx);
+    procs_.push_back(std::move(proc));
+  }
+  job.procIdx = members;
+  job.liveProcs = nprocs;
+  job.world = makeIntracomm(members);
+
+  for (const int pi : members) {
+    Proc& p = *procs_[static_cast<std::size_t>(pi)];
+    p.world = job.world;
+    const std::string name = appName + ":j" + std::to_string(job.id) + ":r" +
+                             std::to_string(p.rank);
+    p.sproc = &engine().spawnAfter(
+        startDelay, name, [this, pi, &main, &job](sim::Context& ctx) {
+          Proc& self = *procs_[static_cast<std::size_t>(pi)];
+          Env env(*this, self, ctx);
+          struct Drain {  // runs also when the rank throws or is cancelled
+            Runtime* rt;
+            Job* job;
+            Proc* self;
+            ~Drain() {
+              // Detach communication state: in-flight messages must never
+              // match a receive whose buffer lived on this (now unwound)
+              // stack — relevant when failure injection cancels ranks.
+              self->posted.clear();
+              self->unexpected.clear();
+              if (--job->liveProcs == 0 && job->allocationId >= 0) {
+                rt->rm_.release(job->allocationId);
+              }
+            }
+          } drain{this, &job, &self};
+          main(env);
+        });
+  }
+  return job;
+}
+
+Comm Runtime::spawnJob(Proc& root, Comm over, const std::string& appName,
+                       int nprocs, const SpawnOptions& opts) {
+  const CommInfo& overInfo = commInfo(over);
+  if (overInfo.inter) {
+    throw std::invalid_argument("pmpi: spawn over an intercommunicator");
+  }
+  const int ppn = std::max(1, opts.procsPerNode);
+  const int nNodes = (nprocs + ppn - 1) / ppn;
+
+  std::optional<rm::Allocation> alloc;
+  if (!opts.nodes.empty()) {
+    alloc = rm_.allocateNodes(opts.nodes);
+  } else {
+    alloc = rm_.allocate(opts.partition, nNodes);
+  }
+  if (!alloc) {
+    throw std::runtime_error("pmpi: spawn failed, no free nodes in partition " +
+                             std::string(hw::toString(opts.partition)));
+  }
+
+  const SimTime cost = params_.spawnBase + nprocs * params_.spawnPerProc;
+  // Children come up once remote-exec + wire-up completed.
+  Job& child = startJob(appName, alloc->nodes, ppn, opts.threadsPerProc, cost,
+                        Comm{}, alloc->id);
+  const Comm inter = makeIntercomm(overInfo.groupA, child.procIdx);
+  for (const int pi : child.procIdx) {
+    procs_[static_cast<std::size_t>(pi)]->parent = inter;
+  }
+  (void)root;
+  return inter;
+}
+
+void Runtime::killJob(int jobId) {
+  for (const int pi : job(jobId).procIdx) {
+    Proc& p = *procs_.at(static_cast<std::size_t>(pi));
+    if (p.sproc != nullptr && p.sproc->live()) engine().cancel(*p.sproc);
+  }
+}
+
+Runtime::JobTimes Runtime::jobTimes(int id) const {
+  JobTimes t;
+  for (const int pi : job(id).procIdx) {
+    const Proc& p = proc(pi);
+    t.computeSec += p.computeSec;
+    t.commSec += p.commSec;
+    t.ioSec += p.ioSec;
+  }
+  return t;
+}
+
+}  // namespace cbsim::pmpi

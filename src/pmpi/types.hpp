@@ -1,0 +1,72 @@
+#pragma once
+
+// Shared vocabulary of the pmpi (ParaStation-MPI-like) library.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "sim/time.hpp"
+
+namespace cbsim::pmpi {
+
+inline constexpr int AnySource = -1;
+inline constexpr int AnyTag = -1;
+
+/// Receive completion information (MPI_Status analogue).
+struct Status {
+  int source = -1;
+  int tag = -1;
+  std::size_t bytes = 0;
+};
+
+/// Reduction operators for the typed collective templates.
+enum class Op { Sum, Min, Max, Prod };
+
+/// Communicator handle.  Cheap to copy; resolved by the Runtime.
+class Comm {
+ public:
+  constexpr Comm() = default;
+  [[nodiscard]] constexpr bool valid() const { return id_ >= 0; }
+  [[nodiscard]] constexpr int id() const { return id_; }
+  friend constexpr bool operator==(Comm a, Comm b) { return a.id_ == b.id_; }
+
+ private:
+  friend class Runtime;
+  friend class Env;
+  explicit constexpr Comm(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+/// Tunable protocol constants.  Defaults reproduce the paper's Fig. 3
+/// together with the per-node software overheads in hw::Node.
+struct ProtocolParams {
+  /// Messages <= this many bytes go eager; larger ones use an RTS/CTS
+  /// rendezvous with RDMA payload transfer.
+  std::size_t eagerThreshold = 8192;
+  double headerBytes = 64.0;       ///< per-message wire header
+  double ctrlMsgBytes = 64.0;      ///< RTS / CTS control messages
+  /// MPI_Comm_spawn cost model: remote-exec + binary distribution +
+  /// connection setup (base), plus a per-started-process term.
+  sim::SimTime spawnBase = sim::SimTime::ms(5);
+  sim::SimTime spawnPerProc = sim::SimTime::us(500);
+};
+
+/// Completion handle for nonblocking operations (MPI_Request analogue).
+struct RequestState;
+using Request = std::shared_ptr<RequestState>;
+
+using Bytes = std::span<std::byte>;
+using ConstBytes = std::span<const std::byte>;
+
+/// Reinterprets a typed span as bytes (both directions).
+template <typename T>
+[[nodiscard]] ConstBytes asBytes(std::span<const T> s) {
+  return std::as_bytes(s);
+}
+template <typename T>
+[[nodiscard]] Bytes asWritableBytes(std::span<T> s) {
+  return std::as_writable_bytes(s);
+}
+
+}  // namespace cbsim::pmpi

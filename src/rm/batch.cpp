@@ -1,0 +1,138 @@
+#include "rm/batch.hpp"
+
+#include <algorithm>
+
+namespace cbsim::rm {
+
+using sim::SimTime;
+
+BatchScheduler::BatchScheduler(hw::Machine& machine, ResourceManager& rm,
+                               Policy policy)
+    : machine_(machine), rm_(rm), policy_(policy), engine_(machine.engine()),
+      busyNodeSec_(8, 0.0) {}
+
+int BatchScheduler::submit(BatchJob job) {
+  const int id = static_cast<int>(jobs_.size());
+  jobs_.push_back(job);
+  JobStats st;
+  st.submitted = engine_.now();
+  stats_.push_back(st);
+  queue_.push_back({id, std::move(job)});
+  trySchedule();
+  return id;
+}
+
+void BatchScheduler::start(const Queued& q, const Allocation& alloc) {
+  const int granted = static_cast<int>(alloc.nodes.size());
+  JobStats& st = stats_[static_cast<std::size_t>(q.id)];
+  st.started = engine_.now();
+  st.grantedNodes = granted;
+
+  // Malleable jobs stretch when started below full width.
+  const SimTime actual =
+      q.job.duration * q.job.nodes / std::max(1, granted);
+  const SimTime estimate =
+      std::max(actual, q.job.estimate * q.job.nodes / std::max(1, granted));
+
+  Running r;
+  r.id = q.id;
+  r.allocId = alloc.id;
+  r.expectedEnd = engine_.now() + estimate;
+  r.nodes = granted;
+  r.kind = q.job.kind;
+  running_.push_back(r);
+
+  busyNodeSec_[static_cast<std::size_t>(q.job.kind)] +=
+      granted * actual.toSeconds();
+
+  engine_.schedule(actual, [this, id = q.id, allocId = alloc.id] {
+    rm_.release(allocId);
+    JobStats& js = stats_[static_cast<std::size_t>(id)];
+    js.finished = engine_.now();
+    makespan_ = std::max(makespan_, js.finished);
+    ++completed_;
+    running_.erase(std::remove_if(running_.begin(), running_.end(),
+                                  [id](const Running& r) { return r.id == id; }),
+                   running_.end());
+    trySchedule();
+  });
+}
+
+SimTime BatchScheduler::shadowTime(hw::NodeKind kind, int nodes) const {
+  // Sort running jobs of this partition by expected end; accumulate freed
+  // nodes until the request fits.
+  int freeNow = rm_.freeCount(kind);
+  if (freeNow >= nodes) return engine_.now();
+  std::vector<Running> ends;
+  for (const Running& r : running_) {
+    if (r.kind == kind) ends.push_back(r);
+  }
+  std::sort(ends.begin(), ends.end(), [](const Running& a, const Running& b) {
+    return a.expectedEnd < b.expectedEnd;
+  });
+  for (const Running& r : ends) {
+    freeNow += r.nodes;
+    if (freeNow >= nodes) return r.expectedEnd;
+  }
+  return SimTime::max();
+}
+
+void BatchScheduler::trySchedule() {
+  // Head-of-queue jobs start as long as they fit (malleable ones possibly
+  // shrunk).
+  while (!queue_.empty()) {
+    Queued& head = queue_.front();
+    const int free = rm_.freeCount(head.job.kind);
+    int width = 0;
+    if (free >= head.job.nodes) {
+      width = head.job.nodes;
+    } else if (head.job.minNodes > 0 && free >= head.job.minNodes) {
+      width = free;
+    }
+    if (width == 0) break;
+    const auto alloc = rm_.allocate(head.job.kind, width);
+    start(head, *alloc);
+    queue_.pop_front();
+  }
+  if (policy_ == Policy::Fifo || queue_.empty()) return;
+
+  // EASY backfill: later jobs may start now if they fit in the currently
+  // free nodes AND are expected to finish before the blocked head could
+  // start (so the head's reservation is never delayed).
+  const Queued& head = queue_.front();
+  const SimTime shadow = shadowTime(head.job.kind, head.job.nodes);
+  for (auto it = std::next(queue_.begin()); it != queue_.end();) {
+    const BatchJob& j = it->job;
+    const bool fits = rm_.freeCount(j.kind) >= j.nodes;
+    const bool sameKind = j.kind == head.job.kind;
+    const bool finishesInShadow = engine_.now() + j.estimate <= shadow;
+    if (fits && (!sameKind || finishesInShadow)) {
+      const auto alloc = rm_.allocate(j.kind, j.nodes);
+      start(*it, *alloc);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+SimTime BatchScheduler::meanWait() const {
+  std::int64_t sumPs = 0;
+  int n = 0;
+  for (const JobStats& s : stats_) {
+    if (s.done()) {
+      sumPs += s.waitTime().picos();
+      ++n;
+    }
+  }
+  return n == 0 ? SimTime::zero() : SimTime::ps(sumPs / n);
+}
+
+double BatchScheduler::utilization(hw::NodeKind kind) const {
+  const int total = rm_.totalCount(kind);
+  const double horizon = makespan_.toSeconds();
+  if (total == 0 || horizon <= 0) return 0.0;
+  return busyNodeSec_[static_cast<std::size_t>(kind)] / (total * horizon);
+}
+
+}  // namespace cbsim::rm

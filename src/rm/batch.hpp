@@ -1,0 +1,94 @@
+#pragma once
+
+// Batch system with FIFO and EASY-backfill scheduling and support for
+// malleable jobs (paper section II-A and ref [5]: system-wide resource
+// management that combines applications in a complementary way to raise
+// throughput across independently allocated partitions).
+//
+// Jobs here are synthetic (duration-based): the scheduling study needs
+// queue dynamics, not application internals.  Malleable jobs may start
+// on fewer nodes than requested (>= minNodes), stretching their runtime
+// proportionally.
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rm/resource_manager.hpp"
+#include "sim/engine.hpp"
+
+namespace cbsim::rm {
+
+struct BatchJob {
+  std::string name;
+  hw::NodeKind kind = hw::NodeKind::Cluster;
+  int nodes = 1;
+  sim::SimTime duration;              ///< true runtime at full width
+  sim::SimTime estimate;              ///< user estimate (backfill input)
+  int minNodes = 0;                   ///< >0: malleable down to this width
+};
+
+enum class Policy { Fifo, Backfill };
+
+class BatchScheduler {
+ public:
+  BatchScheduler(hw::Machine& machine, ResourceManager& rm, Policy policy);
+
+  /// Enqueues a job at the current simulated time; returns its id.
+  int submit(BatchJob job);
+
+  struct JobStats {
+    sim::SimTime submitted;
+    sim::SimTime started = sim::SimTime::max();
+    sim::SimTime finished = sim::SimTime::max();
+    int grantedNodes = 0;
+    [[nodiscard]] bool done() const { return finished != sim::SimTime::max(); }
+    [[nodiscard]] sim::SimTime waitTime() const { return started - submitted; }
+  };
+
+  [[nodiscard]] const JobStats& stats(int id) const {
+    return stats_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] int completed() const { return completed_; }
+  [[nodiscard]] int queued() const { return static_cast<int>(queue_.size()); }
+  /// Completion time of the last job (call after engine.run()).
+  [[nodiscard]] sim::SimTime makespan() const { return makespan_; }
+  /// Mean wait time over completed jobs.
+  [[nodiscard]] sim::SimTime meanWait() const;
+  /// Busy node-time / (nodes * makespan) for the given partition.
+  [[nodiscard]] double utilization(hw::NodeKind kind) const;
+
+ private:
+  struct Queued {
+    int id;
+    BatchJob job;
+  };
+  struct Running {
+    int id;
+    int allocId;
+    sim::SimTime expectedEnd;  ///< estimate-based (for backfill reservations)
+    int nodes;
+    hw::NodeKind kind;
+  };
+
+  void trySchedule();
+  void start(const Queued& q, const Allocation& alloc);
+  /// Earliest time `nodes` of `kind` could be free, per running-job
+  /// estimates (the EASY "shadow time" of the queue head).
+  [[nodiscard]] sim::SimTime shadowTime(hw::NodeKind kind, int nodes) const;
+
+  hw::Machine& machine_;
+  ResourceManager& rm_;
+  Policy policy_;
+  sim::Engine& engine_;
+  std::deque<Queued> queue_;
+  std::vector<Running> running_;
+  std::vector<JobStats> stats_;
+  std::vector<BatchJob> jobs_;
+  int completed_ = 0;
+  sim::SimTime makespan_ = sim::SimTime::zero();
+  std::vector<double> busyNodeSec_;  ///< per NodeKind index
+};
+
+}  // namespace cbsim::rm

@@ -1,0 +1,59 @@
+#include "rm/resource_manager.hpp"
+
+namespace cbsim::rm {
+
+ResourceManager::ResourceManager(hw::Machine& machine) : machine_(machine) {
+  owner_.assign(static_cast<std::size_t>(machine_.nodeCount()), -1);
+}
+
+std::optional<Allocation> ResourceManager::allocate(hw::NodeKind kind,
+                                                    int count) {
+  std::vector<int> picked;
+  for (int id = 0; id < machine_.nodeCount() &&
+                   static_cast<int>(picked.size()) < count; ++id) {
+    if (machine_.node(id).kind == kind && owner_[static_cast<std::size_t>(id)] < 0) {
+      picked.push_back(id);
+    }
+  }
+  if (static_cast<int>(picked.size()) < count) return std::nullopt;
+  return allocateNodes(picked);
+}
+
+std::optional<Allocation> ResourceManager::allocateNodes(
+    const std::vector<int>& nodes) {
+  for (const int n : nodes) {
+    if (n < 0 || n >= machine_.nodeCount() ||
+        owner_[static_cast<std::size_t>(n)] >= 0) {
+      return std::nullopt;
+    }
+  }
+  Allocation a;
+  a.id = nextId_++;
+  a.nodes = nodes;
+  for (const int n : nodes) owner_[static_cast<std::size_t>(n)] = a.id;
+  return a;
+}
+
+void ResourceManager::release(int allocationId) {
+  for (int& o : owner_) {
+    if (o == allocationId) o = -1;
+  }
+}
+
+int ResourceManager::freeCount(hw::NodeKind kind) const {
+  int n = 0;
+  for (int id = 0; id < machine_.nodeCount(); ++id) {
+    if (machine_.node(id).kind == kind && owner_[static_cast<std::size_t>(id)] < 0) ++n;
+  }
+  return n;
+}
+
+bool ResourceManager::isFree(int nodeId) const {
+  return owner_.at(static_cast<std::size_t>(nodeId)) < 0;
+}
+
+int ResourceManager::totalCount(hw::NodeKind kind) const {
+  return static_cast<int>(machine_.nodesOfKind(kind).size());
+}
+
+}  // namespace cbsim::rm

@@ -1,0 +1,46 @@
+#pragma once
+
+// Partition-aware resource management (the ParaStation process-management
+// role in the DEEP software stack).  The Cluster-Booster concept's selling
+// point (paper section II-A) is that Cluster and Booster resources are
+// reserved and allocated *independently*; this component owns that
+// bookkeeping and gives MPI_Comm_spawn its placement targets.
+
+#include <optional>
+#include <vector>
+
+#include "hw/machine.hpp"
+
+namespace cbsim::rm {
+
+struct Allocation {
+  int id = -1;
+  std::vector<int> nodes;
+  [[nodiscard]] bool valid() const { return id >= 0; }
+};
+
+class ResourceManager {
+ public:
+  explicit ResourceManager(hw::Machine& machine);
+
+  /// Allocates `count` free nodes of the given kind (lowest ids first).
+  /// Returns nullopt when not enough nodes are free.
+  std::optional<Allocation> allocate(hw::NodeKind kind, int count);
+
+  /// Allocates an explicit node list; all must be free.
+  std::optional<Allocation> allocateNodes(const std::vector<int>& nodes);
+
+  /// Releases an allocation.  Idempotent for unknown ids.
+  void release(int allocationId);
+
+  [[nodiscard]] int freeCount(hw::NodeKind kind) const;
+  [[nodiscard]] bool isFree(int nodeId) const;
+  [[nodiscard]] int totalCount(hw::NodeKind kind) const;
+
+ private:
+  hw::Machine& machine_;
+  std::vector<int> owner_;  ///< per node: allocation id or -1
+  int nextId_ = 1;
+};
+
+}  // namespace cbsim::rm

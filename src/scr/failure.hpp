@@ -1,0 +1,46 @@
+#pragma once
+
+// Failure injection (paper section III-D: SCR decides where and how often
+// to checkpoint "based on a failure model of the DEEP-ER prototype").
+//
+// A node failure kills every rank of the affected job and destroys the
+// node's NVMe contents — which is precisely the case that separates the
+// checkpoint levels: local checkpoints die with the node, buddy/global/NAM
+// ones survive.
+
+#include "io/local_store.hpp"
+#include "pmpi/runtime.hpp"
+#include "sim/rng.hpp"
+
+namespace cbsim::scr {
+
+class FailureInjector {
+ public:
+  FailureInjector(pmpi::Runtime& rt, io::LocalStore& store)
+      : rt_(rt), store_(store) {}
+
+  /// Schedules a node failure at absolute simulated time `at`: all ranks
+  /// of `jobId` are cancelled and `dropNode`'s NVMe contents are lost.
+  void scheduleNodeFailure(int jobId, sim::SimTime at, int dropNode) {
+    rt_.engine().scheduleAt(at, [this, jobId, dropNode] {
+      if (rt_.jobDone(jobId)) return;  // raced with normal completion
+      rt_.killJob(jobId);
+      store_.dropNode(dropNode);
+      ++injected_;
+    });
+  }
+
+  [[nodiscard]] int injected() const { return injected_; }
+
+  /// Exponentially distributed time-to-failure for a given MTBF.
+  static sim::SimTime sampleFailureTime(sim::Rng& rng, sim::SimTime mtbf) {
+    return sim::SimTime::seconds(rng.exponential(1.0 / mtbf.toSeconds()));
+  }
+
+ private:
+  pmpi::Runtime& rt_;
+  io::LocalStore& store_;
+  int injected_ = 0;
+};
+
+}  // namespace cbsim::scr

@@ -1,0 +1,204 @@
+#include "scr/scr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "io/sion.hpp"
+
+namespace cbsim::scr {
+
+using sim::SimTime;
+
+Scr::Scr(hw::Machine& machine, io::BeeGfs& fs, io::LocalStore& local,
+         io::NamStore& nam, ScrConfig cfg)
+    : machine_(machine), fs_(fs), local_(local), nam_(nam), cfg_(std::move(cfg)) {}
+
+std::string Scr::key(int step, int rank) const {
+  return cfg_.prefix + "/s" + std::to_string(step) + "/r" + std::to_string(rank);
+}
+
+namespace {
+bool due(int every, int step) { return every > 0 && step % every == 0; }
+}  // namespace
+
+bool Scr::needCheckpoint(int step) const {
+  return due(cfg_.localEvery, step) || due(cfg_.buddyEvery, step) ||
+         due(cfg_.globalEvery, step) || due(cfg_.namEvery, step);
+}
+
+int Scr::buddyNode(pmpi::Env& env, pmpi::Comm comm) {
+  auto it = commNodes_.find(comm.id());
+  if (it == commNodes_.end()) {
+    const int n = env.commSize(comm);
+    const int mine = env.node().id;
+    std::vector<int> nodes(static_cast<std::size_t>(n));
+    env.allgather(comm, std::span<const int>(&mine, 1), std::span<int>(nodes));
+    it = commNodes_.emplace(comm.id(), std::move(nodes)).first;
+  }
+  const int n = static_cast<int>(it->second.size());
+  return it->second[static_cast<std::size_t>((env.commRank(comm) + 1) % n)];
+}
+
+void Scr::checkpoint(pmpi::Env& env, pmpi::Comm comm, int step,
+                     pmpi::ConstBytes state) {
+  const int rank = env.commRank(comm);
+  if (due(cfg_.localEvery, step)) {
+    local_.write(env, key(step, rank), state);
+    record_[step].insert(Level::Local);
+    ++stats_.checkpoints;
+    stats_.bytesWritten += static_cast<double>(state.size());
+  }
+  if (due(cfg_.buddyEvery, step)) {
+    local_.writeTo(env, buddyNode(env, comm), key(step, rank) + "+buddy", state);
+    record_[step].insert(Level::Buddy);
+    ++stats_.checkpoints;
+    stats_.bytesWritten += static_cast<double>(state.size());
+  }
+  if (due(cfg_.namEvery, step)) {
+    const int dev = machine_.namCount() > 0 ? rank % machine_.namCount() : -1;
+    if (dev >= 0 && nam_.put(env, dev, key(step, rank), state)) {
+      record_[step].insert(Level::Nam);
+      ++stats_.checkpoints;
+      stats_.bytesWritten += static_cast<double>(state.size());
+    }
+  }
+  if (due(cfg_.globalEvery, step)) {
+    auto sion = io::SionFile::createCollective(
+        env, comm, fs_, cfg_.prefix + "/ckpt_" + std::to_string(step) + ".sion",
+        state.size());
+    sion.write(env, state);
+    sion.close(env, comm);
+    record_[step].insert(Level::Global);
+    ++stats_.checkpoints;
+    stats_.bytesWritten += static_cast<double>(state.size());
+  }
+}
+
+namespace {
+/// Recovery-severity ranking used for the lastRestoreLevel diagnostic:
+/// local < NAM < buddy < global.
+int severity(Level l) {
+  switch (l) {
+    case Level::Local: return 0;
+    case Level::Nam: return 1;
+    case Level::Buddy: return 2;
+    case Level::Global: return 3;
+  }
+  return 0;
+}
+}  // namespace
+
+void Scr::noteRestoreLevel(Level l) {
+  if (!lastRestoreLevel_ || severity(l) > severity(*lastRestoreLevel_)) {
+    lastRestoreLevel_ = l;
+  }
+}
+
+bool Scr::tryRestore(pmpi::Env& env, pmpi::Comm comm, int step,
+                     std::vector<std::byte>& state, bool probeOnly) {
+  const int rank = env.commRank(comm);
+  const auto recIt = record_.find(step);
+  if (recIt == record_.end()) return false;
+  const auto& levels = recIt->second;
+
+  // Phase 1: the NVMe tier.  Local and buddy copies form one redundancy
+  // pair — a rank is covered when EITHER copy survived, and each rank
+  // pulls from whatever it still has (local preferred).  This is the core
+  // multi-level property: a lost node's ranks recover from their buddies
+  // while everyone else restores locally.
+  const bool pairRecorded =
+      levels.count(Level::Local) != 0 || levels.count(Level::Buddy) != 0;
+  if (pairRecorded) {
+    const bool haveLocal = local_.has(env.node().id, key(step, rank));
+    const bool haveBuddy =
+        local_.has(buddyNode(env, comm), key(step, rank) + "+buddy");
+    const int have = (haveLocal || haveBuddy) ? 1 : 0;
+    if (env.allreduceValue(comm, have, pmpi::Op::Min) == 1) {
+      if (probeOnly) return true;
+      if (haveLocal && local_.read(env, key(step, rank), state)) {
+        noteRestoreLevel(Level::Local);
+        return true;
+      }
+      if (local_.readFrom(env, buddyNode(env, comm), key(step, rank) + "+buddy",
+                          state)) {
+        noteRestoreLevel(Level::Buddy);
+        return true;
+      }
+    }
+  }
+
+  // Phase 2: NAM tier.
+  if (levels.count(Level::Nam) != 0 && machine_.namCount() > 0) {
+    const int dev = rank % machine_.namCount();
+    const int have = machine_.nam(dev).get(key(step, rank)) != nullptr ? 1 : 0;
+    if (env.allreduceValue(comm, have, pmpi::Op::Min) == 1) {
+      if (probeOnly) return true;
+      if (nam_.get(env, dev, key(step, rank), state)) {
+        noteRestoreLevel(Level::Nam);
+        return true;
+      }
+    }
+  }
+
+  // Phase 3: global file system (collective SION read — entered uniformly
+  // by construction of the preceding allreduce decisions).
+  if (levels.count(Level::Global) != 0) {
+    const std::string path =
+        cfg_.prefix + "/ckpt_" + std::to_string(step) + ".sion";
+    const int have = fs_.exists(path) ? 1 : 0;
+    if (env.allreduceValue(comm, have, pmpi::Op::Min) == 1) {
+      if (probeOnly) return true;
+      auto sion = io::SionFile::openCollective(env, comm, fs_, path);
+      state.resize(sion.chunkSize());
+      if (sion.read(env, pmpi::Bytes(state)) == state.size()) {
+        noteRestoreLevel(Level::Global);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<int> Scr::restart(pmpi::Env& env, pmpi::Comm comm,
+                                std::vector<std::byte>& state) {
+  // Newest step first.  Iterate a snapshot of the recorded steps so all
+  // ranks walk the same sequence.
+  std::vector<int> steps;
+  for (const auto& [s, _] : record_) steps.push_back(s);
+  std::sort(steps.rbegin(), steps.rend());
+  for (const int s : steps) {
+    if (tryRestore(env, comm, s, state, /*probeOnly=*/false)) {
+      ++stats_.restarts;
+      return s;
+    }
+  }
+  return std::nullopt;
+}
+
+sim::SimTime Scr::estimateCost(Level l, double bytes) const {
+  const auto nvmeWrite = [&](double b) {
+    return hw::NvmeSpec{}.latency + SimTime::seconds(b / (1.9e9));
+  };
+  switch (l) {
+    case Level::Local:
+      return nvmeWrite(bytes);
+    case Level::Buddy:
+      return SimTime::micros(1.0) + SimTime::seconds(bytes / 10e9) +
+             nvmeWrite(bytes);
+    case Level::Nam:
+      return SimTime::micros(1.0) + SimTime::seconds(bytes / 10e9) +
+             SimTime::seconds(bytes / 10e9);
+    case Level::Global:
+      // Meta round trip + striped spinning-disk bandwidth.
+      return SimTime::us(100) + SimTime::seconds(bytes / 0.6e9);
+  }
+  return SimTime::zero();
+}
+
+sim::SimTime youngDalyInterval(SimTime checkpointCost, SimTime mtbf) {
+  const double c = checkpointCost.toSeconds();
+  const double m = mtbf.toSeconds();
+  return SimTime::seconds(std::sqrt(2.0 * c * m));
+}
+
+}  // namespace cbsim::scr

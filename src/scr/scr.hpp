@@ -1,0 +1,110 @@
+#pragma once
+
+// Scalable Checkpoint/Restart (paper section III-D; Moody et al. [14]).
+//
+// Multi-level checkpointing over the DEEP-ER memory hierarchy:
+//   L1 Local  — this node's NVMe (fastest, lost with the node),
+//   L2 Buddy  — a partner node's NVMe via the fabric (survives one node),
+//   L3 Global — a SIONlib container on BeeGFS (survives anything),
+//   L4 NAM    — network attached memory, RDMA without remote CPU.
+// Each level runs on its own cadence.  restart() finds the newest step
+// every rank can restore and pulls each rank's state from the fastest
+// level that still holds it.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "io/beegfs.hpp"
+#include "io/local_store.hpp"
+#include "io/nam_store.hpp"
+#include "pmpi/env.hpp"
+
+namespace cbsim::scr {
+
+enum class Level { Local = 1, Buddy = 2, Global = 3, Nam = 4 };
+
+[[nodiscard]] constexpr const char* toString(Level l) {
+  switch (l) {
+    case Level::Local: return "local-nvme";
+    case Level::Buddy: return "buddy-nvme";
+    case Level::Global: return "global-fs";
+    case Level::Nam: return "nam";
+  }
+  return "?";
+}
+
+/// Per-level cadence: take the level's checkpoint every N-th step
+/// (0 disables the level).  The defaults follow the usual multi-level
+/// pattern: cheap levels often, expensive levels rarely.
+struct ScrConfig {
+  int localEvery = 1;
+  int buddyEvery = 4;
+  int globalEvery = 10;
+  int namEvery = 0;
+  std::string prefix = "/scr";
+};
+
+class Scr {
+ public:
+  Scr(hw::Machine& machine, io::BeeGfs& fs, io::LocalStore& local,
+      io::NamStore& nam, ScrConfig cfg = {});
+
+  [[nodiscard]] bool needCheckpoint(int step) const;
+
+  /// Collective over `comm`: writes this rank's `state` to every level due
+  /// at `step`.
+  void checkpoint(pmpi::Env& env, pmpi::Comm comm, int step,
+                  pmpi::ConstBytes state);
+
+  /// Collective: restores the newest step available on every rank.
+  /// Returns the step and fills `state`; nullopt when nothing is
+  /// restorable.
+  std::optional<int> restart(pmpi::Env& env, pmpi::Comm comm,
+                             std::vector<std::byte>& state);
+
+  /// Diagnostics: the most "severe" level any rank needed in the last
+  /// restore (local < NAM < buddy < global).  Monotone across restores.
+  [[nodiscard]] std::optional<Level> lastRestoreLevel() const {
+    return lastRestoreLevel_;
+  }
+
+  struct Stats {
+    std::uint64_t checkpoints = 0;  ///< level-instances written
+    std::uint64_t restarts = 0;
+    double bytesWritten = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Time a single level checkpoint of `bytes` costs (estimation helper
+  /// for interval planning; excludes queueing).
+  [[nodiscard]] sim::SimTime estimateCost(Level l, double bytes) const;
+
+ private:
+  [[nodiscard]] std::string key(int step, int rank) const;
+  [[nodiscard]] int buddyNode(pmpi::Env& env, pmpi::Comm comm);
+  bool tryRestore(pmpi::Env& env, pmpi::Comm comm, int step,
+                  std::vector<std::byte>& state, bool probeOnly);
+  void noteRestoreLevel(Level l);
+
+  hw::Machine& machine_;
+  io::BeeGfs& fs_;
+  io::LocalStore& local_;
+  io::NamStore& nam_;
+  ScrConfig cfg_;
+  /// Steps with at least one completed level instance, and which levels.
+  std::map<int, std::set<Level>> record_;
+  std::map<int, std::vector<int>> commNodes_;  ///< commId -> rank node ids
+  std::optional<Level> lastRestoreLevel_;
+  Stats stats_;
+};
+
+/// Young/Daly optimal checkpoint interval: sqrt(2 * C * MTBF) for
+/// checkpoint cost C << MTBF.
+[[nodiscard]] sim::SimTime youngDalyInterval(sim::SimTime checkpointCost,
+                                             sim::SimTime mtbf);
+
+}  // namespace cbsim::scr

@@ -1,0 +1,217 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cbsim::sim {
+
+// ---------------------------------------------------------------- Process
+
+Process::Process(Engine& engine, std::string name,
+                 std::function<void(Context&)> fn, std::uint64_t id)
+    : engine_(engine), name_(std::move(name)), fn_(std::move(fn)), id_(id) {}
+
+Process::~Process() {
+  // The engine joins threads when reaping / shutting down; this is a last
+  // line of defence so a stray Process never std::terminates the program.
+  if (thread_.joinable()) thread_.join();
+}
+
+void Process::launchThread() {
+  thread_ = std::thread([this] { threadMain(); });
+}
+
+void Process::resumeFromEngine() {
+  std::unique_lock lock(mtx_);
+  runToken_ = true;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return controlToken_; });
+  controlToken_ = false;
+}
+
+void Process::yieldToEngine() {
+  {
+    std::unique_lock lock(mtx_);
+    controlToken_ = true;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return runToken_; });
+    runToken_ = false;
+  }
+  if (cancelRequested_) throw ProcessCancelled{};
+}
+
+void Process::threadMain() {
+  {
+    std::unique_lock lock(mtx_);
+    cv_.wait(lock, [this] { return runToken_; });
+    runToken_ = false;
+  }
+  if (cancelRequested_) {
+    state_ = State::Cancelled;
+  } else {
+    state_ = State::Running;
+    try {
+      Context ctx(engine_, *this);
+      fn_(ctx);
+      state_ = State::Finished;
+    } catch (const ProcessCancelled&) {
+      state_ = State::Cancelled;
+    } catch (const std::exception& e) {
+      state_ = State::Failed;
+      errorMsg_ = e.what();
+    } catch (...) {
+      state_ = State::Failed;
+      errorMsg_ = "unknown exception";
+    }
+  }
+  // Final return of control to the engine.
+  std::unique_lock lock(mtx_);
+  controlToken_ = true;
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------------- Context
+
+SimTime Context::now() const { return engine_.now(); }
+const std::string& Context::name() const { return proc_.name(); }
+
+void Context::delay(SimTime d) {
+  engine_.scheduleResume(proc_, engine_.now() + d);
+  proc_.state_ = Process::State::Runnable;
+  proc_.yieldToEngine();
+}
+
+void Context::suspend() {
+  if (proc_.wakeTokens_ > 0) {
+    --proc_.wakeTokens_;
+    return;
+  }
+  proc_.state_ = Process::State::Suspended;
+  proc_.yieldToEngine();
+}
+
+// ----------------------------------------------------------------- Engine
+
+Engine::Engine() : Engine(0xcb51742a5ce1ull) {}
+Engine::Engine(std::uint64_t rngSeed) : rng_(rngSeed) {}
+
+Engine::~Engine() { shutdownProcesses(); }
+
+void Engine::schedule(SimTime delay, std::function<void()> fn) {
+  scheduleAt(now_ + delay, std::move(fn));
+}
+
+void Engine::scheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) throw std::logic_error("Engine::scheduleAt: time in the past");
+  queue_.push(Event{when, seq_++, std::move(fn), nullptr});
+}
+
+Process& Engine::spawn(std::string name, std::function<void(Context&)> fn) {
+  return spawnAfter(SimTime::zero(), std::move(name), std::move(fn));
+}
+
+Process& Engine::spawnAfter(SimTime startDelay, std::string name,
+                            std::function<void(Context&)> fn) {
+  auto proc = std::unique_ptr<Process>(
+      new Process(*this, std::move(name), std::move(fn), nextProcId_++));
+  Process& ref = *proc;
+  processes_.push_back(std::move(proc));
+  ref.launchThread();
+  scheduleResume(ref, now_ + startDelay);
+  ref.state_ = Process::State::Runnable;
+  return ref;
+}
+
+void Engine::wake(Process& p) {
+  if (!p.live()) return;
+  if (p.state() == Process::State::Suspended) {
+    p.state_ = Process::State::Runnable;
+    scheduleResume(p, now_);
+  } else {
+    ++p.wakeTokens_;
+  }
+}
+
+void Engine::cancel(Process& p) {
+  if (!p.live()) return;
+  p.cancelRequested_ = true;
+  if (p.state() == Process::State::Suspended) {
+    p.state_ = Process::State::Runnable;
+    scheduleResume(p, now_);
+  }
+  // Runnable/Created processes observe the flag at their next resume.
+}
+
+void Engine::scheduleResume(Process& p, SimTime when) {
+  queue_.push(Event{when, seq_++, {}, &p});
+}
+
+RunStats Engine::run() { return runImpl(std::nullopt); }
+RunStats Engine::runUntil(SimTime limit) { return runImpl(limit); }
+
+RunStats Engine::runImpl(std::optional<SimTime> limit) {
+  RunStats stats;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (limit && top.when > *limit) {
+      now_ = *limit;
+      break;
+    }
+    Event ev{top.when, top.seq, std::move(const_cast<Event&>(top).fn), top.proc};
+    queue_.pop();
+    now_ = ev.when;
+    ++stats.eventsProcessed;
+    if (ev.proc != nullptr) {
+      Process& p = *ev.proc;
+      // Stale resume for a process that was woken/cancelled/terminated by
+      // an earlier event at the same timestamp.
+      if (!p.live() || p.state() != Process::State::Runnable) continue;
+      Process* prev = current_;
+      current_ = &p;
+      p.resumeFromEngine();
+      current_ = prev;
+      if (!p.live()) reap(p, stats);
+    } else {
+      ev.fn();
+    }
+  }
+  stats.endTime = now_;
+  for (const auto& p : processes_) {
+    if (p->state() == Process::State::Suspended) {
+      stats.blockedProcesses.push_back(p->name());
+    }
+  }
+  return stats;
+}
+
+void Engine::reap(Process& p, RunStats& stats) {
+  if (p.thread_.joinable()) p.thread_.join();
+  if (p.state() == Process::State::Failed) {
+    const std::string msg = p.name() + ": " + p.errorMessage();
+    if (!collectErrors_) {
+      throw std::runtime_error("process failed: " + msg);
+    }
+    stats.processFailures.push_back(msg);
+  }
+}
+
+std::size_t Engine::liveProcessCount() const {
+  std::size_t n = 0;
+  for (const auto& p : processes_) {
+    if (p->live()) ++n;
+  }
+  return n;
+}
+
+void Engine::shutdownProcesses() {
+  for (auto& p : processes_) {
+    if (p->live()) {
+      p->cancelRequested_ = true;
+      p->resumeFromEngine();
+    }
+    if (p->thread_.joinable()) p->thread_.join();
+  }
+  processes_.clear();
+}
+
+}  // namespace cbsim::sim

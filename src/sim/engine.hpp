@@ -1,0 +1,121 @@
+#pragma once
+
+// Deterministic discrete-event engine.
+//
+// Events are ordered by (time, insertion sequence); ties therefore resolve
+// in schedule order, making every run bit-reproducible.  The engine is not
+// thread-safe in the conventional sense: it relies on the cooperative
+// process handshake (see process.hpp) guaranteeing that only one thread
+// touches engine state at a time.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace cbsim::sim {
+
+/// Result of an Engine::run() call.
+struct RunStats {
+  std::uint64_t eventsProcessed = 0;
+  SimTime endTime = SimTime::zero();
+  /// Names of processes still blocked when the event queue drained.
+  /// Non-empty means the simulation deadlocked.
+  std::vector<std::string> blockedProcesses;
+  /// "name: message" for every process that terminated with an exception.
+  std::vector<std::string> processFailures;
+
+  [[nodiscard]] bool deadlocked() const { return !blockedProcesses.empty(); }
+};
+
+class Engine {
+ public:
+  Engine();
+  explicit Engine(std::uint64_t rngSeed);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Schedules `fn` to run `delay` after the current simulated time.
+  void schedule(SimTime delay, std::function<void()> fn);
+  /// Schedules `fn` at the absolute simulated time `when` (>= now()).
+  void scheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Creates a process and schedules its first run at the current time.
+  Process& spawn(std::string name, std::function<void(Context&)> fn);
+  /// Creates a process whose first run happens `startDelay` from now.
+  Process& spawnAfter(SimTime startDelay, std::string name,
+                      std::function<void(Context&)> fn);
+
+  /// Delivers a wake to `p` (see Context::suspend for semantics).
+  /// Ignored if the process already terminated.
+  void wake(Process& p);
+
+  /// Requests cooperative termination of `p`: the next time it would run,
+  /// ProcessCancelled is raised inside it.  Used for failure injection.
+  void cancel(Process& p);
+
+  /// Runs until the event queue is empty.  Throws std::runtime_error on the
+  /// first failed process unless setCollectProcessErrors(true) was called,
+  /// in which case failures are reported in RunStats::processFailures.
+  RunStats run();
+  /// Runs until the queue is empty or simulated time would exceed `limit`.
+  RunStats runUntil(SimTime limit);
+
+  void setCollectProcessErrors(bool collect) { collectErrors_ = collect; }
+
+  /// Cancels and joins every live process.  Owners of process bodies
+  /// (e.g. the pmpi Runtime) call this from their destructor so no process
+  /// can outlive state its closures reference.  Idempotent.
+  void shutdown() { shutdownProcesses(); }
+
+  /// Process currently executing, or nullptr when inside a plain event
+  /// callback / outside run().
+  [[nodiscard]] Process* currentProcess() const { return current_; }
+
+  /// Number of processes that have not yet terminated.
+  [[nodiscard]] std::size_t liveProcessCount() const;
+
+ private:
+  friend class Context;
+  friend class Process;
+
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;  // empty when proc != nullptr
+    Process* proc = nullptr;   // process to resume
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void scheduleResume(Process& p, SimTime when);
+  RunStats runImpl(std::optional<SimTime> limit);
+  void reap(Process& p, RunStats& stats);
+  void shutdownProcesses();
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  Process* current_ = nullptr;
+  Rng rng_;
+  bool collectErrors_ = false;
+  std::uint64_t nextProcId_ = 1;
+};
+
+}  // namespace cbsim::sim

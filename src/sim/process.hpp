@@ -1,0 +1,116 @@
+#pragma once
+
+// Cooperative simulated processes.
+//
+// A Process is user code (an arbitrary callable) that runs against simulated
+// time: it can delay(), suspend() until woken, and exchange control with the
+// Engine's event loop.  Exactly one thread — either the engine's caller or
+// one process — runs at any instant; processes are backed by OS threads only
+// to get independent stacks, and a strict token handshake serializes them.
+// This gives blocking-call semantics (natural for an MPI-like library) with
+// fully deterministic scheduling.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "sim/time.hpp"
+
+namespace cbsim::sim {
+
+class Engine;
+class Process;
+
+/// Thrown inside a process when the engine cancels it (e.g. engine
+/// destruction, or failure injection).  Process code must let it propagate.
+struct ProcessCancelled {};
+
+/// Handle passed to process code; the only sanctioned way for process code
+/// to interact with simulated time.
+class Context {
+ public:
+  Context(Engine& engine, Process& proc) : engine_(engine), proc_(proc) {}
+
+  [[nodiscard]] Engine& engine() const { return engine_; }
+  [[nodiscard]] Process& process() const { return proc_; }
+  [[nodiscard]] SimTime now() const;
+  [[nodiscard]] const std::string& name() const;
+
+  /// Advances this process's simulated clock by `d`.
+  void delay(SimTime d);
+
+  /// Blocks until another party calls Engine::wake() on this process.
+  /// Wakes are counted: a wake delivered while the process is runnable is
+  /// consumed by the next suspend() instead of being lost.  Callers should
+  /// re-check their wait condition in a loop (wakes may be "spurious" when
+  /// a process waits on several completion flags over its lifetime).
+  void suspend();
+
+ private:
+  Engine& engine_;
+  Process& proc_;
+};
+
+class Process {
+ public:
+  enum class State {
+    Created,    ///< thread launched, never scheduled yet
+    Runnable,   ///< resume event in the queue
+    Running,    ///< currently executing user code
+    Suspended,  ///< blocked in Context::suspend() awaiting a wake
+    Finished,   ///< user function returned
+    Cancelled,  ///< terminated via ProcessCancelled
+    Failed,     ///< user function threw
+  };
+
+  ~Process();
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] bool live() const {
+    return state_ != State::Finished && state_ != State::Cancelled &&
+           state_ != State::Failed;
+  }
+  [[nodiscard]] const std::string& errorMessage() const { return errorMsg_; }
+
+ private:
+  friend class Engine;
+  friend class Context;
+
+  Process(Engine& engine, std::string name, std::function<void(Context&)> fn,
+          std::uint64_t id);
+
+  void launchThread();
+  /// Engine side: hand the run token to the process and block until it
+  /// yields control back.  Pre: current thread is the engine's driver.
+  void resumeFromEngine();
+  /// Process side: hand control back to the engine and block until resumed.
+  /// Throws ProcessCancelled if cancellation was requested meanwhile.
+  void yieldToEngine();
+  void threadMain();
+
+  Engine& engine_;
+  std::string name_;
+  std::function<void(Context&)> fn_;
+  std::uint64_t id_;
+
+  State state_ = State::Created;
+  bool cancelRequested_ = false;
+  std::uint64_t wakeTokens_ = 0;  ///< wakes delivered while not suspended
+  std::string errorMsg_;
+
+  // Handshake: exactly one of {engine driver, this process} holds a token.
+  std::mutex mtx_;
+  std::condition_variable cv_;
+  bool runToken_ = false;      // engine -> process
+  bool controlToken_ = false;  // process -> engine
+  std::thread thread_;
+};
+
+}  // namespace cbsim::sim

@@ -1,0 +1,33 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+namespace cbsim::sim {
+
+double Rng::normal() {
+  if (haveSpare_) {
+    haveSpare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double f = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * f;
+  haveSpare_ = true;
+  return u * f;
+}
+
+double Rng::exponential(double rate) {
+  // Inversion; guard the log argument away from zero.
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+}  // namespace cbsim::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+// Deterministic, seedable PRNG for simulation components.
+//
+// xoshiro256** seeded through SplitMix64: fast, high-quality, and —
+// unlike std::mt19937 distributions — fully reproducible across standard
+// library implementations, which matters for cross-checking benchmark
+// tables between machines.
+
+#include <array>
+#include <cstdint>
+
+namespace cbsim::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of a single 64-bit seed into xoshiro state.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Plain modulo; the bias (< n / 2^64) is irrelevant for simulation
+    // workloads and avoids non-standard 128-bit arithmetic.
+    return next() % n;
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with given rate (mean 1/rate). Used by failure models.
+  double exponential(double rate);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+  bool haveSpare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace cbsim::sim

@@ -1,0 +1,35 @@
+#include "sim/trigger.hpp"
+
+#include <algorithm>
+
+namespace cbsim::sim {
+
+void Trigger::wait(Context& ctx) {
+  WaitNode node{&ctx.process()};
+  waiters_.push_back(&node);
+  struct Unlink {  // cancellation safety: never leave a dangling node behind
+    std::deque<WaitNode*>& list;
+    WaitNode* node;
+    ~Unlink() {
+      auto it = std::find(list.begin(), list.end(), node);
+      if (it != list.end()) list.erase(it);
+    }
+  } unlink{waiters_, &node};
+  while (!node.fired) ctx.suspend();
+}
+
+bool Trigger::fire() {
+  if (waiters_.empty()) return false;
+  WaitNode* node = waiters_.front();
+  waiters_.pop_front();
+  node->fired = true;
+  engine_.wake(*node->proc);
+  return true;
+}
+
+void Trigger::broadcast() {
+  while (fire()) {
+  }
+}
+
+}  // namespace cbsim::sim

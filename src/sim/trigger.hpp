@@ -1,0 +1,43 @@
+#pragma once
+
+// Condition-variable analogue for simulated processes.
+//
+// A Trigger is the rendezvous point between process code that needs to wait
+// for a condition and event/process code that establishes it.  Waiters are
+// woken in FIFO order for determinism.  Waiting is cancellation-safe: if a
+// waiting process is cancelled, its wait node is unlinked during unwinding.
+
+#include <deque>
+
+#include "sim/engine.hpp"
+
+namespace cbsim::sim {
+
+class Trigger {
+ public:
+  explicit Trigger(Engine& engine) : engine_(engine) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  /// Blocks the calling process until fire()/broadcast() reaches it.
+  void wait(Context& ctx);
+
+  /// Wakes the oldest waiter, if any. Returns true if a waiter was woken.
+  bool fire();
+
+  /// Wakes all current waiters.
+  void broadcast();
+
+  [[nodiscard]] std::size_t waiterCount() const { return waiters_.size(); }
+
+ private:
+  struct WaitNode {
+    Process* proc;
+    bool fired = false;
+  };
+
+  Engine& engine_;
+  std::deque<WaitNode*> waiters_;
+};
+
+}  // namespace cbsim::sim

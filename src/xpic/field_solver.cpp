@@ -1,0 +1,161 @@
+#include "xpic/field_solver.hpp"
+
+#include <cmath>
+
+#include "xpic/workmodel.hpp"
+
+namespace cbsim::xpic {
+
+namespace {
+
+Field2D makeLocal(const Grid2D& g) { return Field2D(g.lnx(), g.lny()); }
+
+}  // namespace
+
+FieldSolver::FieldSolver(const XpicConfig& cfg, const Grid2D& g)
+    : cfg_(cfg),
+      g_(g),
+      eOld_{makeLocal(g), makeLocal(g), makeLocal(g)},
+      rhs_{makeLocal(g), makeLocal(g), makeLocal(g)},
+      r_{makeLocal(g), makeLocal(g), makeLocal(g)},
+      p_{makeLocal(g), makeLocal(g), makeLocal(g)},
+      ap_{makeLocal(g), makeLocal(g), makeLocal(g)} {}
+
+void FieldSolver::applyOperator(const FieldArrays& f,
+                                std::array<Field2D, 3>& in,
+                                std::array<Field2D, 3>& out,
+                                HaloExchanger& halo) {
+  halo.exchange({&in[0], &in[1], &in[2]});
+  const double cx = 1.0 / (g_.dx() * g_.dx());
+  const double cy = 1.0 / (g_.dy() * g_.dy());
+  const double k = cfg_.theta * cfg_.dt;
+  const double k2 = k * k;
+  for (int c = 0; c < 3; ++c) {
+    const Field2D& u = in[static_cast<std::size_t>(c)];
+    Field2D& v = out[static_cast<std::size_t>(c)];
+    for (int j = 1; j <= g_.lny(); ++j) {
+      for (int i = 1; i <= g_.lnx(); ++i) {
+        const double lap = cx * (u.at(i - 1, j) - 2 * u.at(i, j) + u.at(i + 1, j)) +
+                           cy * (u.at(i, j - 1) - 2 * u.at(i, j) + u.at(i, j + 1));
+        v.at(i, j) = (1.0 + f.chi.at(i, j)) * u.at(i, j) - k2 * lap;
+      }
+    }
+  }
+}
+
+double FieldSolver::dot3(const std::array<Field2D, 3>& a,
+                         const std::array<Field2D, 3>& b) const {
+  double s = 0;
+  for (int c = 0; c < 3; ++c) {
+    s += interiorDot(a[static_cast<std::size_t>(c)], b[static_cast<std::size_t>(c)]);
+  }
+  return s;
+}
+
+int FieldSolver::calculateE(FieldArrays& f, HaloExchanger& halo,
+                            pmpi::Env& env, pmpi::Comm comm) {
+  const double k = cfg_.theta * cfg_.dt;
+  const double idx2 = 0.5 / g_.dx();
+  const double idy2 = 0.5 / g_.dy();
+
+  // RHS: E^n + theta dt (curl B^n - J).  Needs valid B ghosts.
+  halo.exchange({&f.bx, &f.by, &f.bz});
+  std::array<Field2D*, 3> e = {&f.ex, &f.ey, &f.ez};
+  for (int j = 1; j <= g_.lny(); ++j) {
+    for (int i = 1; i <= g_.lnx(); ++i) {
+      const double curlBx = idy2 * (f.bz.at(i, j + 1) - f.bz.at(i, j - 1));
+      const double curlBy = -idx2 * (f.bz.at(i + 1, j) - f.bz.at(i - 1, j));
+      const double curlBz = idx2 * (f.by.at(i + 1, j) - f.by.at(i - 1, j)) -
+                            idy2 * (f.bx.at(i, j + 1) - f.bx.at(i, j - 1));
+      rhs_[0].at(i, j) = f.ex.at(i, j) + k * (curlBx - f.jx.at(i, j));
+      rhs_[1].at(i, j) = f.ey.at(i, j) + k * (curlBy - f.jy.at(i, j));
+      rhs_[2].at(i, j) = f.ez.at(i, j) + k * (curlBz - f.jz.at(i, j));
+    }
+  }
+  env.compute(workmodel::curlUpdate(static_cast<double>(g_.lnx()) * g_.lny()));
+
+  // Save E^n and warm-start the CG from it.
+  for (int c = 0; c < 3; ++c) {
+    eOld_[static_cast<std::size_t>(c)] = *e[static_cast<std::size_t>(c)];
+  }
+
+  // r = rhs - A e0; p = r.
+  applyOperator(f, eOld_, ap_, halo);
+  for (int c = 0; c < 3; ++c) {
+    Field2D& rc = r_[static_cast<std::size_t>(c)];
+    rc = rhs_[static_cast<std::size_t>(c)];
+    interiorAxpy(rc, -1.0, ap_[static_cast<std::size_t>(c)]);
+    p_[static_cast<std::size_t>(c)] = rc;
+  }
+
+  double rr = env.allreduceValue(comm, dot3(r_, r_), pmpi::Op::Sum);
+  const double rr0 = rr;
+  const double tol2 = cfg_.cgTol * cfg_.cgTol * std::max(rr0, 1e-300);
+
+  std::array<Field2D, 3> x = eOld_;
+  int it = 0;
+  const double cells = static_cast<double>(g_.lnx()) * g_.lny();
+  for (; it < cfg_.cgMaxIter && rr > tol2; ++it) {
+    applyOperator(f, p_, ap_, halo);
+    const double pap = env.allreduceValue(comm, dot3(p_, ap_), pmpi::Op::Sum);
+    const double alpha = rr / pap;
+    for (int c = 0; c < 3; ++c) {
+      interiorAxpy(x[static_cast<std::size_t>(c)], alpha, p_[static_cast<std::size_t>(c)]);
+      interiorAxpy(r_[static_cast<std::size_t>(c)], -alpha, ap_[static_cast<std::size_t>(c)]);
+    }
+    const double rrNew = env.allreduceValue(comm, dot3(r_, r_), pmpi::Op::Sum);
+    const double beta = rrNew / rr;
+    rr = rrNew;
+    for (int c = 0; c < 3; ++c) {
+      Field2D& pc = p_[static_cast<std::size_t>(c)];
+      for (int j = 1; j <= g_.lny(); ++j) {
+        for (int i = 1; i <= g_.lnx(); ++i) {
+          pc.at(i, j) = r_[static_cast<std::size_t>(c)].at(i, j) + beta * pc.at(i, j);
+        }
+      }
+    }
+    env.compute(workmodel::cgIteration(cells));
+  }
+  lastResidual_ = std::sqrt(rr / std::max(rr0, 1e-300));
+  totalIters_ += it;
+
+  for (int c = 0; c < 3; ++c) {
+    *e[static_cast<std::size_t>(c)] = x[static_cast<std::size_t>(c)];
+  }
+  halo.exchange({&f.ex, &f.ey, &f.ez});
+  return it;
+}
+
+void FieldSolver::calculateB(FieldArrays& f, HaloExchanger& halo,
+                             pmpi::Env& env) {
+  const double idx2 = 0.5 / g_.dx();
+  const double idy2 = 0.5 / g_.dy();
+  // E ghosts are fresh from the end of calculateE (E^{n+theta}).
+  for (int j = 1; j <= g_.lny(); ++j) {
+    for (int i = 1; i <= g_.lnx(); ++i) {
+      const double curlEx = idy2 * (f.ez.at(i, j + 1) - f.ez.at(i, j - 1));
+      const double curlEy = -idx2 * (f.ez.at(i + 1, j) - f.ez.at(i - 1, j));
+      const double curlEz = idx2 * (f.ey.at(i + 1, j) - f.ey.at(i - 1, j)) -
+                            idy2 * (f.ex.at(i, j + 1) - f.ex.at(i, j - 1));
+      f.bx.at(i, j) -= cfg_.dt * curlEx;
+      f.by.at(i, j) -= cfg_.dt * curlEy;
+      f.bz.at(i, j) -= cfg_.dt * curlEz;
+    }
+  }
+  // De-center: E^{n+1} = (E^{n+theta} - (1-theta) E^n) / theta.
+  const double th = cfg_.theta;
+  std::array<Field2D*, 3> e = {&f.ex, &f.ey, &f.ez};
+  for (int c = 0; c < 3; ++c) {
+    Field2D& ec = *e[static_cast<std::size_t>(c)];
+    const Field2D& eo = eOld_[static_cast<std::size_t>(c)];
+    for (int j = 1; j <= g_.lny(); ++j) {
+      for (int i = 1; i <= g_.lnx(); ++i) {
+        ec.at(i, j) = (ec.at(i, j) - (1.0 - th) * eo.at(i, j)) / th;
+      }
+    }
+  }
+  halo.exchange({&f.ex, &f.ey, &f.ez, &f.bx, &f.by, &f.bz});
+  env.compute(workmodel::curlUpdate(static_cast<double>(g_.lnx()) * g_.lny()));
+}
+
+}  // namespace cbsim::xpic

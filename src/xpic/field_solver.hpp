@@ -1,0 +1,54 @@
+#pragma once
+
+// Implicit Maxwell field solver (the paper's "fld" code part).
+//
+// theta-scheme with the grad-div term dropped (Helmholtz form): solve
+//   (1 + chi - (theta dt)^2 Lap) E^{n+theta} = E^n + theta dt (curl B^n - J)
+// with CG (the operator is SPD), then
+//   B^{n+1} = B^n - dt curl E^{n+theta},
+//   E^{n+1} = (E^{n+theta} - (1-theta) E^n) / theta.
+//
+// Each CG iteration performs one batched halo exchange and one global
+// allreduce-based dot product — the "substantial and frequent global
+// communication" that makes this solver fit the Cluster (section IV-C).
+
+#include <array>
+
+#include "pmpi/env.hpp"
+#include "xpic/config.hpp"
+#include "xpic/fields.hpp"
+#include "xpic/halo.hpp"
+
+namespace cbsim::xpic {
+
+class FieldSolver {
+ public:
+  FieldSolver(const XpicConfig& cfg, const Grid2D& g);
+
+  /// Solves for E^{n+theta}, stores it in f.ex/ey/ez (ghosts refreshed) and
+  /// remembers E^n for the de-centering in calculateB.  Charges simulated
+  /// work per CG iteration.  Returns the iteration count.
+  int calculateE(FieldArrays& f, HaloExchanger& halo, pmpi::Env& env,
+                 pmpi::Comm comm);
+
+  /// Advances B with curl E^{n+theta} and de-centers E to E^{n+1}.
+  void calculateB(FieldArrays& f, HaloExchanger& halo, pmpi::Env& env);
+
+  [[nodiscard]] int totalCgIterations() const { return totalIters_; }
+  [[nodiscard]] double lastResidual() const { return lastResidual_; }
+
+ private:
+  /// out = (1 + chi) in - (theta dt)^2 Lap(in); exchanges in's ghosts.
+  void applyOperator(const FieldArrays& f, std::array<Field2D, 3>& in,
+                     std::array<Field2D, 3>& out, HaloExchanger& halo);
+  [[nodiscard]] double dot3(const std::array<Field2D, 3>& a,
+                            const std::array<Field2D, 3>& b) const;
+
+  XpicConfig cfg_;
+  const Grid2D& g_;
+  std::array<Field2D, 3> eOld_, rhs_, r_, p_, ap_;
+  int totalIters_ = 0;
+  double lastResidual_ = 0.0;
+};
+
+}  // namespace cbsim::xpic

@@ -1,0 +1,72 @@
+#include "xpic/grid.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace cbsim::xpic {
+
+Decomposition Decomposition::make(int ranks, int nx, int ny) {
+  Decomposition d;
+  d.px = 0;  // provably overwritten: px = ranks, py = 1 always qualifies
+             // for the grids we accept (validated below)
+  // Pick the most square factorization whose factors divide the grid.
+  int bestScore = std::numeric_limits<int>::min();
+  for (int px = 1; px <= ranks; ++px) {
+    if (ranks % px != 0) continue;
+    const int py = ranks / px;
+    if (nx % px != 0 || ny % py != 0) continue;
+    // Prefer balanced factors (minimize |px - py|); tie-break on px >= py.
+    const int score = -std::abs(px - py) * 2 + (px >= py ? 1 : 0);
+    if (score > bestScore) {
+      bestScore = score;
+      d.px = px;
+      d.py = py;
+    }
+  }
+  if (d.px * d.py != ranks) {
+    throw std::invalid_argument(
+        "Decomposition: no factorization of the rank count divides the grid");
+  }
+  return d;
+}
+
+Grid2D::Grid2D(const XpicConfig& cfg, int ranks, int rank) : rank_(rank) {
+  const Decomposition d = Decomposition::make(ranks, cfg.nx, cfg.ny);
+  px_ = d.px;
+  py_ = d.py;
+  cx_ = rank % px_;
+  cy_ = rank / px_;
+  lnx_ = cfg.nx / px_;
+  lny_ = cfg.ny / py_;
+  x0_ = cx_ * lnx_;
+  y0_ = cy_ * lny_;
+  dx_ = cfg.dx();
+  dy_ = cfg.dy();
+  lxg_ = cfg.lx;
+  lyg_ = cfg.ly;
+}
+
+int Grid2D::neighbour(int dxBlock, int dyBlock) const {
+  const int nx = (cx_ + dxBlock + px_) % px_;
+  const int ny = (cy_ + dyBlock + py_) % py_;
+  return ny * px_ + nx;
+}
+
+double interiorDot(const Field2D& a, const Field2D& b) {
+  assert(a.lnx() == b.lnx() && a.lny() == b.lny());
+  double s = 0;
+  for (int j = 1; j <= a.lny(); ++j) {
+    for (int i = 1; i <= a.lnx(); ++i) s += a.at(i, j) * b.at(i, j);
+  }
+  return s;
+}
+
+void interiorAxpy(Field2D& y, double alpha, const Field2D& x) {
+  assert(y.lnx() == x.lnx() && y.lny() == x.lny());
+  for (int j = 1; j <= y.lny(); ++j) {
+    for (int i = 1; i <= y.lnx(); ++i) y.at(i, j) += alpha * x.at(i, j);
+  }
+}
+
+}  // namespace cbsim::xpic

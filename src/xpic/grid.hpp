@@ -1,0 +1,104 @@
+#pragma once
+
+// Domain decomposition and ghost-padded 2D field storage.
+//
+// The global nx x ny periodic grid is split into a px x py process grid;
+// every rank owns a block plus a one-cell ghost ring.  Decomposition is a
+// pure function of (ranks, nx, ny) so the field job and the particle job of
+// a partitioned run derive identical layouts independently.
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "xpic/config.hpp"
+
+namespace cbsim::xpic {
+
+/// Process-grid factorization: as square as possible, px >= py,
+/// px divides nx and py divides ny (callers use power-of-two rank counts).
+struct Decomposition {
+  int px = 1;
+  int py = 1;
+
+  static Decomposition make(int ranks, int nx, int ny);
+};
+
+/// One rank's view of the global grid.
+class Grid2D {
+ public:
+  Grid2D(const XpicConfig& cfg, int ranks, int rank);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int ranks() const { return px_ * py_; }
+  [[nodiscard]] int px() const { return px_; }
+  [[nodiscard]] int py() const { return py_; }
+  [[nodiscard]] int cx() const { return cx_; }  ///< my process-grid column
+  [[nodiscard]] int cy() const { return cy_; }  ///< my process-grid row
+
+  [[nodiscard]] int lnx() const { return lnx_; }  ///< local interior cells in x
+  [[nodiscard]] int lny() const { return lny_; }
+  [[nodiscard]] int x0() const { return x0_; }    ///< global index of first interior cell
+  [[nodiscard]] int y0() const { return y0_; }
+  [[nodiscard]] double dx() const { return dx_; }
+  [[nodiscard]] double dy() const { return dy_; }
+  [[nodiscard]] double xMin() const { return x0_ * dx_; }
+  [[nodiscard]] double yMin() const { return y0_ * dy_; }
+  [[nodiscard]] double xMax() const { return (x0_ + lnx_) * dx_; }
+  [[nodiscard]] double yMax() const { return (y0_ + lny_) * dy_; }
+  [[nodiscard]] double lxGlobal() const { return lxg_; }
+  [[nodiscard]] double lyGlobal() const { return lyg_; }
+
+  /// Rank of the neighbour block offset by (dxBlock, dyBlock), periodic.
+  [[nodiscard]] int neighbour(int dxBlock, int dyBlock) const;
+
+ private:
+  int rank_, px_, py_, cx_, cy_;
+  int lnx_, lny_, x0_, y0_;
+  double dx_, dy_, lxg_, lyg_;
+};
+
+/// Scalar field on a rank's block with a one-cell ghost ring.
+/// Interior cells are (1..lnx, 1..lny) in padded coordinates.
+class Field2D {
+ public:
+  Field2D() = default;
+  Field2D(int lnx, int lny)
+      : lnx_(lnx), lny_(lny), data_(static_cast<std::size_t>((lnx + 2) * (lny + 2)), 0.0) {}
+
+  [[nodiscard]] int lnx() const { return lnx_; }
+  [[nodiscard]] int lny() const { return lny_; }
+
+  /// Padded access: i in [0, lnx+1], j in [0, lny+1].
+  [[nodiscard]] double& at(int i, int j) {
+    return data_[static_cast<std::size_t>(j * (lnx_ + 2) + i)];
+  }
+  [[nodiscard]] double at(int i, int j) const {
+    return data_[static_cast<std::size_t>(j * (lnx_ + 2) + i)];
+  }
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+  [[nodiscard]] double interiorSum() const {
+    double s = 0;
+    for (int j = 1; j <= lny_; ++j) {
+      for (int i = 1; i <= lnx_; ++i) s += at(i, j);
+    }
+    return s;
+  }
+
+  [[nodiscard]] std::vector<double>& raw() { return data_; }
+  [[nodiscard]] const std::vector<double>& raw() const { return data_; }
+
+ private:
+  int lnx_ = 0, lny_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dot product over interior cells (CG building block).
+[[nodiscard]] double interiorDot(const Field2D& a, const Field2D& b);
+
+/// y += alpha * x over interior cells.
+void interiorAxpy(Field2D& y, double alpha, const Field2D& x);
+
+}  // namespace cbsim::xpic

@@ -1,0 +1,164 @@
+#include "xpic/halo.hpp"
+
+#include <array>
+
+namespace cbsim::xpic {
+
+namespace {
+
+/// Strip descriptors in padded coordinates.
+struct Strip {
+  int i0, i1, j0, j1;  ///< inclusive ranges
+  [[nodiscard]] std::size_t count() const {
+    return static_cast<std::size_t>((i1 - i0 + 1) * (j1 - j0 + 1));
+  }
+};
+
+void pack(const std::vector<Field2D*>& fs, const Strip& s,
+          std::vector<double>& buf) {
+  buf.clear();
+  for (const Field2D* f : fs) {
+    for (int j = s.j0; j <= s.j1; ++j) {
+      for (int i = s.i0; i <= s.i1; ++i) buf.push_back(f->at(i, j));
+    }
+  }
+}
+
+void unpack(const std::vector<Field2D*>& fs, const Strip& s,
+            const std::vector<double>& buf, bool add) {
+  std::size_t k = 0;
+  for (Field2D* f : fs) {
+    for (int j = s.j0; j <= s.j1; ++j) {
+      for (int i = s.i0; i <= s.i1; ++i, ++k) {
+        if (add) {
+          f->at(i, j) += buf[k];
+        } else {
+          f->at(i, j) = buf[k];
+        }
+      }
+    }
+  }
+}
+
+void copyStrip(const std::vector<Field2D*>& fs, const Strip& from,
+               const Strip& to, bool add) {
+  for (Field2D* f : fs) {
+    for (int dj = 0; dj <= from.j1 - from.j0; ++dj) {
+      for (int di = 0; di <= from.i1 - from.i0; ++di) {
+        double& dst = f->at(to.i0 + di, to.j0 + dj);
+        const double v = f->at(from.i0 + di, from.j0 + dj);
+        if (add) {
+          dst += v;
+        } else {
+          dst = v;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void HaloExchanger::exchange(std::initializer_list<Field2D*> fields) {
+  const std::vector<Field2D*> fs(fields);
+  lastMsgs_ = 0;
+  exchangeAxis(fs, Axis::X);
+  exchangeAxis(fs, Axis::Y);
+}
+
+void HaloExchanger::accumulate(std::initializer_list<Field2D*> fields) {
+  const std::vector<Field2D*> fs(fields);
+  lastMsgs_ = 0;
+  accumulateAxis(fs, Axis::Y);
+  accumulateAxis(fs, Axis::X);
+}
+
+void HaloExchanger::exchangeAxis(const std::vector<Field2D*>& fs, Axis axis) {
+  const int lnx = grid_.lnx();
+  const int lny = grid_.lny();
+  const bool x = axis == Axis::X;
+  // X phase moves interior rows only; Y phase carries the freshly filled x
+  // ghosts along, which is what populates the corners.
+  const Strip sendLow = x ? Strip{1, 1, 1, lny} : Strip{0, lnx + 1, 1, 1};
+  const Strip sendHigh = x ? Strip{lnx, lnx, 1, lny} : Strip{0, lnx + 1, lny, lny};
+  const Strip ghostLow = x ? Strip{0, 0, 1, lny} : Strip{0, lnx + 1, 0, 0};
+  const Strip ghostHigh =
+      x ? Strip{lnx + 1, lnx + 1, 1, lny} : Strip{0, lnx + 1, lny + 1, lny + 1};
+  const int low = x ? grid_.neighbour(-1, 0) : grid_.neighbour(0, -1);
+  const int high = x ? grid_.neighbour(+1, 0) : grid_.neighbour(0, +1);
+  const int tagLow = x ? kTagXLow : kTagYLow;
+  const int tagHigh = x ? kTagXHigh : kTagYHigh;
+
+  if (low == grid_.rank()) {  // periodic wrap onto this rank
+    copyStrip(fs, sendHigh, ghostLow, /*add=*/false);
+    copyStrip(fs, sendLow, ghostHigh, /*add=*/false);
+    return;
+  }
+
+  std::vector<double> outLow, outHigh;
+  pack(fs, sendLow, outLow);
+  pack(fs, sendHigh, outHigh);
+  std::vector<double> inLow(fs.size() * ghostLow.count());
+  std::vector<double> inHigh(fs.size() * ghostHigh.count());
+
+  // Ghost-low is filled by the low neighbour's high edge and vice versa.
+  const pmpi::Request rLow =
+      env_.irecv(comm_, low, tagHigh, std::span<double>(inLow));
+  const pmpi::Request rHigh =
+      env_.irecv(comm_, high, tagLow, std::span<double>(inHigh));
+  env_.send(comm_, low, tagLow, std::span<const double>(outLow));
+  env_.send(comm_, high, tagHigh, std::span<const double>(outHigh));
+  env_.wait(rLow);
+  env_.wait(rHigh);
+  lastMsgs_ += 2;
+
+  unpack(fs, ghostLow, inLow, /*add=*/false);
+  unpack(fs, ghostHigh, inHigh, /*add=*/false);
+}
+
+void HaloExchanger::accumulateAxis(const std::vector<Field2D*>& fs, Axis axis) {
+  const int lnx = grid_.lnx();
+  const int lny = grid_.lny();
+  const bool x = axis == Axis::X;
+  // Y phase moves full padded rows (corners ride along into the x ghosts,
+  // which the subsequent X phase delivers); X phase moves interior rows.
+  const Strip ghostLow = x ? Strip{0, 0, 1, lny} : Strip{0, lnx + 1, 0, 0};
+  const Strip ghostHigh =
+      x ? Strip{lnx + 1, lnx + 1, 1, lny} : Strip{0, lnx + 1, lny + 1, lny + 1};
+  const Strip addLow = x ? Strip{1, 1, 1, lny} : Strip{0, lnx + 1, 1, 1};
+  const Strip addHigh = x ? Strip{lnx, lnx, 1, lny} : Strip{0, lnx + 1, lny, lny};
+  const int low = x ? grid_.neighbour(-1, 0) : grid_.neighbour(0, -1);
+  const int high = x ? grid_.neighbour(+1, 0) : grid_.neighbour(0, +1);
+  const int tagLow = x ? kTagAccXLow : kTagAccYLow;
+  const int tagHigh = x ? kTagAccXHigh : kTagAccYHigh;
+
+  if (low == grid_.rank()) {
+    copyStrip(fs, ghostLow, addHigh, /*add=*/true);
+    copyStrip(fs, ghostHigh, addLow, /*add=*/true);
+    return;
+  }
+
+  std::vector<double> outLow, outHigh;
+  pack(fs, ghostLow, outLow);
+  pack(fs, ghostHigh, outHigh);
+  std::vector<double> inLow(fs.size() * ghostLow.count());
+  std::vector<double> inHigh(fs.size() * ghostHigh.count());
+
+  // My low ghost belongs to the low neighbour's high interior edge.
+  const pmpi::Request rLow =
+      env_.irecv(comm_, low, tagHigh, std::span<double>(inLow));
+  const pmpi::Request rHigh =
+      env_.irecv(comm_, high, tagLow, std::span<double>(inHigh));
+  env_.send(comm_, low, tagLow, std::span<const double>(outLow));
+  env_.send(comm_, high, tagHigh, std::span<const double>(outHigh));
+  env_.wait(rLow);
+  env_.wait(rHigh);
+  lastMsgs_ += 2;
+
+  // Incoming from low = their high ghost -> my low interior edge, and
+  // vice versa.
+  unpack(fs, addLow, inLow, /*add=*/true);
+  unpack(fs, addHigh, inHigh, /*add=*/true);
+}
+
+}  // namespace cbsim::xpic

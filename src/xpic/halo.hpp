@@ -1,0 +1,64 @@
+#pragma once
+
+// Ghost-ring communication for block-decomposed fields.
+//
+// exchange():   fill each field's ghost ring from the neighbours' interiors
+//               (x phase then y phase; the y phase carries the x ghosts, so
+//               corners arrive correctly).
+// accumulate(): the reverse operation used after particle deposition — ghost
+//               contributions are shipped to the owning neighbour and added
+//               into its interior (y phase first, then x).
+//
+// Self-neighbours (px == 1 or py == 1, periodic wrap onto the same rank) are
+// handled by direct copy, never through the message layer.
+
+#include <initializer_list>
+#include <vector>
+
+#include "pmpi/env.hpp"
+#include "xpic/grid.hpp"
+
+namespace cbsim::xpic {
+
+class HaloExchanger {
+ public:
+  HaloExchanger(pmpi::Env& env, pmpi::Comm comm, const Grid2D& grid)
+      : env_(env), comm_(comm), grid_(grid) {}
+
+  /// Ghost fill for a batch of fields (one message per direction for the
+  /// whole batch — fewer, larger messages, like a production halo layer).
+  void exchange(std::initializer_list<Field2D*> fields);
+  void exchange(Field2D& f) { exchange({&f}); }
+
+  /// Reverse halo: add ghost-cell deposits into the owning interiors.
+  void accumulate(std::initializer_list<Field2D*> fields);
+  void accumulate(Field2D& f) { accumulate({&f}); }
+
+  /// Messages sent by the last operation (0 when all neighbours are self).
+  [[nodiscard]] int lastMessageCount() const { return lastMsgs_; }
+
+ private:
+  enum class Axis { X, Y };
+  /// One axis of ghost fill: send the interior edge, receive into ghosts.
+  void exchangeAxis(const std::vector<Field2D*>& fs, Axis axis);
+  /// One axis of reverse halo: send ghosts, add into interior edge.
+  void accumulateAxis(const std::vector<Field2D*>& fs, Axis axis);
+
+  pmpi::Env& env_;
+  pmpi::Comm comm_;
+  const Grid2D& grid_;
+  int lastMsgs_ = 0;
+
+  // Distinct tag blocks per direction; must stay below Env's collective
+  // tag base.
+  static constexpr int kTagXLow = 101;
+  static constexpr int kTagXHigh = 102;
+  static constexpr int kTagYLow = 103;
+  static constexpr int kTagYHigh = 104;
+  static constexpr int kTagAccXLow = 105;
+  static constexpr int kTagAccXHigh = 106;
+  static constexpr int kTagAccYLow = 107;
+  static constexpr int kTagAccYHigh = 108;
+};
+
+}  // namespace cbsim::xpic

@@ -1,0 +1,239 @@
+#include "xpic/species.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace cbsim::xpic {
+
+namespace {
+
+/// Bilinear stencil around (x, y) in padded-local coordinates.
+struct Stencil {
+  int i, j;           ///< base cell (padded local)
+  double wx, wy;      ///< weights toward (i+1, j+1)
+};
+
+Stencil stencilAt(const Grid2D& g, double x, double y) {
+  const double gx = x / g.dx() - 0.5;
+  const double gy = y / g.dy() - 0.5;
+  const int gi = static_cast<int>(std::floor(gx));
+  const int gj = static_cast<int>(std::floor(gy));
+  Stencil s;
+  s.i = gi - g.x0() + 1;
+  s.j = gj - g.y0() + 1;
+  s.wx = gx - gi;
+  s.wy = gy - gj;
+  assert(s.i >= 0 && s.i <= g.lnx() && s.j >= 0 && s.j <= g.lny());
+  return s;
+}
+
+double gather(const Field2D& f, const Stencil& s) {
+  return (1 - s.wx) * (1 - s.wy) * f.at(s.i, s.j) +
+         s.wx * (1 - s.wy) * f.at(s.i + 1, s.j) +
+         (1 - s.wx) * s.wy * f.at(s.i, s.j + 1) +
+         s.wx * s.wy * f.at(s.i + 1, s.j + 1);
+}
+
+void scatter(Field2D& f, const Stencil& s, double v) {
+  f.at(s.i, s.j) += (1 - s.wx) * (1 - s.wy) * v;
+  f.at(s.i + 1, s.j) += s.wx * (1 - s.wy) * v;
+  f.at(s.i, s.j + 1) += (1 - s.wx) * s.wy * v;
+  f.at(s.i + 1, s.j + 1) += s.wx * s.wy * v;
+}
+
+double wrap(double v, double period) {
+  if (v >= period) return v - period;
+  if (v < 0) return v + period;
+  return v;
+}
+
+}  // namespace
+
+double interpolate(const Field2D& f, const Grid2D& g, double x, double y) {
+  return gather(f, stencilAt(g, x, y));
+}
+
+Species::Species(SpeciesParams p, const XpicConfig& cfg)
+    : p_(p),
+      dt_(cfg.dt),
+      theta_(cfg.theta),
+      iters_(std::max(1, cfg.moverIterations)),
+      weight_(cfg.dx() * cfg.dy() / p.perCell),
+      invDV_(1.0 / (cfg.dx() * cfg.dy())) {}
+
+void Species::initThermal(const Grid2D& g, sim::Rng& rng) {
+  const std::size_t n =
+      static_cast<std::size_t>(g.lnx()) * static_cast<std::size_t>(g.lny()) *
+      static_cast<std::size_t>(p_.perCell);
+  x_.reserve(n);
+  y_.reserve(n);
+  u_.reserve(n);
+  v_.reserve(n);
+  w_.reserve(n);
+  // The base seed comes from the caller; each cell re-seeds from its
+  // GLOBAL index, so the initial plasma state is identical for every
+  // domain decomposition — the property the multi-rank consistency tests
+  // rely on.
+  sim::Rng base = rng;
+  const std::uint64_t baseSeed = base.next();
+  const int gnx = g.lnx() * g.px();
+  for (int j = 0; j < g.lny(); ++j) {
+    for (int i = 0; i < g.lnx(); ++i) {
+      const std::uint64_t cellId =
+          static_cast<std::uint64_t>(g.y0() + j) * static_cast<std::uint64_t>(gnx) +
+          static_cast<std::uint64_t>(g.x0() + i);
+      sim::Rng cellRng(baseSeed ^ (0x9e3779b97f4a7c15ULL * (cellId + 1)));
+      for (int k = 0; k < p_.perCell; ++k) {
+        // Jittered sub-cell lattice: uniform density without clumping.
+        const double fx = (k % 2 + cellRng.uniform()) / 2.0;
+        const double fy = (k / 2 % 2 + cellRng.uniform()) / 2.0;
+        addParticle(g.xMin() + (i + fx) * g.dx(), g.yMin() + (j + fy) * g.dy(),
+                    p_.driftX + p_.vth * cellRng.normal(),
+                    p_.vth * cellRng.normal(), p_.vth * cellRng.normal());
+      }
+    }
+  }
+}
+
+void Species::addParticle(double x, double y, double u, double v, double w) {
+  x_.push_back(x);
+  y_.push_back(y);
+  u_.push_back(u);
+  v_.push_back(v);
+  w_.push_back(w);
+}
+
+void Species::move(const FieldArrays& f, const Grid2D& g) {
+  const double qdt2m = p_.charge * dt_ / (2.0 * p_.mass);
+  const int iters = iters_;
+  for (std::size_t k = 0; k < x_.size(); ++k) {
+    double xb = x_[k], yb = y_[k];
+    double ub = u_[k], vb = v_[k], wb = w_[k];
+    for (int it = 0; it < iters; ++it) {
+      const Stencil s = stencilAt(g, xb, yb);
+      const double ex = gather(f.ex, s), ey = gather(f.ey, s), ez = gather(f.ez, s);
+      const double bx = gather(f.bx, s), by = gather(f.by, s), bz = gather(f.bz, s);
+      // Exact solution of v~ = v' + v~ x t  with v' = v^n + qdt/2m E,
+      // t = qdt/2m B (the implicit-moment rotation).
+      const double vx = u_[k] + qdt2m * ex;
+      const double vy = v_[k] + qdt2m * ey;
+      const double vz = w_[k] + qdt2m * ez;
+      const double tx = qdt2m * bx, ty = qdt2m * by, tz = qdt2m * bz;
+      const double tsq = tx * tx + ty * ty + tz * tz;
+      const double vdt = vx * tx + vy * ty + vz * tz;
+      const double inv = 1.0 / (1.0 + tsq);
+      ub = (vx + (vy * tz - vz * ty) + vdt * tx) * inv;
+      vb = (vy + (vz * tx - vx * tz) + vdt * ty) * inv;
+      wb = (vz + (vx * ty - vy * tx) + vdt * tz) * inv;
+      // Half-step position for the next field gather; stays within the
+      // ghost ring for CFL-respecting time steps.
+      xb = x_[k] + 0.5 * dt_ * ub;
+      yb = y_[k] + 0.5 * dt_ * vb;
+    }
+    u_[k] = 2.0 * ub - u_[k];
+    v_[k] = 2.0 * vb - v_[k];
+    w_[k] = 2.0 * wb - w_[k];
+    x_[k] = wrap(x_[k] + dt_ * ub, g.lxGlobal());
+    y_[k] = wrap(y_[k] + dt_ * vb, g.lyGlobal());
+  }
+}
+
+void Species::deposit(FieldArrays& f, const Grid2D& g) const {
+  const double qw = p_.charge * weight_ * invDV_;
+  // Implicit susceptibility: chi = sum_s omega_ps^2 (theta dt)^2 / 2,
+  // deposited per particle like the density.
+  const double chiw = p_.charge * p_.charge / p_.mass * weight_ * invDV_ *
+                      0.5 * (theta_ * dt_) * (theta_ * dt_);
+  for (std::size_t k = 0; k < x_.size(); ++k) {
+    const Stencil s = stencilAt(g, x_[k], y_[k]);
+    scatter(f.rho, s, qw);
+    scatter(f.jx, s, qw * u_[k]);
+    scatter(f.jy, s, qw * v_[k]);
+    scatter(f.jz, s, qw * w_[k]);
+    scatter(f.chi, s, chiw);
+  }
+}
+
+int Species::dirIndex(int dx, int dy) {
+  assert(dx != 0 || dy != 0);
+  const int raw = (dy + 1) * 3 + (dx + 1);
+  return raw > 4 ? raw - 1 : raw;  // skip the (0,0) centre slot
+}
+
+std::pair<int, int> Species::dirOffset(int dir) {
+  const int raw = dir >= 4 ? dir + 1 : dir;
+  return {raw % 3 - 1, raw / 3 - 1};
+}
+
+void Species::collectLeavers(const Grid2D& g,
+                             std::array<std::vector<double>, 8>& out) {
+  const int lnx = g.lnx(), lny = g.lny();
+  std::size_t k = 0;
+  while (k < x_.size()) {
+    const int gi = static_cast<int>(x_[k] / g.dx());
+    const int gj = static_cast<int>(y_[k] / g.dy());
+    const int ox = gi / lnx;  // owning block column
+    const int oy = gj / lny;
+    int dx = ox - g.cx();
+    int dy = oy - g.cy();
+    // Shortest periodic block distance.
+    if (dx > g.px() / 2) dx -= g.px();
+    if (dx < -g.px() / 2) dx += g.px();
+    if (dy > g.py() / 2) dy -= g.py();
+    if (dy < -g.py() / 2) dy += g.py();
+    assert(dx >= -1 && dx <= 1 && dy >= -1 && dy <= 1);
+    if (dx == 0 && dy == 0) {
+      ++k;
+      continue;
+    }
+    auto& buf = out[static_cast<std::size_t>(dirIndex(dx, dy))];
+    buf.insert(buf.end(), {x_[k], y_[k], u_[k], v_[k], w_[k]});
+    x_[k] = x_.back(); x_.pop_back();
+    y_[k] = y_.back(); y_.pop_back();
+    u_[k] = u_.back(); u_.pop_back();
+    v_[k] = v_.back(); v_.pop_back();
+    w_[k] = w_.back(); w_.pop_back();
+  }
+}
+
+void Species::addPacked(std::span<const double> data) {
+  assert(data.size() % 5 == 0);
+  for (std::size_t k = 0; k + 4 < data.size(); k += 5) {
+    addParticle(data[k], data[k + 1], data[k + 2], data[k + 3], data[k + 4]);
+  }
+}
+
+std::vector<double> Species::packAll() const {
+  std::vector<double> out;
+  out.reserve(5 * x_.size());
+  for (std::size_t k = 0; k < x_.size(); ++k) {
+    out.insert(out.end(), {x_[k], y_[k], u_[k], v_[k], w_[k]});
+  }
+  return out;
+}
+
+void Species::restoreFrom(std::span<const double> data) {
+  x_.clear();
+  y_.clear();
+  u_.clear();
+  v_.clear();
+  w_.clear();
+  addPacked(data);
+}
+
+double Species::kineticEnergy() const {
+  double s = 0;
+  for (std::size_t k = 0; k < x_.size(); ++k) {
+    s += u_[k] * u_[k] + v_[k] * v_[k] + w_[k] * w_[k];
+  }
+  return 0.5 * p_.mass * weight_ * s;
+}
+
+double Species::momentum(int axis) const {
+  const std::vector<double>& comp = axis == 0 ? u_ : (axis == 1 ? v_ : w_);
+  double s = 0;
+  for (const double c : comp) s += c;
+  return p_.mass * weight_ * s;
+}
+
+}  // namespace cbsim::xpic

@@ -1,0 +1,151 @@
+// Unit tests for the fabric model: path latency calibration, serialization
+// and contention, trunk routing, gen-1 bridge store-and-forward, loopback.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "extoll/fabric.hpp"
+#include "hw/machine.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace cbsim;
+using namespace cbsim::sim::literals;
+using sim::SimTime;
+
+struct FabricFixture {
+  sim::Engine engine;
+  hw::Machine machine;
+  extoll::Fabric fabric;
+
+  explicit FabricFixture(hw::MachineConfig cfg)
+      : machine(engine, std::move(cfg)), fabric(machine) {}
+};
+
+TEST(Fabric, WireLatencyCalibration) {
+  // Fig. 3 calibration: the non-software part of a same-switch message is
+  // 2 NIC + 2 wire + 1 switch = 300 ns on EXTOLL.
+  FabricFixture f(hw::MachineConfig::deepEr(2, 2));
+  EXPECT_EQ(f.fabric.pathLatency(0, 1), 300_ns);
+  EXPECT_EQ(f.fabric.pathLatency(0, 2), 300_ns);  // CN -> BN, same fabric
+}
+
+TEST(Fabric, EffectiveBandwidthIsDerated) {
+  FabricFixture f(hw::MachineConfig::deepEr(2, 2));
+  // 12.5 GB/s raw x 0.80 protocol efficiency = 10 GB/s goodput plateau.
+  EXPECT_NEAR(f.fabric.bottleneckBwGBs(0, 1), 10.0, 1e-9);
+}
+
+TEST(Fabric, DeliveryTimeIsLatencyPlusSerialization) {
+  FabricFixture f(hw::MachineConfig::deepEr(2, 2));
+  SimTime arrived = SimTime::zero();
+  const double bytes = 1e6;  // 100 us at 10 GB/s
+  f.fabric.send(0, 1, bytes, [&] { arrived = f.engine.now(); });
+  f.engine.run();
+  EXPECT_NEAR(arrived.toMicros(), 0.3 + 100.0, 0.01);
+}
+
+TEST(Fabric, ConcurrentSendsOnSameLinkSerialize) {
+  FabricFixture f(hw::MachineConfig::deepEr(3, 0));
+  std::vector<double> arrivals;
+  const double bytes = 1e6;  // 100 us serialization each
+  // Two messages leave node 0 simultaneously: the shared uplink serializes.
+  f.fabric.send(0, 1, bytes, [&] { arrivals.push_back(f.engine.now().toMicros()); });
+  f.fabric.send(0, 2, bytes, [&] { arrivals.push_back(f.engine.now().toMicros()); });
+  f.engine.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[0], 100.3, 0.01);
+  EXPECT_NEAR(arrivals[1], 200.3, 0.01);
+}
+
+TEST(Fabric, DisjointPathsDoNotContend) {
+  FabricFixture f(hw::MachineConfig::deepEr(4, 0));
+  std::vector<double> arrivals;
+  const double bytes = 1e6;
+  f.fabric.send(0, 1, bytes, [&] { arrivals.push_back(f.engine.now().toMicros()); });
+  f.fabric.send(2, 3, bytes, [&] { arrivals.push_back(f.engine.now().toMicros()); });
+  f.engine.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[0], 100.3, 0.01);
+  EXPECT_NEAR(arrivals[1], 100.3, 0.01);
+}
+
+TEST(Fabric, LoopbackNeverTouchesNic) {
+  FabricFixture f(hw::MachineConfig::deepEr(2, 1));
+  SimTime arrived = SimTime::zero();
+  f.fabric.send(0, 0, 1.0, [&] { arrived = f.engine.now(); });
+  f.engine.run();
+  EXPECT_LT(arrived, 300_ns);
+}
+
+TEST(Fabric, NamEndpointIsRoutable) {
+  FabricFixture f(hw::MachineConfig::deepEr(2, 1));
+  const int namEp = f.machine.endpointOfNam(0);
+  SimTime arrived = SimTime::zero();
+  f.fabric.send(0, namEp, 4096, [&] { arrived = f.engine.now(); });
+  f.engine.run();
+  EXPECT_GT(arrived, SimTime::zero());
+  EXPECT_EQ(f.fabric.pathLatency(0, namEp), 300_ns);
+}
+
+TEST(Fabric, Gen1CrossNetworkGoesThroughBridge) {
+  FabricFixture f(hw::MachineConfig::deepGen1(4, 4, 2));
+  const int cn = f.machine.nodesOfKind(hw::NodeKind::Cluster).front();
+  const int bn = f.machine.nodesOfKind(hw::NodeKind::Booster).front();
+  SimTime arrived = SimTime::zero();
+  f.fabric.send(cn, bn, 1e6, [&] { arrived = f.engine.now(); });
+  f.engine.run();
+  EXPECT_EQ(f.fabric.stats().bridgeHops, 1u);
+  // Two legs + CPU forward: must be far slower than a same-network message.
+  EXPECT_GT(f.fabric.pathLatency(cn, bn), 2 * f.fabric.pathLatency(cn, cn + 1));
+  EXPECT_LT(f.fabric.bottleneckBwGBs(cn, bn),
+            f.fabric.bottleneckBwGBs(bn, bn + 1) / 2.0 + 1e-9);
+  EXPECT_GT(arrived, SimTime::zero());
+}
+
+TEST(Fabric, Gen1SameNetworkSkipsBridge) {
+  FabricFixture f(hw::MachineConfig::deepGen1(4, 4, 2));
+  const auto bns = f.machine.nodesOfKind(hw::NodeKind::Booster);
+  SimTime arrived = SimTime::zero();
+  f.fabric.send(bns[0], bns[1], 1e3, [&] { arrived = f.engine.now(); });
+  f.engine.run();
+  EXPECT_EQ(f.fabric.stats().bridgeHops, 0u);
+}
+
+TEST(Fabric, TrunkRouteCrossesSwitches) {
+  hw::MachineConfig cfg = hw::MachineConfig::deepEr(2, 2);
+  // Split the Booster group onto a second switch joined by a trunk.
+  cfg.switches.push_back({"booster-extoll", cfg.switches[0].net});
+  cfg.groups[1].switchId = 1;
+  cfg.trunks.push_back({0, 1, 12.5, sim::SimTime::ns(150)});
+  FabricFixture f(std::move(cfg));
+  const int cn = 0, bn = 2;
+  // 2 NIC + 2 wire + 2 switch + trunk = 150+50+200+150 = 550 ns.
+  EXPECT_EQ(f.fabric.pathLatency(cn, bn), 550_ns);
+  SimTime arrived = SimTime::zero();
+  f.fabric.send(cn, bn, 1e6, [&] { arrived = f.engine.now(); });
+  f.engine.run();
+  EXPECT_NEAR(arrived.toMicros(), 0.55 + 100.0, 0.01);
+}
+
+TEST(Fabric, UnroutableTopologyThrows) {
+  hw::MachineConfig cfg = hw::MachineConfig::deepEr(2, 2);
+  cfg.switches.push_back({"isolated", cfg.switches[0].net});
+  cfg.groups[1].switchId = 1;  // no trunk, no bridge
+  FabricFixture f(std::move(cfg));
+  EXPECT_THROW(f.fabric.send(0, 2, 1.0, [] {}), std::runtime_error);
+}
+
+TEST(Fabric, StatsAccumulate) {
+  FabricFixture f(hw::MachineConfig::deepEr(2, 1));
+  f.fabric.send(0, 1, 100.0, [] {});
+  f.fabric.send(1, 2, 200.0, [] {});
+  f.engine.run();
+  EXPECT_EQ(f.fabric.stats().messages, 2u);
+  EXPECT_DOUBLE_EQ(f.fabric.stats().bytes, 300.0);
+}
+
+}  // namespace

@@ -1,0 +1,767 @@
+// Tests for the pmpi library: point-to-point semantics and Fig. 3 latency
+// calibration, protocol switching, collectives, communicator management,
+// and the Cluster-Booster offload mechanism (MPI_Comm_spawn +
+// inter-communicators).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "pmpi/env.hpp"
+#include "pmpi/runtime.hpp"
+
+namespace {
+
+using namespace cbsim;
+using namespace cbsim::sim::literals;
+using pmpi::AnySource;
+using pmpi::AnyTag;
+using pmpi::Comm;
+using pmpi::Env;
+using sim::SimTime;
+
+/// Builds a DEEP-ER style world and runs registered apps to completion.
+struct World {
+  sim::Engine engine;
+  hw::Machine machine;
+  extoll::Fabric fabric;
+  rm::ResourceManager rm;
+  pmpi::AppRegistry registry;
+  pmpi::Runtime rt;
+
+  explicit World(hw::MachineConfig cfg = hw::MachineConfig::deepEr(4, 4),
+                 pmpi::ProtocolParams params = {})
+      : machine(engine, std::move(cfg)),
+        fabric(machine),
+        rm(machine),
+        rt(machine, fabric, rm, registry, params) {}
+
+  sim::RunStats run() {
+    sim::RunStats st = engine.run();
+    EXPECT_FALSE(st.deadlocked())
+        << "blocked: " << (st.blockedProcesses.empty()
+                               ? ""
+                               : st.blockedProcesses.front());
+    return st;
+  }
+};
+
+// ---- Point-to-point ---------------------------------------------------------
+
+TEST(Pmpi, WorldRankAndSize) {
+  World w;
+  std::vector<int> seen(4, -1);
+  w.registry.add("app", [&](Env& e) {
+    seen[static_cast<std::size_t>(e.rank())] = e.size();
+    EXPECT_EQ(e.node().kind, hw::NodeKind::Cluster);
+    EXPECT_FALSE(e.parent().valid());
+  });
+  w.rt.launch("app", hw::NodeKind::Cluster, 4);
+  w.run();
+  EXPECT_EQ(seen, (std::vector<int>{4, 4, 4, 4}));
+}
+
+TEST(Pmpi, SmallMessageLatencyMatchesTableI) {
+  // Table I: MPI latency 1.0 us on the Cluster, 1.8 us on the Booster;
+  // Fig. 3 shows ~1.4 us for CN-BN.
+  struct Case {
+    hw::NodeKind kind;
+    double expectUs;
+  };
+  for (const Case c : {Case{hw::NodeKind::Cluster, 1.0},
+                       Case{hw::NodeKind::Booster, 1.8}}) {
+    World w;
+    double measured = -1;
+    w.registry.add("lat", [&](Env& e) {
+      std::byte b{};
+      if (e.rank() == 0) {
+        const double t0 = e.wtime();
+        e.send(e.world(), 1, 1, pmpi::ConstBytes(&b, 1));
+        e.recv(e.world(), 1, 2, pmpi::Bytes(&b, 1));
+        measured = (e.wtime() - t0) / 2.0 * 1e6;
+      } else {
+        e.recv(e.world(), 0, 1, pmpi::Bytes(&b, 1));
+        e.send(e.world(), 0, 2, pmpi::ConstBytes(&b, 1));
+      }
+    });
+    w.rt.launch("lat", c.kind, 2);
+    w.run();
+    EXPECT_NEAR(measured, c.expectUs, 0.05)
+        << "kind=" << hw::toString(c.kind);
+  }
+}
+
+TEST(Pmpi, CrossModuleLatencyBetweenCurves) {
+  World w;
+  double measured = -1;
+  w.registry.add("xlat", [&](Env& e) {
+    std::byte b{};
+    const Comm p = e.parent();
+    if (!p.valid()) {
+      // Cluster-side parent spawns one Booster child.
+      const Comm inter = e.commSpawn("xlat", 1);
+      const double t0 = e.wtime();
+      e.send(inter, 0, 1, pmpi::ConstBytes(&b, 1));
+      e.recv(inter, 0, 2, pmpi::Bytes(&b, 1));
+      measured = (e.wtime() - t0) / 2.0 * 1e6;
+    } else {
+      e.recv(p, 0, 1, pmpi::Bytes(&b, 1));
+      e.send(p, 0, 2, pmpi::ConstBytes(&b, 1));
+    }
+  });
+  w.rt.launch("xlat", hw::NodeKind::Cluster, 1);
+  w.run();
+  EXPECT_NEAR(measured, 1.4, 0.05);
+}
+
+TEST(Pmpi, TypedRoundtripPreservesData) {
+  World w;
+  std::vector<double> got(8);
+  w.registry.add("typed", [&](Env& e) {
+    if (e.rank() == 0) {
+      std::vector<double> v(8);
+      std::iota(v.begin(), v.end(), 1.5);
+      e.send(e.world(), 1, 7, std::span<const double>(v));
+    } else {
+      const auto st = e.recv(e.world(), 0, 7, std::span<double>(got));
+      EXPECT_EQ(st.bytes, 8 * sizeof(double));
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+    }
+  });
+  w.rt.launch("typed", hw::NodeKind::Cluster, 2);
+  w.run();
+  EXPECT_DOUBLE_EQ(got[0], 1.5);
+  EXPECT_DOUBLE_EQ(got[7], 8.5);
+}
+
+TEST(Pmpi, UnexpectedMessageIsBuffered) {
+  World w;
+  int got = 0;
+  w.registry.add("unexp", [&](Env& e) {
+    if (e.rank() == 0) {
+      e.sendValue(e.world(), 1, 3, 42);
+    } else {
+      e.ctx().delay(50_us);  // recv posted long after arrival
+      got = e.recvValue<int>(e.world(), 0, 3);
+    }
+  });
+  w.rt.launch("unexp", hw::NodeKind::Cluster, 2);
+  w.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Pmpi, WildcardSourceAndTag) {
+  World w;
+  std::vector<int> sources;
+  w.registry.add("wild", [&](Env& e) {
+    if (e.rank() == 0) {
+      for (int i = 0; i < 2; ++i) {
+        int v = 0;
+        const auto st = e.recv(e.world(), AnySource, AnyTag,
+                               std::span<int>(&v, 1));
+        sources.push_back(st.source);
+        EXPECT_EQ(v, st.source * 10);
+      }
+    } else {
+      e.ctx().delay(SimTime::us(e.rank()));  // deterministic arrival order
+      e.sendValue(e.world(), 0, e.rank(), e.rank() * 10);
+    }
+  });
+  w.rt.launch("wild", hw::NodeKind::Cluster, 3);
+  w.run();
+  EXPECT_EQ(sources, (std::vector<int>{1, 2}));
+}
+
+TEST(Pmpi, NonOvertakingSamePair) {
+  World w;
+  std::vector<int> order;
+  w.registry.add("order", [&](Env& e) {
+    if (e.rank() == 0) {
+      for (int i = 0; i < 5; ++i) e.sendValue(e.world(), 1, 9, i);
+    } else {
+      for (int i = 0; i < 5; ++i) {
+        order.push_back(e.recvValue<int>(e.world(), 0, 9));
+      }
+    }
+  });
+  w.rt.launch("order", hw::NodeKind::Cluster, 2);
+  w.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Pmpi, RendezvousHandshakeCostsMoreThanEager) {
+  // Around the eager threshold the rendezvous adds an RTS/CTS round trip.
+  auto oneWayUs = [](std::size_t bytes) {
+    World w;
+    double t = -1;
+    w.registry.add("p", [&, bytes](Env& e) {
+      std::vector<std::byte> buf(bytes);
+      if (e.rank() == 0) {
+        e.send(e.world(), 1, 1, pmpi::ConstBytes(buf));
+      } else {
+        const double t0 = e.wtime();
+        e.recv(e.world(), 0, 1, pmpi::Bytes(buf));
+        t = (e.wtime() - t0) * 1e6;
+      }
+    });
+    w.rt.launch("p", hw::NodeKind::Cluster, 2);
+    w.run();
+    return t;
+  };
+  const double eager = oneWayUs(8192);
+  const double rdv = oneWayUs(8193);
+  EXPECT_GT(rdv, eager + 0.5);  // extra control round trip >= ~0.9 us
+}
+
+TEST(Pmpi, SsendCompletesOnlyAfterMatch) {
+  World w;
+  double sendDone = -1;
+  w.registry.add("sync", [&](Env& e) {
+    std::byte b{};
+    if (e.rank() == 0) {
+      e.ssend(e.world(), 1, 1, pmpi::ConstBytes(&b, 1));
+      sendDone = e.wtime() * 1e6;
+    } else {
+      e.ctx().delay(100_us);  // receiver is late
+      e.recv(e.world(), 0, 1, pmpi::Bytes(&b, 1));
+    }
+  });
+  w.rt.launch("sync", hw::NodeKind::Cluster, 2);
+  w.run();
+  EXPECT_GT(sendDone, 100.0);  // blocked until the receive matched
+}
+
+TEST(Pmpi, IsendIrecvWaitAllOverlap) {
+  World w;
+  std::vector<int> got(4);
+  w.registry.add("nb", [&](Env& e) {
+    if (e.rank() == 0) {
+      std::vector<int> vals = {10, 11, 12, 13};
+      std::vector<pmpi::Request> reqs;
+      for (int i = 0; i < 4; ++i) {
+        reqs.push_back(e.isend(e.world(), 1, i,
+                               std::span<const int>(&vals[static_cast<std::size_t>(i)], 1)));
+      }
+      e.waitAll(reqs);
+    } else {
+      std::vector<pmpi::Request> reqs;
+      for (int i = 0; i < 4; ++i) {
+        reqs.push_back(e.irecv(e.world(), 0, i,
+                               std::span<int>(&got[static_cast<std::size_t>(i)], 1)));
+      }
+      e.waitAll(reqs);
+    }
+  });
+  w.rt.launch("nb", hw::NodeKind::Cluster, 2);
+  w.run();
+  EXPECT_EQ(got, (std::vector<int>{10, 11, 12, 13}));
+}
+
+TEST(Pmpi, TestReturnsWithoutBlocking) {
+  World w;
+  bool doneBefore = true;
+  w.registry.add("t", [&](Env& e) {
+    if (e.rank() == 0) {
+      int v = 0;
+      const auto r = e.irecv(e.world(), 1, 1, std::span<int>(&v, 1));
+      doneBefore = e.test(r);
+      e.wait(r);
+      EXPECT_TRUE(e.test(r));
+      EXPECT_EQ(v, 5);
+    } else {
+      e.ctx().delay(10_us);
+      e.sendValue(e.world(), 0, 1, 5);
+    }
+  });
+  w.rt.launch("t", hw::NodeKind::Cluster, 2);
+  w.run();
+  EXPECT_FALSE(doneBefore);
+}
+
+TEST(Pmpi, WaitAnyReturnsFirstCompletion) {
+  World w;
+  std::size_t firstIdx = 99;
+  w.registry.add("any", [&](Env& env) {
+    if (env.rank() == 0) {
+      int a = 0, b = 0;
+      std::vector<pmpi::Request> rs = {
+          env.irecv(env.world(), 1, 1, std::span<int>(&a, 1)),
+          env.irecv(env.world(), 1, 2, std::span<int>(&b, 1))};
+      firstIdx = env.waitAny(rs);
+      env.waitAll(rs);
+      EXPECT_EQ(a, 10);
+      EXPECT_EQ(b, 20);
+    } else {
+      env.ctx().delay(5_us);
+      env.sendValue(env.world(), 0, 2, 20);  // tag 2 lands first
+      env.ctx().delay(20_us);
+      env.sendValue(env.world(), 0, 1, 10);
+    }
+  });
+  w.rt.launch("any", hw::NodeKind::Cluster, 2);
+  w.run();
+  EXPECT_EQ(firstIdx, 1u);  // the tag-2 request completed first
+}
+
+TEST(Pmpi, IprobeSeesPendingMessageWithoutConsuming) {
+  World w;
+  w.registry.add("probe", [&](Env& env) {
+    if (env.rank() == 0) {
+      env.sendValue(env.world(), 1, 7, 42);
+    } else {
+      EXPECT_FALSE(env.iprobe(env.world(), 0, 7));  // nothing arrived yet
+      env.ctx().delay(50_us);
+      pmpi::Status st;
+      ASSERT_TRUE(env.iprobe(env.world(), 0, 7, &st));
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.bytes, sizeof(int));
+      ASSERT_TRUE(env.iprobe(env.world(), 0, 7));   // probe does not consume
+      EXPECT_EQ(env.recvValue<int>(env.world(), 0, 7), 42);
+      EXPECT_FALSE(env.iprobe(env.world(), 0, 7));  // recv did
+    }
+  });
+  w.rt.launch("probe", hw::NodeKind::Cluster, 2);
+  w.run();
+}
+
+TEST(Pmpi, ScanComputesPrefixSums) {
+  World w(hw::MachineConfig::deepEr(8, 2));
+  std::vector<double> prefix(5, -1);
+  w.registry.add("scan", [&](Env& env) {
+    const double mine = env.rank() + 1.0;
+    prefix[static_cast<std::size_t>(env.rank())] =
+        env.scanValue(env.world(), mine, pmpi::Op::Sum);
+  });
+  w.rt.launch("scan", hw::NodeKind::Cluster, 5);
+  w.run();
+  EXPECT_EQ(prefix, (std::vector<double>{1, 3, 6, 10, 15}));
+}
+
+TEST(Pmpi, ScanMaxIsRunningMaximum) {
+  World w(hw::MachineConfig::deepEr(8, 2));
+  std::vector<int> runMax(4, -1);
+  w.registry.add("scanmax", [&](Env& env) {
+    const int vals[4] = {3, 7, 2, 5};
+    runMax[static_cast<std::size_t>(env.rank())] = env.scanValue(
+        env.world(), vals[env.rank()], pmpi::Op::Max);
+  });
+  w.rt.launch("scanmax", hw::NodeKind::Cluster, 4);
+  w.run();
+  EXPECT_EQ(runMax, (std::vector<int>{3, 7, 7, 7}));
+}
+
+TEST(Pmpi, SendRecvExchanges) {
+  World w;
+  std::vector<int> got(2, -1);
+  w.registry.add("xch", [&](Env& e) {
+    const int peer = 1 - e.rank();
+    const int mine = e.rank() * 100;
+    int theirs = -1;
+    e.sendRecv(e.world(), peer, 1, pmpi::ConstBytes(std::as_bytes(std::span<const int>(&mine, 1))),
+               peer, 1, pmpi::Bytes(std::as_writable_bytes(std::span<int>(&theirs, 1))));
+    got[static_cast<std::size_t>(e.rank())] = theirs;
+  });
+  w.rt.launch("xch", hw::NodeKind::Cluster, 2);
+  w.run();
+  EXPECT_EQ(got[0], 100);
+  EXPECT_EQ(got[1], 0);
+}
+
+TEST(Pmpi, TruncatingReceiveThrows) {
+  World w;
+  w.registry.add("trunc", [&](Env& e) {
+    if (e.rank() == 0) {
+      std::vector<int> v(4, 1);
+      e.send(e.world(), 1, 1, std::span<const int>(v));
+    } else {
+      int small = 0;
+      e.recv(e.world(), 0, 1, std::span<int>(&small, 1));
+    }
+  });
+  w.rt.launch("trunc", hw::NodeKind::Cluster, 2);
+  EXPECT_THROW(w.engine.run(), std::runtime_error);
+}
+
+TEST(Pmpi, SelfSendEagerWorks) {
+  World w;
+  int got = 0;
+  w.registry.add("self", [&](Env& e) {
+    e.sendValue(e.world(), 0, 1, 77);
+    got = e.recvValue<int>(e.world(), 0, 1);
+  });
+  w.rt.launch("self", hw::NodeKind::Cluster, 1);
+  w.run();
+  EXPECT_EQ(got, 77);
+}
+
+// ---- Collectives -------------------------------------------------------------
+
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Pmpi, CollectiveSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST_P(CollectiveSizes, Bcast) {
+  const int n = GetParam();
+  World w(hw::MachineConfig::deepEr(8, 8));
+  std::vector<std::vector<double>> got(static_cast<std::size_t>(n));
+  const int root = (n - 1) / 2;
+  w.registry.add("bcast", [&](Env& e) {
+    std::vector<double> data(16, 0.0);
+    if (e.rank() == root) {
+      std::iota(data.begin(), data.end(), 0.5);
+    }
+    e.bcast(e.world(), root, std::span<double>(data));
+    got[static_cast<std::size_t>(e.rank())] = data;
+  });
+  w.rt.launch("bcast", hw::NodeKind::Cluster, n);
+  w.run();
+  for (const auto& v : got) {
+    ASSERT_EQ(v.size(), 16u);
+    EXPECT_DOUBLE_EQ(v[0], 0.5);
+    EXPECT_DOUBLE_EQ(v[15], 15.5);
+  }
+}
+
+TEST_P(CollectiveSizes, ReduceSum) {
+  const int n = GetParam();
+  World w(hw::MachineConfig::deepEr(8, 8));
+  double result = -1;
+  w.registry.add("reduce", [&](Env& e) {
+    const double mine = e.rank() + 1;
+    double out = 0;
+    e.reduce(e.world(), 0, std::span<const double>(&mine, 1),
+             std::span<double>(&out, 1), pmpi::Op::Sum);
+    if (e.rank() == 0) result = out;
+  });
+  w.rt.launch("reduce", hw::NodeKind::Cluster, n);
+  w.run();
+  EXPECT_DOUBLE_EQ(result, n * (n + 1) / 2.0);
+}
+
+TEST_P(CollectiveSizes, AllreduceMinMax) {
+  const int n = GetParam();
+  World w(hw::MachineConfig::deepEr(8, 8));
+  std::vector<double> mins(static_cast<std::size_t>(n)), maxs(static_cast<std::size_t>(n));
+  w.registry.add("ar", [&](Env& e) {
+    const double mine = 10.0 + e.rank();
+    mins[static_cast<std::size_t>(e.rank())] =
+        e.allreduceValue(e.world(), mine, pmpi::Op::Min);
+    maxs[static_cast<std::size_t>(e.rank())] =
+        e.allreduceValue(e.world(), mine, pmpi::Op::Max);
+  });
+  w.rt.launch("ar", hw::NodeKind::Cluster, n);
+  w.run();
+  for (int r = 0; r < n; ++r) {
+    EXPECT_DOUBLE_EQ(mins[static_cast<std::size_t>(r)], 10.0);
+    EXPECT_DOUBLE_EQ(maxs[static_cast<std::size_t>(r)], 10.0 + n - 1);
+  }
+}
+
+TEST_P(CollectiveSizes, GatherScatterRoundtrip) {
+  const int n = GetParam();
+  World w(hw::MachineConfig::deepEr(8, 8));
+  std::vector<int> scattered(static_cast<std::size_t>(n), -1);
+  w.registry.add("gs", [&](Env& e) {
+    const int mine = e.rank() * e.rank();
+    std::vector<int> all(static_cast<std::size_t>(n));
+    e.gather(e.world(), 0, std::span<const int>(&mine, 1), std::span<int>(all));
+    if (e.rank() == 0) {
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(all[static_cast<std::size_t>(i)], i * i);
+        all[static_cast<std::size_t>(i)] += 1;
+      }
+    }
+    int back = -1;
+    e.scatter(e.world(), 0, std::span<const int>(all), std::span<int>(&back, 1));
+    scattered[static_cast<std::size_t>(e.rank())] = back;
+  });
+  w.rt.launch("gs", hw::NodeKind::Cluster, n);
+  w.run();
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(scattered[static_cast<std::size_t>(r)], r * r + 1);
+  }
+}
+
+TEST_P(CollectiveSizes, AllgatherRing) {
+  const int n = GetParam();
+  World w(hw::MachineConfig::deepEr(8, 8));
+  std::vector<std::vector<int>> got(static_cast<std::size_t>(n));
+  w.registry.add("ag", [&](Env& e) {
+    std::vector<int> mine = {e.rank(), e.rank() + 100};
+    std::vector<int> all(static_cast<std::size_t>(2 * n));
+    e.allgather(e.world(), std::span<const int>(mine), std::span<int>(all));
+    got[static_cast<std::size_t>(e.rank())] = all;
+  });
+  w.rt.launch("ag", hw::NodeKind::Cluster, n);
+  w.run();
+  for (int r = 0; r < n; ++r) {
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(2 * i)], i);
+      EXPECT_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(2 * i + 1)], i + 100);
+    }
+  }
+}
+
+TEST_P(CollectiveSizes, AlltoallTransposes) {
+  const int n = GetParam();
+  World w(hw::MachineConfig::deepEr(8, 8));
+  std::vector<std::vector<int>> got(static_cast<std::size_t>(n));
+  w.registry.add("a2a", [&](Env& e) {
+    std::vector<int> in(static_cast<std::size_t>(n)), out(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      in[static_cast<std::size_t>(i)] = e.rank() * 100 + i;
+    }
+    e.alltoall(e.world(), std::span<const int>(in), std::span<int>(out));
+    got[static_cast<std::size_t>(e.rank())] = out;
+  });
+  w.rt.launch("a2a", hw::NodeKind::Cluster, n);
+  w.run();
+  for (int r = 0; r < n; ++r) {
+    for (int s = 0; s < n; ++s) {
+      EXPECT_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)], s * 100 + r);
+    }
+  }
+}
+
+TEST(Pmpi, BarrierSynchronizes) {
+  World w;
+  std::vector<double> leaveUs(3);
+  w.registry.add("bar", [&](Env& e) {
+    e.ctx().delay(SimTime::us(10 * (e.rank() + 1)));
+    e.barrier(e.world());
+    leaveUs[static_cast<std::size_t>(e.rank())] = e.wtime() * 1e6;
+  });
+  w.rt.launch("bar", hw::NodeKind::Cluster, 3);
+  w.run();
+  // Nobody leaves before the slowest rank arrived (30 us).
+  for (const double t : leaveUs) EXPECT_GE(t, 30.0);
+}
+
+// ---- Communicator management ---------------------------------------------------
+
+TEST(Pmpi, CommSplitFormsColorGroups) {
+  World w(hw::MachineConfig::deepEr(8, 2));
+  std::vector<int> subRank(6, -1), subSize(6, -1);
+  std::vector<double> subSum(6, -1);
+  w.registry.add("split", [&](Env& e) {
+    const int color = e.rank() % 2;
+    const Comm sub = e.commSplit(e.world(), color, e.rank());
+    const std::size_t r = static_cast<std::size_t>(e.rank());
+    subRank[r] = e.commRank(sub);
+    subSize[r] = e.commSize(sub);
+    subSum[r] = e.allreduceValue(sub, static_cast<double>(e.rank()), pmpi::Op::Sum);
+  });
+  w.rt.launch("split", hw::NodeKind::Cluster, 6);
+  w.run();
+  // Evens {0,2,4} and odds {1,3,5}.
+  EXPECT_EQ(subSize, (std::vector<int>{3, 3, 3, 3, 3, 3}));
+  EXPECT_EQ(subRank, (std::vector<int>{0, 0, 1, 1, 2, 2}));
+  EXPECT_DOUBLE_EQ(subSum[0], 6.0);   // 0+2+4
+  EXPECT_DOUBLE_EQ(subSum[1], 9.0);   // 1+3+5
+}
+
+TEST(Pmpi, CommDupIsIndependent) {
+  World w;
+  int got = -1;
+  w.registry.add("dup", [&](Env& e) {
+    const Comm d = e.commDup(e.world());
+    EXPECT_NE(d.id(), e.world().id());
+    EXPECT_EQ(e.commRank(d), e.rank());
+    // Same tag on both comms: matching must respect the communicator.
+    if (e.rank() == 0) {
+      e.sendValue(e.world(), 1, 5, 1);
+      e.sendValue(d, 1, 5, 2);
+    } else {
+      got = e.recvValue<int>(d, 0, 5);   // must get 2, not 1
+      (void)e.recvValue<int>(e.world(), 0, 5);
+    }
+  });
+  w.rt.launch("dup", hw::NodeKind::Cluster, 2);
+  w.run();
+  EXPECT_EQ(got, 2);
+}
+
+// ---- Spawn / intercommunicators --------------------------------------------------
+
+TEST(Pmpi, CommSpawnBoosterFromCluster) {
+  World w;
+  std::vector<int> childNodes;
+  int parentRemote = -1, childRemote = -1, echo = -1;
+  w.registry.add("parent", [&](Env& e) {
+    const Comm inter = e.commSpawn("child", 2);
+    parentRemote = e.commRemoteSize(inter);
+    e.sendValue(inter, 0, 1, 123);
+    echo = e.recvValue<int>(inter, 1, 2);
+  });
+  w.registry.add("child", [&](Env& e) {
+    const Comm up = e.parent();
+    ASSERT_TRUE(up.valid());
+    childRemote = e.commRemoteSize(up);
+    EXPECT_EQ(e.node().kind, hw::NodeKind::Booster);
+    childNodes.push_back(e.node().id);
+    if (e.rank() == 0) {
+      const int v = e.recvValue<int>(up, 0, 1);
+      e.sendValue(e.world(), 1, 9, v);
+    } else {
+      const int v = e.recvValue<int>(e.world(), 0, 9);
+      e.sendValue(up, 0, 2, v + 1);
+    }
+  });
+  w.rt.launch("parent", hw::NodeKind::Cluster, 1);
+  w.run();
+  EXPECT_EQ(parentRemote, 2);
+  EXPECT_EQ(childRemote, 1);
+  EXPECT_EQ(echo, 124);
+  EXPECT_EQ(childNodes.size(), 2u);
+}
+
+TEST(Pmpi, SpawnConsumesStartupTime) {
+  World w;
+  double childStart = -1;
+  w.registry.add("p", [&](Env& e) { e.commSpawn("c", 4); });
+  w.registry.add("c", [&](Env& e) {
+    if (e.rank() == 0) childStart = e.wtime();
+  });
+  w.rt.launch("p", hw::NodeKind::Cluster, 1);
+  w.run();
+  // spawnBase (5 ms) + 4 x spawnPerProc (0.5 ms).
+  EXPECT_NEAR(childStart, 0.007, 1e-6);
+}
+
+TEST(Pmpi, SpawnReleasesNodesWhenChildExits) {
+  World w;
+  w.registry.add("p", [&](Env& e) { e.commSpawn("c", 4); });
+  w.registry.add("c", [&](Env&) {});
+  w.rt.launch("p", hw::NodeKind::Cluster, 1);
+  w.run();
+  EXPECT_EQ(w.rm.freeCount(hw::NodeKind::Booster), 4);
+  EXPECT_EQ(w.rm.freeCount(hw::NodeKind::Cluster), 4);
+}
+
+TEST(Pmpi, SpawnFailsWhenPartitionExhausted) {
+  World w;
+  w.registry.add("p", [&](Env& e) { e.commSpawn("c", 99); });
+  w.registry.add("c", [&](Env&) {});
+  w.rt.launch("p", hw::NodeKind::Cluster, 1);
+  EXPECT_THROW(w.engine.run(), std::runtime_error);
+}
+
+TEST(Pmpi, SpawnIsCollectiveAllRanksGetIntercomm) {
+  World w;
+  std::vector<int> remoteSizes(3, -1);
+  w.registry.add("p", [&](Env& e) {
+    const Comm inter = e.commSpawn("c", 2);
+    remoteSizes[static_cast<std::size_t>(e.rank())] = e.commRemoteSize(inter);
+    e.barrier(e.world());
+  });
+  w.registry.add("c", [&](Env&) {});
+  w.rt.launch("p", hw::NodeKind::Cluster, 3);
+  w.run();
+  EXPECT_EQ(remoteSizes, (std::vector<int>{2, 2, 2}));
+}
+
+TEST(Pmpi, JobTimesSeparateComputeAndComm) {
+  World w;
+  w.registry.add("acct", [&](Env& e) {
+    hw::Work wk;
+    wk.flops = 960e9;  // 1 s on a Haswell node at full threads
+    e.compute(wk);
+    if (e.rank() == 0) {
+      std::byte b{};
+      e.send(e.world(), 1, 1, pmpi::ConstBytes(&b, 1));
+    } else {
+      std::byte b{};
+      e.recv(e.world(), 0, 1, pmpi::Bytes(&b, 1));
+    }
+  });
+  const auto& job = w.rt.launch("acct", hw::NodeKind::Cluster, 2);
+  w.run();
+  const auto t = w.rt.jobTimes(job.id);
+  EXPECT_NEAR(t.computeSec, 2.0, 1e-6);
+  EXPECT_GT(t.commSec, 0.0);
+  EXPECT_LT(t.commSec, 0.01);
+}
+
+TEST(Pmpi, SpawnOntoExplicitNodes) {
+  World w;
+  std::vector<int> childNodes;
+  w.registry.add("pinned", [&](Env& e) { childNodes.push_back(e.node().id); });
+  w.registry.add("launcher", [&](Env& e) {
+    pmpi::SpawnOptions opts;
+    const auto bns = e.runtime().machine().nodesOfKind(hw::NodeKind::Booster);
+    opts.nodes = {bns[1], bns[3]};  // pin to specific Booster nodes
+    e.commSpawn("pinned", 2, opts);
+  });
+  w.rt.launch("launcher", hw::NodeKind::Cluster, 1);
+  w.run();
+  const auto bns = w.machine.nodesOfKind(hw::NodeKind::Booster);
+  ASSERT_EQ(childNodes.size(), 2u);
+  EXPECT_EQ(childNodes[0], bns[1]);
+  EXPECT_EQ(childNodes[1], bns[3]);
+}
+
+TEST(Pmpi, SpawnOntoBusyExplicitNodesFails) {
+  World w;
+  w.registry.add("sleeper", [](Env& e) { e.ctx().delay(SimTime::sec(1)); });
+  w.registry.add("grabber", [&](Env& e) {
+    pmpi::SpawnOptions opts;
+    opts.nodes = {0};  // node 0 is held by this very job
+    e.commSpawn("sleeper", 1, opts);
+  });
+  w.rt.launch("grabber", hw::NodeKind::Cluster, 1);  // lands on node 0
+  EXPECT_THROW(w.engine.run(), std::runtime_error);
+}
+
+TEST(Pmpi, RunUntilPausesAndResumesMidConversation) {
+  World w;
+  int received = 0;
+  w.registry.add("slowtalk", [&](Env& e) {
+    if (e.rank() == 0) {
+      for (int i = 0; i < 3; ++i) {
+        e.ctx().delay(SimTime::ms(10));
+        e.sendValue(e.world(), 1, 1, i);
+      }
+    } else {
+      for (int i = 0; i < 3; ++i) {
+        (void)e.recvValue<int>(e.world(), 0, 1);
+        ++received;
+      }
+    }
+  });
+  w.rt.launch("slowtalk", hw::NodeKind::Cluster, 2);
+  w.engine.runUntil(SimTime::ms(15));
+  EXPECT_EQ(received, 1);  // only the first message landed so far
+  w.run();                 // resume to completion
+  EXPECT_EQ(received, 3);
+}
+
+TEST(Pmpi, InvalidCommIsRejected) {
+  World w;
+  w.registry.add("invalid", [&](Env& e) {
+    std::byte b{};
+    e.send(pmpi::Comm{}, 0, 1, pmpi::ConstBytes(&b, 1));
+  });
+  w.rt.launch("invalid", hw::NodeKind::Cluster, 1);
+  EXPECT_THROW(w.engine.run(), std::runtime_error);
+}
+
+TEST(Pmpi, ProcsPerNodeSplitsThreads) {
+  World w;
+  std::vector<int> threads(4, 0), nodes(4, -1);
+  w.registry.add("ppn", [&](Env& e) {
+    threads[static_cast<std::size_t>(e.rank())] = e.threads();
+    nodes[static_cast<std::size_t>(e.rank())] = e.node().id;
+  });
+  w.rt.launch("ppn", hw::NodeKind::Cluster, 2, /*procsPerNode=*/2);
+  w.run();
+  // Haswell: 48 threads / 2 procs = 24 each; ranks 0,1 on node 0.
+  EXPECT_EQ(threads, (std::vector<int>{24, 24, 24, 24}));
+  EXPECT_EQ(nodes[0], nodes[1]);
+  EXPECT_NE(nodes[1], nodes[2]);
+}
+
+}  // namespace

@@ -1,0 +1,292 @@
+// Property-based pmpi tests: data-integrity sweeps across message sizes
+// (crossing the eager/rendezvous boundary), collective correctness over a
+// (ranks x payload x partition) grid, latency monotonicity, communicator
+// algebra (nested splits), spawn chains (grandchildren), and stress-level
+// wildcard matching.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "world_fixture.hpp"
+
+namespace {
+
+using namespace cbsim;
+using cbsim::testing::World;
+using pmpi::Comm;
+using pmpi::Env;
+
+std::vector<std::uint8_t> pattern(std::size_t n, unsigned seed) {
+  std::vector<std::uint8_t> v(n);
+  sim::Rng rng(seed);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next());
+  return v;
+}
+
+// ---- Message-size sweep across the protocol boundary ---------------------------------
+
+class MessageSizes : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(Sweep, MessageSizes,
+                         ::testing::Values(0, 1, 64, 4095, 8192, 8193, 65536,
+                                           1u << 20));
+
+TEST_P(MessageSizes, PayloadSurvivesBitExact) {
+  const std::size_t n = GetParam();
+  World w;
+  bool checked = false;
+  w.registry.add("roundtrip", [&](Env& env) {
+    const auto data = pattern(n, 1234);
+    if (env.rank() == 0) {
+      env.send(env.world(), 1, 1, std::span<const std::uint8_t>(data));
+    } else {
+      std::vector<std::uint8_t> got(n, 0xFF);
+      const auto st = env.recv(env.world(), 0, 1, std::span<std::uint8_t>(got));
+      EXPECT_EQ(st.bytes, n);
+      EXPECT_EQ(got, data);
+      checked = true;
+    }
+  });
+  w.rt.launch("roundtrip", hw::NodeKind::Cluster, 2);
+  w.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(PmpiProperty, LatencyIsMonotoneInSize) {
+  // Through eager AND rendezvous regimes, bigger messages never arrive
+  // faster.
+  double prev = -1;
+  for (const std::size_t n : {1u, 256u, 4096u, 8192u, 16384u, 262144u}) {
+    World w;
+    double t = 0;
+    w.registry.add("m", [&](Env& env) {
+      std::vector<std::byte> buf(n);
+      if (env.rank() == 0) {
+        const double t0 = env.wtime();
+        env.send(env.world(), 1, 1, pmpi::ConstBytes(buf));
+        env.recv(env.world(), 1, 2, pmpi::Bytes(buf));
+        t = env.wtime() - t0;
+      } else {
+        env.recv(env.world(), 0, 1, pmpi::Bytes(buf));
+        env.send(env.world(), 0, 2, pmpi::ConstBytes(buf));
+      }
+    });
+    w.rt.launch("m", hw::NodeKind::Cluster, 2);
+    w.run();
+    EXPECT_GE(t, prev) << "size " << n;
+    prev = t;
+  }
+}
+
+// ---- Collectives over (ranks x payload x partition) ------------------------------------
+
+using CollGrid = std::tuple<int, int, hw::NodeKind>;
+class CollectiveGrid : public ::testing::TestWithParam<CollGrid> {};
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollectiveGrid,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8),        // ranks
+                       ::testing::Values(1, 37, 2048),       // elements
+                       ::testing::Values(hw::NodeKind::Cluster,
+                                         hw::NodeKind::Booster)));
+
+TEST_P(CollectiveGrid, AllreduceSumMatchesSerial) {
+  const auto [ranks, elems, kind] = GetParam();
+  World w(hw::MachineConfig::deepEr(8, 8));
+  int checks = 0;
+  w.registry.add("ar", [&](Env& env) {
+    std::vector<double> mine(static_cast<std::size_t>(elems));
+    for (int i = 0; i < elems; ++i) {
+      mine[static_cast<std::size_t>(i)] = env.rank() * 1000.0 + i;
+    }
+    std::vector<double> out(mine.size());
+    env.allreduce(env.world(), std::span<const double>(mine),
+                  std::span<double>(out), pmpi::Op::Sum);
+    for (int i = 0; i < elems; ++i) {
+      const double expected =
+          (env.size() - 1) * env.size() / 2.0 * 1000.0 + env.size() * i;
+      ASSERT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], expected);
+    }
+    ++checks;
+  });
+  w.rt.launch("ar", kind, ranks);
+  w.run();
+  EXPECT_EQ(checks, ranks);
+}
+
+TEST_P(CollectiveGrid, BcastDeliversToAll) {
+  const auto [ranks, elems, kind] = GetParam();
+  World w(hw::MachineConfig::deepEr(8, 8));
+  int checks = 0;
+  const int root = ranks - 1;
+  w.registry.add("bc", [&](Env& env) {
+    std::vector<std::int64_t> data(static_cast<std::size_t>(elems));
+    if (env.rank() == root) {
+      std::iota(data.begin(), data.end(), 17);
+    }
+    env.bcast(env.world(), root, std::span<std::int64_t>(data));
+    for (int i = 0; i < elems; ++i) {
+      ASSERT_EQ(data[static_cast<std::size_t>(i)], 17 + i);
+    }
+    ++checks;
+  });
+  w.rt.launch("bc", kind, ranks);
+  w.run();
+  EXPECT_EQ(checks, ranks);
+}
+
+// ---- Communicator algebra ---------------------------------------------------------------
+
+TEST(PmpiProperty, NestedSplitsComposeCorrectly) {
+  // Split the world into halves, then each half by parity: four
+  // independent quadrant communicators whose collectives don't interfere.
+  World w(hw::MachineConfig::deepEr(8, 2));
+  std::vector<double> sums(8, -1);
+  w.registry.add("nest", [&](Env& env) {
+    const int half = env.rank() / 4;
+    const Comm h = env.commSplit(env.world(), half, env.rank());
+    const int parity = env.commRank(h) % 2;
+    const Comm q = env.commSplit(h, parity, env.commRank(h));
+    EXPECT_EQ(env.commSize(q), 2);
+    sums[static_cast<std::size_t>(env.rank())] =
+        env.allreduceValue(q, static_cast<double>(env.rank()), pmpi::Op::Sum);
+  });
+  w.rt.launch("nest", hw::NodeKind::Cluster, 8);
+  w.run();
+  // Quadrants: {0,2}, {1,3}, {4,6}, {5,7}.
+  EXPECT_EQ(sums, (std::vector<double>{2, 4, 2, 4, 10, 12, 10, 12}));
+}
+
+TEST(PmpiProperty, SplitSingletonsBehave) {
+  World w(hw::MachineConfig::deepEr(4, 2));
+  int done = 0;
+  w.registry.add("solo", [&](Env& env) {
+    const Comm c = env.commSplit(env.world(), env.rank(), 0);  // 1 rank each
+    EXPECT_EQ(env.commSize(c), 1);
+    EXPECT_EQ(env.commRank(c), 0);
+    EXPECT_DOUBLE_EQ(env.allreduceValue(c, 7.0, pmpi::Op::Sum), 7.0);
+    env.barrier(c);
+    ++done;
+  });
+  w.rt.launch("solo", hw::NodeKind::Cluster, 4);
+  w.run();
+  EXPECT_EQ(done, 4);
+}
+
+// ---- Spawn chains --------------------------------------------------------------------------
+
+TEST(PmpiProperty, GrandchildSpawnChainsWork) {
+  // Cluster job spawns a Booster job, which spawns another Cluster job:
+  // the full heterogeneous chain with data flowing down and back up.
+  World w(hw::MachineConfig::deepEr(4, 4));
+  int result = 0;
+  w.registry.add("grandchild", [&](Env& env) {
+    const int v = env.recvValue<int>(env.parent(), 0, 1);
+    env.sendValue(env.parent(), 0, 2, v * 10);
+  });
+  w.registry.add("child", [&](Env& env) {
+    const int v = env.recvValue<int>(env.parent(), 0, 1);
+    pmpi::SpawnOptions opts;
+    opts.partition = hw::NodeKind::Cluster;
+    const Comm down = env.commSpawn("grandchild", 1, opts);
+    env.sendValue(down, 0, 1, v + 1);
+    env.sendValue(env.parent(), 0, 2, env.recvValue<int>(down, 0, 2));
+  });
+  w.registry.add("root", [&](Env& env) {
+    pmpi::SpawnOptions opts;
+    opts.partition = hw::NodeKind::Booster;
+    const Comm down = env.commSpawn("child", 1, opts);
+    env.sendValue(down, 0, 1, 4);
+    result = env.recvValue<int>(down, 0, 2);
+  });
+  w.rt.launch("root", hw::NodeKind::Cluster, 1);
+  w.run();
+  EXPECT_EQ(result, 50);  // (4 + 1) * 10
+}
+
+TEST(PmpiProperty, SiblingSpawnsGetDisjointNodes) {
+  World w(hw::MachineConfig::deepEr(2, 4));
+  std::vector<int> nodes;
+  w.registry.add("kid", [&](Env& env) {
+    nodes.push_back(env.node().id);
+    // Hold the allocation until the parent confirms both are alive.
+    (void)env.recvValue<int>(env.parent(), 0, 3);
+  });
+  w.registry.add("parent2", [&](Env& env) {
+    pmpi::SpawnOptions opts;
+    opts.partition = hw::NodeKind::Booster;
+    const Comm a = env.commSpawn("kid", 2, opts);
+    const Comm b = env.commSpawn("kid", 2, opts);
+    for (const Comm c : {a, b}) {
+      for (int r = 0; r < 2; ++r) env.sendValue(c, r, 3, 1);
+    }
+  });
+  w.rt.launch("parent2", hw::NodeKind::Cluster, 1);
+  w.run();
+  ASSERT_EQ(nodes.size(), 4u);
+  std::sort(nodes.begin(), nodes.end());
+  EXPECT_EQ(std::unique(nodes.begin(), nodes.end()), nodes.end());
+}
+
+// ---- Stress: wildcard matching under fan-in -----------------------------------------------
+
+TEST(PmpiProperty, ManyToOneWildcardFanInDeliversEverything) {
+  World w(hw::MachineConfig::deepEr(8, 2));
+  constexpr int kSenders = 7;
+  constexpr int kMsgs = 20;
+  std::vector<int> perSource(kSenders + 1, 0);
+  long long checksum = 0;
+  w.registry.add("fanin", [&](Env& env) {
+    if (env.rank() == 0) {
+      for (int i = 0; i < kSenders * kMsgs; ++i) {
+        int v = 0;
+        const auto st = env.recv(env.world(), pmpi::AnySource, pmpi::AnyTag,
+                                 std::span<int>(&v, 1));
+        ++perSource[static_cast<std::size_t>(st.source)];
+        EXPECT_EQ(v, st.source * 1000 + st.tag);
+        checksum += v;
+      }
+    } else {
+      for (int m = 0; m < kMsgs; ++m) {
+        env.sendValue(env.world(), 0, m, env.rank() * 1000 + m);
+        env.ctx().delay(sim::SimTime::us(env.rank()));  // jitter the streams
+      }
+    }
+  });
+  w.rt.launch("fanin", hw::NodeKind::Cluster, kSenders + 1);
+  w.run();
+  long long expected = 0;
+  for (int r = 1; r <= kSenders; ++r) {
+    EXPECT_EQ(perSource[static_cast<std::size_t>(r)], kMsgs);
+    for (int m = 0; m < kMsgs; ++m) expected += r * 1000 + m;
+  }
+  EXPECT_EQ(checksum, expected);
+}
+
+TEST(PmpiProperty, MixedEagerRendezvousStreamsStayOrderedPerPair) {
+  // Alternating small (eager) and large (rendezvous) messages on one
+  // (sender, receiver, tag) stream must still match in send order.
+  World w;
+  std::vector<std::size_t> sizes;
+  w.registry.add("mix", [&](Env& env) {
+    const std::array<std::size_t, 6> plan = {8, 100000, 16, 70000, 32, 9000};
+    if (env.rank() == 0) {
+      for (const std::size_t n : plan) {
+        std::vector<std::byte> buf(n, static_cast<std::byte>(n & 0xff));
+        env.send(env.world(), 1, 5, pmpi::ConstBytes(buf));
+      }
+    } else {
+      for (int i = 0; i < 6; ++i) {
+        std::vector<std::byte> buf(1 << 20);
+        const auto st = env.recv(env.world(), 0, 5, pmpi::Bytes(buf));
+        sizes.push_back(st.bytes);
+        EXPECT_EQ(buf[0], static_cast<std::byte>(st.bytes & 0xff));
+      }
+    }
+  });
+  w.rt.launch("mix", hw::NodeKind::Cluster, 2);
+  w.run();
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{8, 100000, 16, 70000, 32, 9000}));
+}
+
+}  // namespace

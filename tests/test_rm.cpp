@@ -1,0 +1,69 @@
+// Unit tests for the resource manager: independent partition allocation —
+// the property the Cluster-Booster concept relies on (section II-A).
+
+#include <gtest/gtest.h>
+
+#include "rm/resource_manager.hpp"
+
+namespace {
+
+using namespace cbsim;
+
+struct RmFixture {
+  sim::Engine engine;
+  hw::Machine machine{engine, hw::MachineConfig::deepEr(4, 2)};
+  rm::ResourceManager rm{machine};
+};
+
+TEST(ResourceManager, AllocateAndRelease) {
+  RmFixture f;
+  EXPECT_EQ(f.rm.freeCount(hw::NodeKind::Cluster), 4);
+  const auto a = f.rm.allocate(hw::NodeKind::Cluster, 3);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->nodes.size(), 3u);
+  EXPECT_EQ(f.rm.freeCount(hw::NodeKind::Cluster), 1);
+  f.rm.release(a->id);
+  EXPECT_EQ(f.rm.freeCount(hw::NodeKind::Cluster), 4);
+}
+
+TEST(ResourceManager, PartitionsAreIndependent) {
+  RmFixture f;
+  const auto a = f.rm.allocate(hw::NodeKind::Cluster, 4);
+  ASSERT_TRUE(a.has_value());
+  // Exhausting the Cluster must not affect Booster availability.
+  EXPECT_EQ(f.rm.freeCount(hw::NodeKind::Booster), 2);
+  const auto b = f.rm.allocate(hw::NodeKind::Booster, 2);
+  EXPECT_TRUE(b.has_value());
+}
+
+TEST(ResourceManager, OverAllocationFails) {
+  RmFixture f;
+  EXPECT_FALSE(f.rm.allocate(hw::NodeKind::Cluster, 5).has_value());
+  // A failed allocation must not leak partial reservations.
+  EXPECT_EQ(f.rm.freeCount(hw::NodeKind::Cluster), 4);
+}
+
+TEST(ResourceManager, ExplicitNodeAllocation) {
+  RmFixture f;
+  const auto a = f.rm.allocateNodes({1, 2});
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(f.rm.isFree(1));
+  EXPECT_TRUE(f.rm.isFree(0));
+  // Conflicting explicit request fails atomically.
+  EXPECT_FALSE(f.rm.allocateNodes({0, 2}).has_value());
+  EXPECT_TRUE(f.rm.isFree(0));
+}
+
+TEST(ResourceManager, InvalidNodeIdRejected) {
+  RmFixture f;
+  EXPECT_FALSE(f.rm.allocateNodes({-1}).has_value());
+  EXPECT_FALSE(f.rm.allocateNodes({999}).has_value());
+}
+
+TEST(ResourceManager, ReleaseUnknownIdIsNoop) {
+  RmFixture f;
+  f.rm.release(12345);
+  EXPECT_EQ(f.rm.freeCount(hw::NodeKind::Cluster), 4);
+}
+
+}  // namespace

@@ -1,0 +1,249 @@
+// Tests for the SCR-like multi-level checkpoint/restart stack: cadence,
+// per-level placement, restore preference, node-failure survival, a full
+// kill-and-resume cycle with injected failures, and the Young/Daly
+// interval helper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "scr/failure.hpp"
+#include "scr/scr.hpp"
+#include "world_fixture.hpp"
+
+namespace {
+
+using namespace cbsim;
+using cbsim::testing::World;
+using pmpi::Env;
+
+struct ScrStack {
+  World w;
+  io::BeeGfs fs;
+  io::LocalStore local;
+  io::NamStore nam;
+
+  explicit ScrStack(hw::MachineConfig cfg = hw::MachineConfig::deepEr(4, 4))
+      : w(std::move(cfg)), fs(w.machine, w.fabric), local(w.machine, w.fabric),
+        nam(w.machine, w.fabric) {}
+
+  scr::Scr make(scr::ScrConfig cfg = {}) {
+    return scr::Scr(w.machine, fs, local, nam, cfg);
+  }
+};
+
+std::vector<std::byte> stateOf(int rank, int step, std::size_t n = 4096) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((rank * 7 + step * 31 + static_cast<int>(i)) & 0xff);
+  }
+  return v;
+}
+
+TEST(Scr, CadenceFollowsConfig) {
+  ScrStack s;
+  scr::ScrConfig cfg;
+  cfg.localEvery = 2;
+  cfg.buddyEvery = 0;
+  cfg.globalEvery = 6;
+  auto scrLib = s.make(cfg);
+  EXPECT_TRUE(scrLib.needCheckpoint(0));
+  EXPECT_FALSE(scrLib.needCheckpoint(1));
+  EXPECT_TRUE(scrLib.needCheckpoint(2));
+  EXPECT_TRUE(scrLib.needCheckpoint(6));
+}
+
+TEST(Scr, LevelsLandInTheRightPlaces) {
+  ScrStack s;
+  scr::ScrConfig cfg;
+  cfg.localEvery = 1;
+  cfg.buddyEvery = 1;
+  cfg.globalEvery = 1;
+  cfg.namEvery = 1;
+  auto scrLib = s.make(cfg);
+  std::vector<int> nodes(2, -1);
+  s.w.runRanks(2, [&](Env& env) {
+    nodes[static_cast<std::size_t>(env.rank())] = env.node().id;
+    const auto st = stateOf(env.rank(), 0);
+    scrLib.checkpoint(env, env.world(), 0, pmpi::ConstBytes(st));
+  });
+  // Local copies on own nodes; buddy copies on partners; global container
+  // on BeeGFS; NAM blobs on the devices.
+  EXPECT_TRUE(s.local.has(nodes[0], "/scr/s0/r0"));
+  EXPECT_TRUE(s.local.has(nodes[1], "/scr/s0/r0+buddy"));
+  EXPECT_TRUE(s.local.has(nodes[0], "/scr/s0/r1+buddy"));
+  EXPECT_TRUE(s.fs.exists("/scr/ckpt_0.sion"));
+  EXPECT_GT(s.nam.usedBytes(0), 0u);
+  EXPECT_EQ(scrLib.stats().checkpoints, 8u);  // 2 ranks x 4 levels
+}
+
+TEST(Scr, RestartPrefersNewestStepAndLocalLevel) {
+  ScrStack s;
+  auto scrLib = s.make();
+  s.w.runRanks(2, [&](Env& env) {
+    for (int step = 0; step <= 4; ++step) {
+      scrLib.checkpoint(env, env.world(), step,
+                        pmpi::ConstBytes(stateOf(env.rank(), step)));
+    }
+    std::vector<std::byte> back;
+    const auto step = scrLib.restart(env, env.world(), back);
+    ASSERT_TRUE(step.has_value());
+    EXPECT_EQ(*step, 4);
+    EXPECT_EQ(back, stateOf(env.rank(), 4));
+    EXPECT_EQ(scrLib.lastRestoreLevel(), scr::Level::Local);
+  });
+}
+
+TEST(Scr, BuddySurvivesNodeLoss) {
+  ScrStack s;
+  scr::ScrConfig cfg;
+  cfg.localEvery = 1;
+  cfg.buddyEvery = 1;
+  cfg.globalEvery = 0;
+  auto scrLib = s.make(cfg);
+  std::vector<int> nodes(2, -1);
+  s.w.runRanks(2, [&](Env& env) {
+    nodes[static_cast<std::size_t>(env.rank())] = env.node().id;
+    scrLib.checkpoint(env, env.world(), 7,
+                      pmpi::ConstBytes(stateOf(env.rank(), 7)));
+  });
+
+  s.local.dropNode(nodes[0]);  // rank 0's node dies
+
+  s.w.runRanks(2, [&](Env& env) {
+    std::vector<std::byte> back;
+    const auto step = scrLib.restart(env, env.world(), back);
+    ASSERT_TRUE(step.has_value());
+    EXPECT_EQ(*step, 7);
+    EXPECT_EQ(back, stateOf(env.rank(), 7));
+  });
+  // Local level is gone for rank 0, so the common level was Buddy.
+  EXPECT_EQ(scrLib.lastRestoreLevel(), scr::Level::Buddy);
+}
+
+TEST(Scr, GlobalSurvivesLosingEverything) {
+  ScrStack s;
+  scr::ScrConfig cfg;
+  cfg.localEvery = 1;
+  cfg.buddyEvery = 1;
+  cfg.globalEvery = 1;
+  auto scrLib = s.make(cfg);
+  std::vector<int> nodes(2, -1);
+  s.w.runRanks(2, [&](Env& env) {
+    nodes[static_cast<std::size_t>(env.rank())] = env.node().id;
+    scrLib.checkpoint(env, env.world(), 3,
+                      pmpi::ConstBytes(stateOf(env.rank(), 3)));
+  });
+  s.local.dropNode(nodes[0]);
+  s.local.dropNode(nodes[1]);  // both nodes dead: only BeeGFS survives
+
+  s.w.runRanks(2, [&](Env& env) {
+    std::vector<std::byte> back;
+    const auto step = scrLib.restart(env, env.world(), back);
+    ASSERT_TRUE(step.has_value());
+    EXPECT_EQ(back, stateOf(env.rank(), 3));
+  });
+  EXPECT_EQ(scrLib.lastRestoreLevel(), scr::Level::Global);
+}
+
+TEST(Scr, RestartWithNothingRecordedFails) {
+  ScrStack s;
+  auto scrLib = s.make();
+  s.w.runRanks(2, [&](Env& env) {
+    std::vector<std::byte> back;
+    EXPECT_FALSE(scrLib.restart(env, env.world(), back).has_value());
+  });
+}
+
+TEST(Scr, CostEstimatesOrderLevelsSensibly) {
+  ScrStack s;
+  auto scrLib = s.make();
+  const double mb = 64e6;
+  EXPECT_LT(scrLib.estimateCost(scr::Level::Local, mb),
+            scrLib.estimateCost(scr::Level::Buddy, mb));
+  EXPECT_LT(scrLib.estimateCost(scr::Level::Nam, mb),
+            scrLib.estimateCost(scr::Level::Global, mb));
+}
+
+TEST(YoungDaly, IntervalScalesWithSqrt) {
+  using sim::SimTime;
+  const SimTime c = SimTime::sec(10);
+  const SimTime mtbf = SimTime::sec(20000);
+  const SimTime t = scr::youngDalyInterval(c, mtbf);
+  EXPECT_NEAR(t.toSeconds(), std::sqrt(2.0 * 10 * 20000), 1e-6);
+  // 4x the MTBF -> 2x the interval.
+  EXPECT_NEAR(scr::youngDalyInterval(c, 4 * mtbf).toSeconds(),
+              2 * t.toSeconds(), 1e-6);
+}
+
+// ---- Full kill-and-resume cycle --------------------------------------------------
+
+TEST(Failure, InjectedNodeFailureKillsJob) {
+  ScrStack s;
+  int stepsDone = 0;
+  s.w.registry.add("victim", [&](Env& env) {
+    for (int step = 0; step < 100; ++step) {
+      env.ctx().delay(sim::SimTime::ms(10));
+      if (env.rank() == 0) stepsDone = step + 1;
+    }
+  });
+  const auto& job = s.w.rt.launch("victim", hw::NodeKind::Cluster, 2);
+  scr::FailureInjector inj(s.w.rt, s.local);
+  inj.scheduleNodeFailure(job.id, sim::SimTime::ms(255), /*dropNode=*/0);
+  s.w.engine.run();
+  EXPECT_EQ(inj.injected(), 1);
+  EXPECT_TRUE(s.w.rt.jobDone(job.id));
+  EXPECT_LT(stepsDone, 30);  // killed ~ a quarter of the way in
+  // Allocation was released on drain.
+  EXPECT_EQ(s.w.rm.freeCount(hw::NodeKind::Cluster), 4);
+}
+
+TEST(Failure, CheckpointRestartResumesAcrossFailure) {
+  ScrStack s;
+  scr::ScrConfig cfg;
+  cfg.localEvery = 1;
+  cfg.buddyEvery = 2;
+  cfg.globalEvery = 0;
+  auto scrLib = s.make(cfg);
+
+  constexpr int kTotalSteps = 20;
+  int finishedAtStep = -1;
+
+  // The application: state is a step counter + payload; checkpoint every
+  // step, restart from SCR when relaunched.
+  s.w.registry.add("app", [&](Env& env) {
+    std::vector<std::byte> state(1024, std::byte{0});
+    int startStep = 0;
+    if (const auto resumed = scrLib.restart(env, env.world(), state)) {
+      startStep = *resumed + 1;
+    }
+    for (int step = startStep; step < kTotalSteps; ++step) {
+      state[0] = static_cast<std::byte>(step);  // evolve the state
+      env.ctx().delay(sim::SimTime::ms(5));
+      scrLib.checkpoint(env, env.world(), step, pmpi::ConstBytes(state));
+    }
+    if (env.rank() == 0) finishedAtStep = kTotalSteps;
+  });
+
+  // First attempt dies mid-run, losing node 0's NVMe (local level of the
+  // surviving steps included).
+  const auto& first = s.w.rt.launch("app", hw::NodeKind::Cluster, 2);
+  scr::FailureInjector inj(s.w.rt, s.local);
+  inj.scheduleNodeFailure(first.id, sim::SimTime::ms(42), /*dropNode=*/0);
+  s.w.engine.run();
+  ASSERT_EQ(inj.injected(), 1);
+  EXPECT_EQ(finishedAtStep, -1);
+
+  // Supervisor relaunches; the run resumes past the failure point instead
+  // of starting over.
+  s.w.rt.launch("app", hw::NodeKind::Cluster, 2);
+  const auto st = s.w.engine.run();
+  EXPECT_FALSE(st.deadlocked());
+  EXPECT_EQ(finishedAtStep, kTotalSteps);
+  EXPECT_GE(scrLib.stats().restarts, 1u);
+  // The restore could not use rank 0's local copies (node dropped).
+  EXPECT_EQ(scrLib.lastRestoreLevel(), scr::Level::Buddy);
+}
+
+}  // namespace

@@ -1,0 +1,364 @@
+// Unit tests for the discrete-event engine: time arithmetic, PRNG,
+// event ordering, process lifecycle, wake semantics, triggers,
+// deadlock detection and cancellation.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "sim/trigger.hpp"
+
+namespace {
+
+using namespace cbsim::sim;
+using namespace cbsim::sim::literals;
+
+// ----------------------------------------------------------------- SimTime
+
+TEST(SimTime, UnitFactoriesAgree) {
+  EXPECT_EQ(SimTime::ns(1).picos(), 1'000);
+  EXPECT_EQ(SimTime::us(1).picos(), 1'000'000);
+  EXPECT_EQ(SimTime::ms(1).picos(), 1'000'000'000);
+  EXPECT_EQ(SimTime::sec(1).picos(), 1'000'000'000'000);
+  EXPECT_EQ(1_us, SimTime::ns(1000));
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime t = 3_us + 500_ns;
+  EXPECT_EQ(t.picos(), 3'500'000);
+  EXPECT_EQ((t - 500_ns), 3_us);
+  EXPECT_EQ((2 * t).picos(), 7'000'000);
+  EXPECT_EQ(t / 1_ns, 3500);
+  EXPECT_LT(3_us, t);
+}
+
+TEST(SimTime, FloatingPointConversions) {
+  EXPECT_DOUBLE_EQ((1500_ns).toMicros(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(2.5).toSeconds(), 2.5);
+  EXPECT_EQ(SimTime::micros(1.8).picos(), 1'800'000);
+  EXPECT_EQ(SimTime::seconds(1e300), SimTime::max());
+}
+
+TEST(SimTime, HumanReadableString) {
+  EXPECT_EQ((1800_ns).str(), "1.80us");
+  EXPECT_EQ((250_ps).str(), "250ps");
+  EXPECT_EQ(SimTime::seconds(1.5).str(), "1.500s");
+}
+
+// --------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng r(3);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(5);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.02);
+}
+
+// ------------------------------------------------------------------ Engine
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(3_us, [&] { order.push_back(3); });
+  e.schedule(1_us, [&] { order.push_back(1); });
+  e.schedule(2_us, [&] { order.push_back(2); });
+  const RunStats st = e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(st.eventsProcessed, 3u);
+  EXPECT_EQ(st.endTime, 3_us);
+}
+
+TEST(Engine, TiesResolveInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(1_us, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, NestedSchedulingAdvancesClock) {
+  Engine e;
+  SimTime seen = SimTime::zero();
+  e.schedule(1_us, [&] {
+    e.schedule(2_us, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, 3_us);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule(1_us, [&] {
+    EXPECT_THROW(e.scheduleAt(SimTime::zero(), [] {}), std::logic_error);
+  });
+  e.run();
+}
+
+TEST(Engine, RunUntilStopsAtLimit) {
+  Engine e;
+  int ran = 0;
+  e.schedule(1_us, [&] { ++ran; });
+  e.schedule(10_us, [&] { ++ran; });
+  RunStats st = e.runUntil(5_us);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(st.endTime, 5_us);
+  st = e.run();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(st.endTime, 10_us);
+}
+
+TEST(Engine, ProcessDelayAdvancesTime) {
+  Engine e;
+  std::vector<double> stamps;
+  e.spawn("p", [&](Context& ctx) {
+    stamps.push_back(ctx.now().toMicros());
+    ctx.delay(5_us);
+    stamps.push_back(ctx.now().toMicros());
+    ctx.delay(5_us);
+    stamps.push_back(ctx.now().toMicros());
+  });
+  e.run();
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_DOUBLE_EQ(stamps[0], 0.0);
+  EXPECT_DOUBLE_EQ(stamps[1], 5.0);
+  EXPECT_DOUBLE_EQ(stamps[2], 10.0);
+}
+
+TEST(Engine, ProcessesInterleaveDeterministically) {
+  Engine e;
+  std::string trace;
+  e.spawn("a", [&](Context& ctx) {
+    trace += 'a';
+    ctx.delay(2_us);
+    trace += 'A';
+  });
+  e.spawn("b", [&](Context& ctx) {
+    trace += 'b';
+    ctx.delay(1_us);
+    trace += 'B';
+  });
+  e.run();
+  EXPECT_EQ(trace, "abBA");
+}
+
+TEST(Engine, SuspendWakeRoundtrip) {
+  Engine e;
+  bool flag = false;
+  Process* waiter = nullptr;
+  waiter = &e.spawn("waiter", [&](Context& ctx) {
+    while (!flag) ctx.suspend();
+    EXPECT_EQ(ctx.now(), 7_us);
+  });
+  e.schedule(7_us, [&] {
+    flag = true;
+    e.wake(*waiter);
+  });
+  const RunStats st = e.run();
+  EXPECT_FALSE(st.deadlocked());
+}
+
+TEST(Engine, WakeBeforeSuspendIsNotLost) {
+  Engine e;
+  Process* p = nullptr;
+  p = &e.spawn("p", [&](Context& ctx) {
+    ctx.delay(2_us);   // wake arrives at 1us while we are runnable
+    ctx.suspend();     // must consume the banked token, not block
+    EXPECT_EQ(ctx.now(), 2_us);
+  });
+  e.schedule(1_us, [&] { e.wake(*p); });
+  const RunStats st = e.run();
+  EXPECT_FALSE(st.deadlocked());
+}
+
+TEST(Engine, DeadlockIsReported) {
+  Engine e;
+  e.spawn("stuck", [&](Context& ctx) { ctx.suspend(); });
+  const RunStats st = e.run();
+  ASSERT_TRUE(st.deadlocked());
+  EXPECT_EQ(st.blockedProcesses.at(0), "stuck");
+}
+
+TEST(Engine, ProcessFailureThrowsByDefault) {
+  Engine e;
+  e.spawn("bad", [&](Context&) { throw std::runtime_error("boom"); });
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+TEST(Engine, ProcessFailureCollectedWhenRequested) {
+  Engine e;
+  e.setCollectProcessErrors(true);
+  e.spawn("bad", [&](Context&) { throw std::runtime_error("boom"); });
+  const RunStats st = e.run();
+  ASSERT_EQ(st.processFailures.size(), 1u);
+  EXPECT_NE(st.processFailures[0].find("boom"), std::string::npos);
+}
+
+TEST(Engine, CancelTerminatesSuspendedProcess) {
+  Engine e;
+  bool reachedEnd = false;
+  Process& p = e.spawn("victim", [&](Context& ctx) {
+    ctx.suspend();
+    reachedEnd = true;
+  });
+  e.schedule(1_us, [&] { e.cancel(p); });
+  const RunStats st = e.run();
+  EXPECT_FALSE(reachedEnd);
+  EXPECT_FALSE(st.deadlocked());
+  EXPECT_EQ(p.state(), Process::State::Cancelled);
+}
+
+TEST(Engine, SpawnFromInsideProcess) {
+  Engine e;
+  std::vector<std::string> log;
+  e.spawn("parent", [&](Context& ctx) {
+    log.push_back("parent@" + ctx.now().str());
+    ctx.engine().spawn("child", [&](Context& c2) {
+      log.push_back("child@" + c2.now().str());
+    });
+    ctx.delay(1_us);
+    log.push_back("parent-done");
+  });
+  e.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[1], "child@0ps");
+}
+
+TEST(Engine, ManyProcessesAllComplete) {
+  Engine e;
+  int done = 0;
+  for (int i = 0; i < 100; ++i) {
+    e.spawn("p" + std::to_string(i), [&, i](Context& ctx) {
+      ctx.delay(SimTime::ns(i));
+      ++done;
+    });
+  }
+  const RunStats st = e.run();
+  EXPECT_EQ(done, 100);
+  EXPECT_FALSE(st.deadlocked());
+  EXPECT_EQ(e.liveProcessCount(), 0u);
+}
+
+TEST(Engine, DestructionCancelsLiveProcesses) {
+  bool sawCancel = false;
+  {
+    Engine e;
+    e.spawn("held", [&](Context& ctx) {
+      struct Sentinel {
+        bool* flag;
+        ~Sentinel() { *flag = true; }  // unwinding proves cancellation ran
+      } s{&sawCancel};
+      ctx.suspend();
+    });
+    e.run();
+  }
+  EXPECT_TRUE(sawCancel);
+}
+
+// ----------------------------------------------------------------- Trigger
+
+TEST(Trigger, FireWakesOneWaiterFifo) {
+  Engine e;
+  Trigger t(e);
+  std::vector<int> woken;
+  for (int i = 0; i < 3; ++i) {
+    e.spawn("w" + std::to_string(i), [&, i](Context& ctx) {
+      t.wait(ctx);
+      woken.push_back(i);
+    });
+  }
+  e.schedule(1_us, [&] { t.fire(); });
+  e.schedule(2_us, [&] { t.fire(); });
+  e.schedule(3_us, [&] { t.fire(); });
+  const RunStats st = e.run();
+  EXPECT_FALSE(st.deadlocked());
+  EXPECT_EQ(woken, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Trigger, BroadcastWakesAll) {
+  Engine e;
+  Trigger t(e);
+  int woken = 0;
+  for (int i = 0; i < 5; ++i) {
+    e.spawn("w" + std::to_string(i), [&](Context& ctx) {
+      t.wait(ctx);
+      ++woken;
+    });
+  }
+  e.schedule(1_us, [&] { t.broadcast(); });
+  e.run();
+  EXPECT_EQ(woken, 5);
+}
+
+TEST(Trigger, FireWithNoWaitersReturnsFalse) {
+  Engine e;
+  Trigger t(e);
+  e.schedule(1_us, [&] { EXPECT_FALSE(t.fire()); });
+  e.run();
+}
+
+TEST(Trigger, CancelledWaiterIsUnlinked) {
+  Engine e;
+  Trigger t(e);
+  Process& victim = e.spawn("victim", [&](Context& ctx) { t.wait(ctx); });
+  int survivorWoken = 0;
+  e.schedule(1_us, [&] { e.cancel(victim); });
+  e.spawn("survivor", [&](Context& ctx) {
+    ctx.delay(2_us);
+    t.wait(ctx);
+    ++survivorWoken;
+  });
+  e.schedule(3_us, [&] { t.fire(); });
+  const RunStats st = e.run();
+  EXPECT_FALSE(st.deadlocked());
+  EXPECT_EQ(survivorWoken, 1);
+  EXPECT_EQ(t.waiterCount(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,318 @@
+// xPic tests: decomposition and grid math, interpolation/deposition,
+// single-particle physics (gyromotion, uniform-field acceleration),
+// migration bookkeeping, halo exchange across ranks, field-solver
+// convergence, and full-run invariants in all three execution modes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "xpic/driver.hpp"
+#include "xpic/field_solver.hpp"
+#include "xpic/particle_solver.hpp"
+#include "xpic/species.hpp"
+
+namespace {
+
+using namespace cbsim;
+using xpic::Decomposition;
+using xpic::Field2D;
+using xpic::FieldArrays;
+using xpic::Grid2D;
+using xpic::Species;
+using xpic::SpeciesParams;
+using xpic::XpicConfig;
+
+// ---- Decomposition / grid ------------------------------------------------------
+
+TEST(Decomposition, FactorsDivideGrid) {
+  for (const int ranks : {1, 2, 4, 8, 16}) {
+    const Decomposition d = Decomposition::make(ranks, 64, 64);
+    EXPECT_EQ(d.px * d.py, ranks);
+    EXPECT_EQ(64 % d.px, 0);
+    EXPECT_EQ(64 % d.py, 0);
+  }
+  const Decomposition d8 = Decomposition::make(8, 64, 64);
+  EXPECT_EQ(d8.px, 4);
+  EXPECT_EQ(d8.py, 2);
+}
+
+TEST(Grid2D, BlocksTileTheDomain) {
+  const XpicConfig cfg = XpicConfig::tableII();
+  int cells = 0;
+  for (int r = 0; r < 4; ++r) {
+    const Grid2D g(cfg, 4, r);
+    cells += g.lnx() * g.lny();
+    EXPECT_EQ(g.ranks(), 4);
+  }
+  EXPECT_EQ(cells, cfg.cells());
+}
+
+TEST(Grid2D, NeighbourWrapsPeriodically) {
+  const XpicConfig cfg = XpicConfig::tableII();
+  const Grid2D g(cfg, 4, 0);  // 2x2 process grid
+  EXPECT_EQ(g.neighbour(1, 0), 1);
+  EXPECT_EQ(g.neighbour(-1, 0), 1);  // wrap
+  EXPECT_EQ(g.neighbour(0, 1), 2);
+  EXPECT_EQ(g.neighbour(1, 1), 3);
+  EXPECT_EQ(g.neighbour(0, 0), 0);
+}
+
+TEST(Field2D, InteriorReductions) {
+  Field2D a(4, 4), b(4, 4);
+  a.fill(2.0);
+  b.fill(3.0);
+  EXPECT_DOUBLE_EQ(interiorDot(a, b), 16 * 6.0);
+  interiorAxpy(a, 0.5, b);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 3.5);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);  // ghosts untouched
+}
+
+// ---- Interpolation ---------------------------------------------------------------
+
+TEST(Interpolate, ConstantFieldIsExact) {
+  XpicConfig cfg = XpicConfig::tiny();
+  const Grid2D g(cfg, 1, 0);
+  Field2D f(g.lnx(), g.lny());
+  f.fill(7.25);
+  for (double x : {0.1, 3.3, 12.0}) {
+    EXPECT_NEAR(xpic::interpolate(f, g, x, x * 0.7 + 1.0), 7.25, 1e-12);
+  }
+}
+
+TEST(Interpolate, LinearFieldIsExact) {
+  XpicConfig cfg = XpicConfig::tiny();
+  const Grid2D g(cfg, 1, 0);
+  Field2D f(g.lnx(), g.lny());
+  // f = 2x + 3y at cell centers, extended into ghosts linearly.
+  for (int j = 0; j <= g.lny() + 1; ++j) {
+    for (int i = 0; i <= g.lnx() + 1; ++i) {
+      const double xc = (i - 0.5) * g.dx();
+      const double yc = (j - 0.5) * g.dy();
+      f.at(i, j) = 2 * xc + 3 * yc;
+    }
+  }
+  for (double x : {1.0, 2.7, 9.4}) {
+    const double y = 0.5 * x + 2.0;
+    EXPECT_NEAR(xpic::interpolate(f, g, x, y), 2 * x + 3 * y, 1e-10);
+  }
+}
+
+// ---- Single-particle physics -------------------------------------------------------
+
+XpicConfig singleParticleCfg() {
+  XpicConfig cfg = XpicConfig::tiny();
+  cfg.dt = 0.05;
+  cfg.moverIterations = 3;
+  return cfg;
+}
+
+TEST(Species, GyromotionConservesSpeedExactly) {
+  const XpicConfig cfg = singleParticleCfg();
+  const Grid2D g(cfg, 1, 0);
+  FieldArrays f(g);
+  f.bz.fill(1.0);
+  SpeciesParams p;
+  p.charge = -1;
+  p.mass = 1;
+  Species s(p, cfg);
+  s.addParticle(cfg.lx / 2, cfg.ly / 2, 0.02, 0.0, 0.0);
+  const double v0 = 0.02;
+  for (int i = 0; i < 200; ++i) s.move(f, g);
+  const double ke = s.kineticEnergy();
+  const double v = std::sqrt(2 * ke / (p.mass * s.weight()));
+  EXPECT_NEAR(v, v0, 1e-12);  // the rotation form is norm-preserving
+}
+
+TEST(Species, GyroPeriodMatchesCyclotronFrequency) {
+  const XpicConfig cfg = singleParticleCfg();
+  const Grid2D g(cfg, 1, 0);
+  FieldArrays f(g);
+  const double b0 = 0.5;
+  f.bz.fill(b0);
+  SpeciesParams p;
+  p.charge = -1;
+  p.mass = 1;
+  Species s(p, cfg);
+  s.addParticle(cfg.lx / 2, cfg.ly / 2, 0.01, 0.0, 0.0);
+  // u = v0 cos(w t): one full period spans three consecutive zero
+  // crossings (at pi/2, 3pi/2, 5pi/2).
+  double prevU = s.us()[0];
+  int crossings = 0;
+  int steps = 0;
+  int firstCrossing = 0;
+  while (crossings < 3 && steps < 10000) {
+    s.move(f, g);
+    ++steps;
+    const double nu = s.us()[0];
+    if ((prevU < 0) != (nu < 0)) {
+      ++crossings;
+      if (crossings == 1) firstCrossing = steps;
+    }
+    prevU = nu;
+  }
+  const double period = (steps - firstCrossing) * cfg.dt;
+  const double expected = 2 * std::numbers::pi * p.mass / (std::abs(p.charge) * b0);
+  EXPECT_NEAR(period, expected, expected * 0.02);
+}
+
+TEST(Species, UniformEFieldAcceleratesExactly) {
+  const XpicConfig cfg = singleParticleCfg();
+  const Grid2D g(cfg, 1, 0);
+  FieldArrays f(g);
+  f.ez.fill(0.01);  // z-field: no spatial motion, no B -> exact update
+  SpeciesParams p;
+  p.charge = -1;
+  p.mass = 2.0;
+  Species s(p, cfg);
+  s.addParticle(cfg.lx / 2, cfg.ly / 2, 0.0, 0.0, 0.0);
+  const int n = 50;
+  for (int i = 0; i < n; ++i) s.move(f, g);
+  const double expected = p.charge / p.mass * 0.01 * cfg.dt * n;
+  const double pz = s.momentum(2) / (p.mass * s.weight());
+  EXPECT_NEAR(pz, expected, std::abs(expected) * 1e-10);
+}
+
+// ---- Deposition ------------------------------------------------------------------
+
+TEST(Species, DepositConservesCharge) {
+  const XpicConfig cfg = XpicConfig::tiny();
+  const Grid2D g(cfg, 1, 0);
+  FieldArrays f(g);
+  SpeciesParams p;
+  p.charge = -1;
+  p.perCell = 4;
+  Species s(p, cfg);
+  sim::Rng rng(3);
+  s.initThermal(g, rng);
+  s.deposit(f, g);
+  // Single rank: fold the ghost deposits back in (periodic).
+  double total = 0;
+  for (int j = 0; j <= g.lny() + 1; ++j) {
+    for (int i = 0; i <= g.lnx() + 1; ++i) total += f.rho.at(i, j);
+  }
+  const double dV = g.dx() * g.dy();
+  EXPECT_NEAR(total * dV, s.chargeTotal(), 1e-9);
+  EXPECT_GT(f.chi.interiorSum(), 0.0);  // susceptibility is positive
+}
+
+// ---- Migration bookkeeping ----------------------------------------------------------
+
+TEST(Species, DirIndexRoundtrips) {
+  int seen = 0;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const int dir = Species::dirIndex(dx, dy);
+      EXPECT_GE(dir, 0);
+      EXPECT_LT(dir, 8);
+      const auto [ox, oy] = Species::dirOffset(dir);
+      EXPECT_EQ(ox, dx);
+      EXPECT_EQ(oy, dy);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 8);
+}
+
+TEST(Species, CollectLeaversMovesCrossers) {
+  XpicConfig cfg = XpicConfig::tableII();
+  const Grid2D g(cfg, 4, 0);  // 2x2 blocks; rank 0 lower-left
+  SpeciesParams p;
+  Species s(p, cfg);
+  s.addParticle(g.xMax() + 0.1, g.yMin() + 1.0, 0, 0, 0);  // right
+  s.addParticle(g.xMin() + 1.0, g.yMin() + 1.0, 0, 0, 0);  // stays
+  s.addParticle(g.xMax() + 0.1, g.yMax() + 0.1, 0, 0, 0);  // corner
+  std::array<std::vector<double>, 8> out;
+  s.collectLeavers(g, out);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(out[static_cast<std::size_t>(Species::dirIndex(1, 0))].size(), 5u);
+  EXPECT_EQ(out[static_cast<std::size_t>(Species::dirIndex(1, 1))].size(), 5u);
+  // Re-adding restores the particle verbatim.
+  Species s2(p, cfg);
+  s2.addPacked(out[static_cast<std::size_t>(Species::dirIndex(1, 0))]);
+  EXPECT_EQ(s2.count(), 1u);
+  EXPECT_NEAR(s2.xs()[0], g.xMax() + 0.1, 1e-12);
+}
+
+// ---- Full runs ------------------------------------------------------------------------
+
+XpicConfig integrationCfg() {
+  XpicConfig cfg = XpicConfig::tiny();
+  cfg.steps = 4;
+  return cfg;
+}
+
+class XpicModes : public ::testing::TestWithParam<xpic::Mode> {};
+
+INSTANTIATE_TEST_SUITE_P(AllModes, XpicModes,
+                         ::testing::Values(xpic::Mode::ClusterOnly,
+                                           xpic::Mode::BoosterOnly,
+                                           xpic::Mode::ClusterBooster));
+
+TEST_P(XpicModes, SingleNodeInvariants) {
+  const XpicConfig cfg = integrationCfg();
+  const xpic::Report r = xpic::runXpic(GetParam(), 1, cfg);
+  // Particle census: every cell seeded ppcReal/nspec per species.
+  const long long expected =
+      static_cast<long long>(cfg.cells()) * (cfg.ppcReal / cfg.nspec) * cfg.nspec;
+  EXPECT_EQ(r.particleCount, expected);
+  EXPECT_NEAR(r.netCharge, 0.0, 1e-9);
+  EXPECT_GT(r.kineticEnergy, 0.0);
+  EXPECT_GE(r.fieldEnergy, 0.0);
+  EXPECT_GT(r.fieldsSec, 0.0);
+  EXPECT_GT(r.particlesSec, 0.0);
+  EXPECT_GT(r.wallSec, 0.0);
+  EXPECT_GT(r.cgIterations, 0);
+}
+
+TEST_P(XpicModes, MultiNodeConservesParticles) {
+  const XpicConfig cfg = integrationCfg();
+  for (const int n : {2, 4}) {
+    const xpic::Report r = xpic::runXpic(GetParam(), n, cfg);
+    const long long expected =
+        static_cast<long long>(cfg.cells()) * (cfg.ppcReal / cfg.nspec) * cfg.nspec;
+    EXPECT_EQ(r.particleCount, expected) << "n=" << n;
+    EXPECT_NEAR(r.netCharge, 0.0, 1e-9);
+  }
+}
+
+TEST(Xpic, FieldSolverConverges) {
+  XpicConfig cfg = integrationCfg();
+  cfg.cgTol = 1e-10;
+  const xpic::Report r = xpic::runXpic(xpic::Mode::ClusterOnly, 1, cfg);
+  // A thermal, quasi-neutral plasma must not blow up in a few steps.
+  EXPECT_LT(r.fieldEnergy, r.kineticEnergy);
+}
+
+TEST(Xpic, MomentumDriftIsSmallInNeutralPlasma) {
+  // No external drive: the total particle momentum should stay close to its
+  // (random, O(sqrt(N) vth m w)) initial value.  Compare an evolved run
+  // against a zero-step run with identical seeding.
+  XpicConfig cfg = integrationCfg();
+  cfg.steps = 0;
+  const xpic::Report r0 = xpic::runXpic(xpic::Mode::ClusterOnly, 1, cfg);
+  cfg.steps = 8;
+  const xpic::Report r8 = xpic::runXpic(xpic::Mode::ClusterOnly, 1, cfg);
+  EXPECT_LT(std::abs(r8.momentumX - r0.momentumX),
+            0.05 * std::max(1.0, std::abs(r0.momentumX)));
+}
+
+TEST(Xpic, CbModeUsesBothPartitions) {
+  const XpicConfig cfg = integrationCfg();
+  const xpic::Report r = xpic::runXpic(xpic::Mode::ClusterBooster, 2, cfg);
+  EXPECT_GT(r.fieldsSec, 0.0);     // measured on Cluster ranks
+  EXPECT_GT(r.particlesSec, 0.0);  // measured on Booster ranks
+  EXPECT_GT(r.auxSec, 0.0);
+}
+
+TEST(Xpic, ReportsCommunicationShares) {
+  const XpicConfig cfg = integrationCfg();
+  const xpic::Report r = xpic::runXpic(xpic::Mode::ClusterBooster, 2, cfg);
+  EXPECT_GE(r.fieldCommPct(), 0.0);
+  EXPECT_LT(r.fieldCommPct(), 100.0);
+  EXPECT_GE(r.particleCommPct(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+// Property-based xPic tests: invariants that must hold across every
+// decomposition, execution mode and (where physics dictates) parameter
+// choice — the deep correctness net behind the Fig. 7/8 reproductions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xpic/driver.hpp"
+
+namespace {
+
+using namespace cbsim;
+using xpic::Mode;
+using xpic::Report;
+using xpic::XpicConfig;
+
+XpicConfig propCfg() {
+  XpicConfig cfg = XpicConfig::tiny();
+  cfg.nx = 32;
+  cfg.ny = 32;
+  cfg.ppcReal = 8;
+  cfg.steps = 6;
+  return cfg;
+}
+
+// ---- Decomposition invariance -----------------------------------------------------
+
+class RankCounts : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Sweep, RankCounts, ::testing::Values(1, 2, 4, 8));
+
+TEST_P(RankCounts, PhysicsIsDecompositionInvariant) {
+  // The same global plasma, split across n ranks, must evolve to the same
+  // state: energies agree with the single-rank run to floating-point
+  // reduction tolerance, and the census is exact.
+  const XpicConfig cfg = propCfg();
+  const Report ref = runXpic(Mode::ClusterOnly, 1, cfg,
+                             hw::MachineConfig::deepEr(8, 8));
+  const int n = GetParam();
+  const Report r = runXpic(Mode::ClusterOnly, n, cfg,
+                           hw::MachineConfig::deepEr(8, 8));
+  EXPECT_EQ(r.particleCount, ref.particleCount);
+  EXPECT_NEAR(r.kineticEnergy, ref.kineticEnergy,
+              1e-9 * std::abs(ref.kineticEnergy));
+  EXPECT_NEAR(r.fieldEnergy, ref.fieldEnergy, 1e-6 * std::abs(ref.fieldEnergy) + 1e-12);
+  EXPECT_NEAR(r.momentumX, ref.momentumX, 1e-9 * (std::abs(ref.momentumX) + 1));
+  EXPECT_NEAR(r.netCharge, 0.0, 1e-9);
+}
+
+TEST_P(RankCounts, ModesAgreeOnPhysics) {
+  // Cluster-only, Booster-only and C+B run the *same* numerics; only the
+  // clock differs.  (At 8 ranks the Booster partition of the test machine
+  // is exactly consumed; the C+B run uses 8+8.)
+  const XpicConfig cfg = propCfg();
+  const int n = GetParam();
+  const auto mc = hw::MachineConfig::deepEr(8, 8);
+  const Report c = runXpic(Mode::ClusterOnly, n, cfg, mc);
+  const Report b = runXpic(Mode::BoosterOnly, n, cfg, mc);
+  const Report cb = runXpic(Mode::ClusterBooster, n, cfg, mc);
+  EXPECT_EQ(c.particleCount, b.particleCount);
+  EXPECT_EQ(c.particleCount, cb.particleCount);
+  EXPECT_NEAR(b.kineticEnergy, c.kineticEnergy, 1e-9 * c.kineticEnergy);
+  EXPECT_NEAR(cb.kineticEnergy, c.kineticEnergy, 1e-9 * c.kineticEnergy);
+  EXPECT_NEAR(b.fieldEnergy, c.fieldEnergy, 1e-6 * c.fieldEnergy + 1e-12);
+  EXPECT_NEAR(cb.fieldEnergy, c.fieldEnergy, 1e-6 * c.fieldEnergy + 1e-12);
+}
+
+TEST_P(RankCounts, DeterministicAcrossRepeats) {
+  const XpicConfig cfg = propCfg();
+  const int n = GetParam();
+  const Report a = runXpic(Mode::ClusterBooster, n, cfg,
+                           hw::MachineConfig::deepEr(8, 8));
+  const Report b = runXpic(Mode::ClusterBooster, n, cfg,
+                           hw::MachineConfig::deepEr(8, 8));
+  EXPECT_EQ(a.wallSec, b.wallSec);  // bit-identical simulated time
+  EXPECT_EQ(a.fieldEnergy, b.fieldEnergy);
+  EXPECT_EQ(a.kineticEnergy, b.kineticEnergy);
+}
+
+// ---- Physics-over-time invariants ---------------------------------------------------
+
+TEST(XpicPhysics, ChargeNeutralityHoldsOverLongerRuns) {
+  XpicConfig cfg = propCfg();
+  cfg.steps = 20;
+  const Report r = runXpic(Mode::ClusterOnly, 2, cfg);
+  EXPECT_NEAR(r.netCharge, 0.0, 1e-9);
+}
+
+TEST(XpicPhysics, QuietPlasmaFieldsStayBounded) {
+  // A thermal quasi-neutral plasma must not blow up: field energy stays a
+  // small fraction of the kinetic energy for the whole (implicit, hence
+  // robust) run.
+  XpicConfig cfg = propCfg();
+  cfg.steps = 25;
+  const Report r = runXpic(Mode::ClusterOnly, 1, cfg);
+  EXPECT_LT(r.fieldEnergy, 0.3 * r.kineticEnergy);
+}
+
+TEST(XpicPhysics, TwoStreamDriftDrivesFieldGrowth) {
+  // The classic PIC validation: an electron drift (two-stream-like free
+  // energy) must pump field energy well above the quiet-plasma noise
+  // level within a few plasma periods.
+  XpicConfig quietCfg = propCfg();
+  quietCfg.steps = 20;  // ~2 plasma periods: growth phase, pre-saturation
+  XpicConfig driftCfg = quietCfg;
+  driftCfg.driftElectron = 0.3;
+  const Report quiet = runXpic(Mode::ClusterOnly, 1, quietCfg);
+  const Report drift = runXpic(Mode::ClusterOnly, 1, driftCfg);
+  EXPECT_GT(drift.fieldEnergy, 3.0 * quiet.fieldEnergy);
+}
+
+TEST(XpicPhysics, TwoStreamEnergyHistoryShowsExponentialGrowth) {
+  // Sampled field-energy history of a drifting plasma: after the initial
+  // transient, successive samples in the growth window increase
+  // monotonically and super-linearly (the linear-instability phase).
+  XpicConfig cfg = propCfg();
+  cfg.steps = 16;
+  cfg.driftElectron = 0.3;
+  cfg.historyEvery = 2;
+  const Report r = runXpic(Mode::ClusterOnly, 1, cfg);
+  ASSERT_EQ(r.fieldEnergyHistory.size(), 8u);
+  // Compare late-window against early-window growth.
+  const auto& h = r.fieldEnergyHistory;
+  EXPECT_GT(h[5], h[1]);
+  EXPECT_GT(h[5] / h[3], 1.0);  // still growing in the late window
+  // Total growth across the window is substantial.
+  EXPECT_GT(h[5] / h[0], 2.0);
+}
+
+TEST(XpicPhysics, HistoryDisabledByDefault) {
+  const Report r = runXpic(Mode::ClusterOnly, 1, propCfg());
+  EXPECT_TRUE(r.fieldEnergyHistory.empty());
+}
+
+TEST(XpicPhysics, FinerTimeStepTracksSamePlasma) {
+  // Halving dt with doubled steps covers the same physical window; the
+  // kinetic energy drift between the two runs must be small (the implicit
+  // scheme is damping, not erratic).
+  XpicConfig coarse = propCfg();
+  coarse.steps = 10;
+  XpicConfig fine = coarse;
+  fine.dt = coarse.dt / 2;
+  fine.steps = coarse.steps * 2;
+  const Report rc = runXpic(Mode::ClusterOnly, 1, coarse);
+  const Report rf = runXpic(Mode::ClusterOnly, 1, fine);
+  EXPECT_NEAR(rc.kineticEnergy, rf.kineticEnergy, 0.05 * rc.kineticEnergy);
+}
+
+// ---- Performance-model sanity across the sweep ---------------------------------------
+
+TEST(XpicPerf, RuntimeDecreasesWithScaleInEveryMode) {
+  const XpicConfig cfg = XpicConfig::tableII();
+  for (const Mode m :
+       {Mode::ClusterOnly, Mode::BoosterOnly, Mode::ClusterBooster}) {
+    double prev = 1e300;
+    for (const int n : {1, 2, 4, 8}) {
+      const double t = runXpic(m, n, cfg).wallSec;
+      EXPECT_LT(t, prev) << toString(m) << " n=" << n;
+      prev = t;
+    }
+  }
+}
+
+TEST(XpicPerf, CbWinsAtEveryScale) {
+  const XpicConfig cfg = XpicConfig::tableII();
+  for (const int n : {1, 2, 4, 8}) {
+    const double c = runXpic(Mode::ClusterOnly, n, cfg).wallSec;
+    const double b = runXpic(Mode::BoosterOnly, n, cfg).wallSec;
+    const double cb = runXpic(Mode::ClusterBooster, n, cfg).wallSec;
+    EXPECT_LT(cb, c) << "n=" << n;
+    EXPECT_LT(cb, b) << "n=" << n;
+  }
+}
+
+TEST(XpicPerf, Fig7RatiosWithinBands) {
+  // The calibration contract: section IV-C's ratios within ~15 %.
+  const XpicConfig cfg = XpicConfig::tableII();
+  const Report c = runXpic(Mode::ClusterOnly, 1, cfg);
+  const Report b = runXpic(Mode::BoosterOnly, 1, cfg);
+  const Report cb = runXpic(Mode::ClusterBooster, 1, cfg);
+  EXPECT_NEAR(b.fieldsSec / c.fieldsSec, 6.0, 0.9);        // paper: 6x
+  EXPECT_NEAR(c.particlesSec / b.particlesSec, 1.35, 0.2); // paper: 1.35x
+  EXPECT_NEAR(c.wallSec / cb.wallSec, 1.28, 0.15);         // paper: 1.28x
+  EXPECT_NEAR(b.wallSec / cb.wallSec, 1.21, 0.15);         // paper: 1.21x
+}
+
+TEST(XpicPerf, Fig8EfficienciesOrderedLikeThePaper) {
+  const XpicConfig cfg = XpicConfig::tableII();
+  const auto eff = [&](Mode m) {
+    return runXpic(m, 1, cfg).wallSec / (8 * runXpic(m, 8, cfg).wallSec);
+  };
+  const double effCb = eff(Mode::ClusterBooster);
+  const double effC = eff(Mode::ClusterOnly);
+  const double effB = eff(Mode::BoosterOnly);
+  EXPECT_GT(effCb, effC);
+  EXPECT_GT(effC, effB);
+  EXPECT_NEAR(effCb, 0.85, 0.07);
+  EXPECT_NEAR(effC, 0.79, 0.07);
+  EXPECT_NEAR(effB, 0.77, 0.07);
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+#pragma once
+
+// Shared test harness: a simulated DEEP-ER machine with the full software
+// stack, plus a helper to run a closure on N ranks of a partition.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <utility>
+
+#include "extoll/fabric.hpp"
+#include "pmpi/env.hpp"
+#include "pmpi/runtime.hpp"
+#include "rm/resource_manager.hpp"
+
+namespace cbsim::testing {
+
+struct World {
+  sim::Engine engine;
+  hw::Machine machine;
+  extoll::Fabric fabric;
+  rm::ResourceManager rm;
+  pmpi::AppRegistry registry;
+  pmpi::Runtime rt;
+
+  explicit World(hw::MachineConfig cfg = hw::MachineConfig::deepEr(4, 4),
+                 pmpi::ProtocolParams params = {})
+      : machine(engine, std::move(cfg)),
+        fabric(machine),
+        rm(machine),
+        rt(machine, fabric, rm, registry, params) {}
+
+  /// Runs the simulation to completion, asserting no deadlock.
+  sim::RunStats run() {
+    sim::RunStats st = engine.run();
+    EXPECT_FALSE(st.deadlocked())
+        << "first blocked process: "
+        << (st.blockedProcesses.empty() ? "" : st.blockedProcesses.front());
+    return st;
+  }
+
+  /// Registers `fn` as an app, launches it on `nodes` nodes of `kind`,
+  /// and runs the simulation to completion, asserting no deadlock.
+  sim::RunStats runRanks(int nodes, std::function<void(pmpi::Env&)> fn,
+                         hw::NodeKind kind = hw::NodeKind::Cluster,
+                         int procsPerNode = 1) {
+    static int counter = 0;
+    const std::string name = "test-app-" + std::to_string(counter++);
+    registry.add(name, std::move(fn));
+    rt.launch(name, kind, nodes, procsPerNode);
+    sim::RunStats st = engine.run();
+    EXPECT_FALSE(st.deadlocked())
+        << "first blocked process: "
+        << (st.blockedProcesses.empty() ? "" : st.blockedProcesses.front());
+    return st;
+  }
+};
+
+}  // namespace cbsim::testing
