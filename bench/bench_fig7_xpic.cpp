@@ -2,9 +2,17 @@
 // one node per solver, for Cluster-only, Booster-only, and C+B modes —
 // plus the derived section IV-C statements (6x field gap, 1.35x particle
 // gap, 1.28x / 1.21x total gains, 3-4% inter-solver communication).
+//
+// With `--trace out.json` the three runs are additionally recorded into one
+// Chrome trace-event file (open in chrome://tracing or ui.perfetto.dev;
+// rows are prefixed per mode) and the run's metrics table is printed.
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 
+#include "obs/tracer.hpp"
 #include "xpic/driver.hpp"
 
 namespace {
@@ -19,7 +27,17 @@ void printRow(const char* label, double c, double b, double cb) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* tracePath = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      tracePath = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace out.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
   XpicConfig cfg = XpicConfig::tableII();
 
   std::printf("=== Fig. 7: xPic runtime on one node per solver (DEEP-ER) ===\n");
@@ -27,9 +45,15 @@ int main() {
               "%d steps\n\n",
               cfg.cells(), cfg.ppcModeled, cfg.steps);
 
-  const Report rc = runXpic(Mode::ClusterOnly, 1, cfg);
-  const Report rb = runXpic(Mode::BoosterOnly, 1, cfg);
-  const Report rcb = runXpic(Mode::ClusterBooster, 1, cfg);
+  cbsim::obs::Tracer tracer;
+  cbsim::obs::Tracer* tr = tracePath != nullptr ? &tracer : nullptr;
+  const auto run = [&](Mode m, const char* label) {
+    if (tr != nullptr) tracer.setRunLabel(label);
+    return runXpic(m, 1, cfg, cbsim::hw::MachineConfig::deepEr(), tr);
+  };
+  const Report rc = run(Mode::ClusterOnly, "Cluster/");
+  const Report rb = run(Mode::BoosterOnly, "Booster/");
+  const Report rcb = run(Mode::ClusterBooster, "C+B/");
 
   std::printf("%-10s %12s %12s %12s   [simulated seconds]\n", "", "Cluster",
               "Booster", "C+B");
@@ -58,5 +82,17 @@ int main() {
               "cgIters=%d\n",
               rcb.particleCount, rcb.netCharge, rcb.fieldEnergy,
               rcb.kineticEnergy, rcb.cgIterations);
+
+  if (tracePath != nullptr) {
+    std::ofstream out(tracePath, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open trace file: %s\n", tracePath);
+      return 1;
+    }
+    tracer.writeJson(out);
+    std::printf("\ntrace: %zu events -> %s\n", tracer.eventCount(), tracePath);
+    std::printf("\n--- metrics ---\n");
+    tracer.metrics().writeTable(std::cout);
+  }
   return 0;
 }

@@ -32,6 +32,11 @@ class System {
   [[nodiscard]] pmpi::AppRegistry& apps() { return registry_; }
   [[nodiscard]] pmpi::Runtime& mpi() { return runtime_; }
 
+  /// Attaches (or detaches, with nullptr) an observability tracer; every
+  /// layer of the system records onto it.  The tracer must outlive the run.
+  void setTracer(obs::Tracer* tracer) { engine_.setTracer(tracer); }
+  [[nodiscard]] obs::Tracer* tracer() const { return engine_.tracer(); }
+
   /// Runs the simulation to completion; throws on deadlock.
   sim::RunStats run() {
     sim::RunStats st = engine_.run();

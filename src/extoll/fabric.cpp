@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/tracer.hpp"
+
 namespace cbsim::extoll {
 
 using sim::SimTime;
@@ -72,7 +74,9 @@ Fabric::Path Fabric::route(int srcEp, int dstEp) const {
     }
     if (p.links.empty()) {
       if (cfg.bridgeBetweenSwitches && !bridgeNodes_.empty()) {
-        p.bridgeNode = bridgeNodes_[nextBridge_++ % bridgeNodes_.size()];
+        // Peek only: the round-robin advances when traffic actually takes
+        // the bridge (deliverLeg), so this query stays side-effect-free.
+        p.bridgeNode = bridgeNodes_[nextBridge_ % bridgeNodes_.size()];
         return p;
       }
       throw std::runtime_error("fabric: no route between switches");
@@ -95,6 +99,15 @@ SimTime Fabric::occupy(const Path& path, double bytes) {
   for (const int l : path.links) {
     linkBusy_[static_cast<std::size_t>(l)] = t0 + occ;
   }
+  if (obs::Tracer* tr = engine_.tracer()) {
+    for (const int l : path.links) {
+      traceLinkSpan(*tr, l, t0, t0 + occ, bytes);
+      obs::Metrics& m = tr->metrics();
+      const std::string label = "fabric.link[" + linkName(l) + "]";
+      m.add(label + ".bytes", bytes);
+      m.add(label + ".busy_sec", occ.toSeconds());
+    }
+  }
   return t0 + path.latency + occ;
 }
 
@@ -102,7 +115,11 @@ void Fabric::deliverLeg(int srcEp, int dstEp, double bytes,
                         std::function<void()> onArrive) {
   const Path p = route(srcEp, dstEp);
   if (p.bridgeNode >= 0) {
+    nextBridge_ = (nextBridge_ + 1) % bridgeNodes_.size();
     ++stats_.bridgeHops;
+    if (obs::Tracer* tr = engine_.tracer()) {
+      tr->metrics().add("fabric.bridge_hops");
+    }
     const int bridgeEp = machine_.endpointOfNode(p.bridgeNode);
     const hw::Node& bridge = machine_.node(p.bridgeNode);
     // Store-and-forward: receive fully, CPU forwards (software + memcpy),
@@ -128,16 +145,25 @@ void Fabric::send(int srcEp, int dstEp, double bytes,
                   std::function<void()> onArrive) {
   ++stats_.messages;
   stats_.bytes += bytes;
+  if (obs::Tracer* tr = engine_.tracer()) {
+    obs::Metrics& m = tr->metrics();
+    m.add("fabric.messages");
+    m.add("fabric.bytes", bytes);
+  }
   if (srcEp == dstEp) {
-    // Loopback: shared-memory copy on the node, never touches the NIC.
-    const double bw = (srcEp < machine_.nodeCount()
-                           ? machine_.node(srcEp).cpu.memBwGBs
-                           : 10.0) * 1e9;
+    // Loopback: shared-memory (or device-internal) copy, never touches the
+    // NIC; rate comes from the endpoint's own configuration.
+    const double bw = loopbackBwGBs(srcEp) * 1e9;
     engine_.schedule(SimTime::ns(100) + SimTime::seconds(bytes / bw),
                      std::move(onArrive));
     return;
   }
   deliverLeg(srcEp, dstEp, bytes, std::move(onArrive));
+}
+
+double Fabric::loopbackBwGBs(int ep) const {
+  if (ep < machine_.nodeCount()) return machine_.node(ep).cpu.memBwGBs;
+  return machine_.nam(ep - machine_.nodeCount()).spec().bandwidthGBs;
 }
 
 SimTime Fabric::pathLatency(int srcEp, int dstEp) const {
@@ -153,10 +179,7 @@ SimTime Fabric::pathLatency(int srcEp, int dstEp) const {
 }
 
 double Fabric::bottleneckBwGBs(int srcEp, int dstEp) const {
-  if (srcEp == dstEp) {
-    return srcEp < machine_.nodeCount() ? machine_.node(srcEp).cpu.memBwGBs
-                                        : 10.0;
-  }
+  if (srcEp == dstEp) return loopbackBwGBs(srcEp);
   const Path p = route(srcEp, dstEp);
   if (p.bridgeNode >= 0) {
     const int bridgeEp = machine_.endpointOfNode(p.bridgeNode);
@@ -166,6 +189,40 @@ double Fabric::bottleneckBwGBs(int srcEp, int dstEp) const {
     return legs / 2.0;
   }
   return p.bwGBs;
+}
+
+std::string Fabric::linkName(int link) const {
+  const int eps = machine_.endpointCount();
+  if (link < 2 * eps) {
+    const int ep = link / 2;
+    const char* dir = (link % 2 == 0) ? " up" : " down";
+    if (ep < machine_.nodeCount()) return machine_.node(ep).name + dir;
+    return "nam" + std::to_string(ep - machine_.nodeCount()) + dir;
+  }
+  const int t = (link - 2 * eps) / 2;
+  const char* dir = ((link - 2 * eps) % 2 == 0) ? " a>b" : " b>a";
+  return "trunk" + std::to_string(t) + dir;
+}
+
+void Fabric::traceLinkSpan(obs::Tracer& tr, int link, sim::SimTime t0,
+                           sim::SimTime end, double bytes) {
+  if (linkRows_.empty()) {
+    linkRows_.assign(linkBusy_.size(), -1);
+    linkRowGroups_.assign(linkBusy_.size(), obs::kGroupLinks);
+  }
+  int& row = linkRows_[static_cast<std::size_t>(link)];
+  if (row < 0) {
+    // NAM endpoints are devices in their own right; give their links the
+    // device group so the timeline shows ranks / links / devices distinctly.
+    const bool isNam = link < 2 * machine_.endpointCount() &&
+                       link / 2 >= machine_.nodeCount();
+    const obs::Group g = isNam ? obs::kGroupDevices : obs::kGroupLinks;
+    linkRowGroups_[static_cast<std::size_t>(link)] = g;
+    row = tr.row(g, linkName(link));
+  }
+  tr.span(static_cast<obs::Group>(
+              linkRowGroups_[static_cast<std::size_t>(link)]),
+          row, "xfer", "extoll", t0, end, {{"bytes", bytes}});
 }
 
 }  // namespace cbsim::extoll

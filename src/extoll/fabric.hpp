@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "hw/machine.hpp"
@@ -43,10 +44,12 @@ class Fabric {
   void send(int srcEp, int dstEp, double bytes,
             std::function<void()> onArrive);
 
-  /// Zero-byte end-to-end latency of the path (no queueing).
+  /// Zero-byte end-to-end latency of the path (no queueing).  Pure query:
+  /// never perturbs link state or the gen-1 bridge round-robin.
   [[nodiscard]] sim::SimTime pathLatency(int srcEp, int dstEp) const;
 
   /// Effective (protocol-derated) bottleneck bandwidth of the path in GB/s.
+  /// Pure query, like pathLatency().
   [[nodiscard]] double bottleneckBwGBs(int srcEp, int dstEp) const;
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -69,11 +72,23 @@ class Fabric {
   /// Resolves the dual-homing of bridge nodes: a bridge NIC counts as
   /// attached to its peer's network.
   [[nodiscard]] int effectiveSwitch(int ep, int peerSwitch) const;
+  /// Pure routing query; a bridged path reports the bridge the round-robin
+  /// would pick next without advancing it (only deliverLeg advances it, so
+  /// latency/bandwidth queries cannot perturb later traffic).
   [[nodiscard]] Path route(int srcEp, int dstEp) const;
   /// Books the path's links and returns the arrival time.
   sim::SimTime occupy(const Path& path, double bytes);
   void deliverLeg(int srcEp, int dstEp, double bytes,
                   std::function<void()> onArrive);
+  /// Intra-endpoint copy bandwidth in GB/s: node memory bandwidth for node
+  /// endpoints, the device's streaming rate for NAM endpoints.
+  [[nodiscard]] double loopbackBwGBs(int ep) const;
+  /// Human-readable link label ("cn03 up", "trunk0 a>b") for traces/metrics.
+  [[nodiscard]] std::string linkName(int link) const;
+  /// Emits the occupancy span of `link` onto its timeline row (registered
+  /// on first use; NAM endpoint links land in the devices group).
+  void traceLinkSpan(obs::Tracer& tr, int link, sim::SimTime t0,
+                     sim::SimTime end, double bytes);
 
   hw::Machine& machine_;
   sim::Engine& engine_;
@@ -81,7 +96,9 @@ class Fabric {
   std::vector<double> linkBwGBs_;      ///< raw link rate
   std::vector<double> linkEff_;        ///< protocol efficiency of the link's net
   std::vector<int> bridgeNodes_;
-  mutable std::size_t nextBridge_ = 0; ///< round-robin bridge selection
+  std::size_t nextBridge_ = 0;         ///< round-robin bridge selection
+  std::vector<int> linkRows_;          ///< lazily registered obs/ rows
+  std::vector<int> linkRowGroups_;     ///< obs::Group of each link's row
   Stats stats_;
 };
 

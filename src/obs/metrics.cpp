@@ -1,0 +1,58 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace cbsim::obs {
+
+Metrics::Entry& Metrics::entry(std::string_view name, Kind kind) {
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) return it->second;
+  Entry& e = entries_[std::string(name)];
+  e.kind = kind;
+  return e;
+}
+
+void Metrics::add(std::string_view name, double delta) {
+  entry(name, Kind::Counter).value += delta;
+}
+
+double Metrics::gaugeSet(std::string_view name, double value) {
+  Entry& e = entry(name, Kind::Gauge);
+  e.value = value;
+  if (value > e.max) e.max = value;
+  return e.value;
+}
+
+double Metrics::gaugeAdd(std::string_view name, double delta) {
+  Entry& e = entry(name, Kind::Gauge);
+  return gaugeSet(name, e.value + delta);
+}
+
+double Metrics::value(std::string_view name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0.0 : it->second.value;
+}
+
+double Metrics::maxValue(std::string_view name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0.0 : it->second.max;
+}
+
+void Metrics::writeTable(std::ostream& os) const {
+  std::size_t width = 0;
+  for (const auto& [name, e] : entries_) width = std::max(width, name.size());
+  for (const auto& [name, e] : entries_) {
+    char buf[160];
+    if (e.kind == Kind::Counter) {
+      std::snprintf(buf, sizeof(buf), "%-*s %14.6g", static_cast<int>(width),
+                    name.c_str(), e.value);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%-*s %14.6g  (max %.6g)",
+                    static_cast<int>(width), name.c_str(), e.value, e.max);
+    }
+    os << buf << '\n';
+  }
+}
+
+}  // namespace cbsim::obs

@@ -1,0 +1,55 @@
+#pragma once
+
+// Metric registry: named counters (monotonic sums) and gauges (last value +
+// running maximum).  Deterministic by construction — entries live in an
+// ordered map, values are plain doubles fed from simulated quantities, and
+// the rendered table depends only on the sequence of calls.
+//
+// The registry is the "numbers" half of the obs/ layer; the Tracer owns one
+// and the timeline half (tracer.hpp) references it.  All methods are cheap
+// (one map lookup); call sites are expected to guard on the Tracer handle so
+// a disabled run never pays even that.
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace cbsim::obs {
+
+class Metrics {
+ public:
+  enum class Kind { Counter, Gauge };
+
+  struct Entry {
+    Kind kind = Kind::Counter;
+    double value = 0.0;  ///< counter: running sum; gauge: last value
+    double max = 0.0;    ///< gauge: maximum value ever set
+  };
+
+  /// Increments counter `name` by `delta` (creates it at zero).
+  void add(std::string_view name, double delta = 1.0);
+
+  /// Sets gauge `name`, tracking its maximum.  Returns the new value.
+  double gaugeSet(std::string_view name, double value);
+  /// Adjusts gauge `name` by `delta` (e.g. queue depth).  Returns the new
+  /// value.
+  double gaugeAdd(std::string_view name, double delta);
+
+  [[nodiscard]] double value(std::string_view name) const;
+  [[nodiscard]] double maxValue(std::string_view name) const;
+  [[nodiscard]] const std::map<std::string, Entry, std::less<>>& entries() const {
+    return entries_;
+  }
+
+  /// Renders the registry as an aligned text table (one metric per line,
+  /// gauges show "last (max ...)").
+  void writeTable(std::ostream& os) const;
+
+ private:
+  Entry& entry(std::string_view name, Kind kind);
+
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace cbsim::obs

@@ -12,17 +12,26 @@ using sim::SimTime;
 void Env::compute(const hw::Work& w, int threadCount) {
   const SimTime t = rt_.machine().cpuModel(proc_.nodeId).time(w, threadCount);
   proc_.computeSec += t.toSeconds();
-  ctx_.delay(t);
+  ctx_.delay(t, "compute");
 }
 
 void Env::computeDelay(SimTime t) {
   proc_.computeSec += t.toSeconds();
-  ctx_.delay(t);
+  ctx_.delay(t, "compute");
 }
 
 void Env::ioDelay(SimTime t) {
   proc_.ioSec += t.toSeconds();
-  ctx_.delay(t);
+  ctx_.delay(t, "io");
+}
+
+void Env::tracePhase(const char* name, SimTime start) {
+  obs::Tracer* tr = rt_.engine().tracer();
+  if (tr == nullptr || proc_.sproc == nullptr) return;
+  const SimTime now = ctx_.now();
+  if (now <= start) return;
+  tr->span(obs::kGroupRanks, rt_.engine().processRow(*proc_.sproc), name,
+           "phase", start, now);
 }
 
 // ---- Point-to-point -------------------------------------------------------
@@ -32,6 +41,16 @@ void Env::waitTracked(const Request& r) {
   const SimTime start = ctx_.now();
   while (!r->done) ctx_.suspend();
   proc_.commSec += (ctx_.now() - start).toSeconds();
+  traceWait(start);
+}
+
+void Env::traceWait(SimTime start) {
+  obs::Tracer* tr = rt_.engine().tracer();
+  if (tr == nullptr || proc_.sproc == nullptr) return;
+  const SimTime now = ctx_.now();
+  if (now <= start) return;  // completed instantly: no span to show
+  tr->span(obs::kGroupRanks, rt_.engine().processRow(*proc_.sproc), "wait",
+           "pmpi", start, now);
 }
 
 void Env::wait(const Request& r) { waitTracked(r); }
@@ -47,6 +66,7 @@ std::size_t Env::waitAny(std::span<const Request> rs) {
     for (std::size_t i = 0; i < rs.size(); ++i) {
       if (rs[i] && rs[i]->done) {
         proc_.commSec += (ctx_.now() - start).toSeconds();
+        traceWait(start);
         return i;
       }
     }

@@ -64,6 +64,12 @@ class Env {
   [[nodiscard]] double commSec() const { return proc_.commSec; }
   [[nodiscard]] double ioSec() const { return proc_.ioSec; }
 
+  /// Emits a [start, now] span named `name` (category "phase") on this
+  /// rank's timeline row; no-op without an attached tracer.  `name` must
+  /// have static storage duration.  Used by application drivers to mark
+  /// algorithmic phases (e.g. xpic's fields/particles/aux/exchange).
+  void tracePhase(const char* name, sim::SimTime start);
+
   // ---- Point-to-point (byte level) ------------------------------------------
   void send(Comm c, int dst, int tag, ConstBytes data);
   /// Synchronous-mode send: completes only once the receive matched.
@@ -195,6 +201,8 @@ class Env {
   }
   /// Blocks until `r` completes, charging the elapsed time to commSec.
   void waitTracked(const Request& r);
+  /// Emits a "wait" span [start, now] on this rank's row when time passed.
+  void traceWait(sim::SimTime start);
 
   Runtime& rt_;
   Proc& proc_;

@@ -5,11 +5,32 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/tracer.hpp"
 #include "pmpi/env.hpp"
 
 namespace cbsim::pmpi {
 
 using sim::SimTime;
+
+namespace {
+
+/// Message-lifecycle instant on a rank's timeline row (no-op without sproc,
+/// which only happens for procs torn down mid-flight).
+void traceMsgEvent(sim::Engine& eng, obs::Tracer& tr, const Proc& p,
+                   const char* name, std::initializer_list<obs::TraceArg> args) {
+  if (p.sproc == nullptr) return;
+  tr.instant(obs::kGroupRanks, eng.processRow(*p.sproc), name, "pmpi",
+             eng.now(), args);
+}
+
+/// Tracks one of the matching queues' depth as gauge + counter track.
+void traceQueueDepth(sim::Engine& eng, obs::Tracer& tr, const char* gauge,
+                     double delta) {
+  const double depth = tr.metrics().gaugeAdd(gauge, delta);
+  tr.counter(gauge, eng.now(), depth);
+}
+
+}  // namespace
 
 Runtime::Runtime(hw::Machine& machine, extoll::Fabric& fabric,
                  rm::ResourceManager& rm, AppRegistry& registry,
@@ -125,6 +146,15 @@ Request Runtime::postSend(Proc& src, Comm c, int dstRank, int tag,
   msg.tag = tag;
   msg.bytes = data.size();
   msg.srcProcIdx = src.idx;
+  if (obs::Tracer* tr = engine().tracer()) {
+    tr->metrics().add(rendezvous ? "pmpi.sends.rendezvous"
+                                 : "pmpi.sends.eager");
+    traceMsgEvent(engine(), *tr, src, "send.post",
+                  {{"dst", static_cast<double>(dstRank)},
+                   {"tag", static_cast<double>(tag)},
+                   {"bytes", static_cast<double>(data.size())},
+                   {"rdv", rendezvous ? 1.0 : 0.0}});
+  }
   if (rendezvous) {
     // RTS carries no payload; the sender's buffer is pinned in the request
     // until the RDMA transfer completes.
@@ -161,6 +191,13 @@ Request Runtime::postRecv(Proc& dst, Comm c, int srcRank, int tag, Bytes buf) {
     if (matches(*req, *it)) {
       Proc::UnexpectedMsg msg = std::move(*it);
       dst.unexpected.erase(it);
+      if (obs::Tracer* tr = engine().tracer()) {
+        traceQueueDepth(engine(), *tr, "pmpi.unexpected.depth", -1.0);
+        traceMsgEvent(engine(), *tr, dst, "msg.match",
+                      {{"src", static_cast<double>(msg.srcRank)},
+                       {"tag", static_cast<double>(msg.tag)},
+                       {"bytes", static_cast<double>(msg.bytes)}});
+      }
       if (msg.rendezvous) {
         startRendezvousTransfer(dst, req, std::move(msg));
       } else {
@@ -170,6 +207,9 @@ Request Runtime::postRecv(Proc& dst, Comm c, int srcRank, int tag, Bytes buf) {
     }
   }
   dst.posted.push_back(req);
+  if (obs::Tracer* tr = engine().tracer()) {
+    traceQueueDepth(engine(), *tr, "pmpi.posted.depth", 1.0);
+  }
   return req;
 }
 
@@ -178,6 +218,13 @@ bool Runtime::tryMatchArrival(Proc& dst, Proc::UnexpectedMsg& msg) {
     if (matches(**it, msg)) {
       const Request req = *it;
       dst.posted.erase(it);
+      if (obs::Tracer* tr = engine().tracer()) {
+        traceQueueDepth(engine(), *tr, "pmpi.posted.depth", -1.0);
+        traceMsgEvent(engine(), *tr, dst, "msg.match",
+                      {{"src", static_cast<double>(msg.srcRank)},
+                       {"tag", static_cast<double>(msg.tag)},
+                       {"bytes", static_cast<double>(msg.bytes)}});
+      }
       if (msg.rendezvous) {
         startRendezvousTransfer(dst, req, std::move(msg));
       } else {
@@ -192,6 +239,12 @@ bool Runtime::tryMatchArrival(Proc& dst, Proc::UnexpectedMsg& msg) {
 void Runtime::deliverEager(int dstProcIdx, Proc::UnexpectedMsg msg) {
   Proc& dst = *procs_.at(static_cast<std::size_t>(dstProcIdx));
   if (!tryMatchArrival(dst, msg)) {
+    if (obs::Tracer* tr = engine().tracer()) {
+      traceQueueDepth(engine(), *tr, "pmpi.unexpected.depth", 1.0);
+      traceMsgEvent(engine(), *tr, dst, "msg.unexpected",
+                    {{"src", static_cast<double>(msg.srcRank)},
+                     {"tag", static_cast<double>(msg.tag)}});
+    }
     dst.unexpected.push_back(std::move(msg));
   }
 }
@@ -199,6 +252,12 @@ void Runtime::deliverEager(int dstProcIdx, Proc::UnexpectedMsg msg) {
 void Runtime::deliverRts(int dstProcIdx, Proc::UnexpectedMsg msg) {
   Proc& dst = *procs_.at(static_cast<std::size_t>(dstProcIdx));
   if (!tryMatchArrival(dst, msg)) {
+    if (obs::Tracer* tr = engine().tracer()) {
+      traceQueueDepth(engine(), *tr, "pmpi.unexpected.depth", 1.0);
+      traceMsgEvent(engine(), *tr, dst, "msg.unexpected",
+                    {{"src", static_cast<double>(msg.srcRank)},
+                     {"tag", static_cast<double>(msg.tag)}});
+    }
     dst.unexpected.push_back(std::move(msg));
   }
 }
@@ -226,6 +285,11 @@ void Runtime::startRendezvousTransfer(Proc& dst, const Request& req,
   const int dstEp = machine_.endpointOfNode(dst.nodeId);
   const Proc& src = proc(msg.srcProcIdx);
   const int srcEp = machine_.endpointOfNode(src.nodeId);
+  if (obs::Tracer* tr = engine().tracer()) {
+    traceMsgEvent(engine(), *tr, dst, "rdv.cts",
+                  {{"src", static_cast<double>(msg.srcRank)},
+                   {"bytes", static_cast<double>(msg.bytes)}});
+  }
 
   // Receiver processes the RTS, sends the CTS; on CTS arrival the payload
   // moves as one RDMA transfer straight into the receive buffer (no
@@ -256,6 +320,12 @@ void Runtime::completeRequest(Proc& owner, const Request& req, int srcRank,
   req->status.source = srcRank;
   req->status.tag = tag;
   req->status.bytes = bytes;
+  if (obs::Tracer* tr = engine().tracer()) {
+    traceMsgEvent(engine(), *tr, owner, "msg.complete",
+                  {{"src", static_cast<double>(srcRank)},
+                   {"tag", static_cast<double>(tag)},
+                   {"bytes", static_cast<double>(bytes)}});
+  }
   if (owner.sproc != nullptr) engine().wake(*owner.sproc);
 }
 
@@ -330,6 +400,17 @@ Job& Runtime::startJob(const std::string& appName,
               // stack — relevant when failure injection cancels ranks.
               self->posted.clear();
               self->unexpected.clear();
+              obs::Tracer* tr = rt->engine().tracer();
+              if (tr != nullptr && self->sproc != nullptr) {
+                // Final per-rank time split for the metrics table.  The run
+                // label keeps same-named ranks of separate runs apart.
+                const std::string key =
+                    tr->runLabel() + "rank[" + self->sproc->name() + "]";
+                obs::Metrics& m = tr->metrics();
+                m.gaugeSet(key + ".compute_sec", self->computeSec);
+                m.gaugeSet(key + ".comm_sec", self->commSec);
+                m.gaugeSet(key + ".io_sec", self->ioSec);
+              }
               if (--job->liveProcs == 0 && job->allocationId >= 0) {
                 rt->rm_.release(job->allocationId);
               }

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -75,7 +76,13 @@ void Process::threadMain() {
 SimTime Context::now() const { return engine_.now(); }
 const std::string& Context::name() const { return proc_.name(); }
 
-void Context::delay(SimTime d) {
+void Context::delay(SimTime d, const char* label) {
+  if (obs::Tracer* tr = engine_.tracer()) {
+    // The delay interval is this process's active simulated time (compute,
+    // I/O service, protocol overhead) — the span that makes up its timeline.
+    tr->span(obs::kGroupRanks, engine_.processRow(proc_), label, "sim",
+             engine_.now(), engine_.now() + d);
+  }
   engine_.scheduleResume(proc_, engine_.now() + d);
   proc_.state_ = Process::State::Runnable;
   proc_.yieldToEngine();
@@ -101,9 +108,21 @@ void Engine::schedule(SimTime delay, std::function<void()> fn) {
   scheduleAt(now_ + delay, std::move(fn));
 }
 
+void Engine::pushEvent(Event ev) {
+  queue_.push_back(std::move(ev));
+  std::push_heap(queue_.begin(), queue_.end(), EventLater{});
+}
+
+Engine::Event Engine::popEvent() {
+  std::pop_heap(queue_.begin(), queue_.end(), EventLater{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
+  return ev;
+}
+
 void Engine::scheduleAt(SimTime when, std::function<void()> fn) {
   if (when < now_) throw std::logic_error("Engine::scheduleAt: time in the past");
-  queue_.push(Event{when, seq_++, std::move(fn), nullptr});
+  pushEvent(Event{when, seq_++, std::move(fn), nullptr});
 }
 
 Process& Engine::spawn(std::string name, std::function<void(Context&)> fn) {
@@ -143,7 +162,14 @@ void Engine::cancel(Process& p) {
 }
 
 void Engine::scheduleResume(Process& p, SimTime when) {
-  queue_.push(Event{when, seq_++, {}, &p});
+  pushEvent(Event{when, seq_++, {}, &p});
+}
+
+int Engine::processRow(Process& p) {
+  if (p.traceRow_ < 0 && tracer_ != nullptr) {
+    p.traceRow_ = tracer_->row(obs::kGroupRanks, p.name());
+  }
+  return p.traceRow_;
 }
 
 RunStats Engine::run() { return runImpl(std::nullopt); }
@@ -152,13 +178,11 @@ RunStats Engine::runUntil(SimTime limit) { return runImpl(limit); }
 RunStats Engine::runImpl(std::optional<SimTime> limit) {
   RunStats stats;
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (limit && top.when > *limit) {
+    if (limit && queue_.front().when > *limit) {
       now_ = *limit;
       break;
     }
-    Event ev{top.when, top.seq, std::move(const_cast<Event&>(top).fn), top.proc};
-    queue_.pop();
+    Event ev = popEvent();
     now_ = ev.when;
     ++stats.eventsProcessed;
     if (ev.proc != nullptr) {
@@ -180,6 +204,10 @@ RunStats Engine::runImpl(std::optional<SimTime> limit) {
     if (p->state() == Process::State::Suspended) {
       stats.blockedProcesses.push_back(p->name());
     }
+  }
+  if (tracer_ != nullptr) {
+    tracer_->metrics().add("engine.events_processed",
+                           static_cast<double>(stats.eventsProcessed));
   }
   return stats;
 }

@@ -12,10 +12,10 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "obs/tracer.hpp"
 #include "sim/process.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
@@ -86,6 +86,16 @@ class Engine {
   /// Number of processes that have not yet terminated.
   [[nodiscard]] std::size_t liveProcessCount() const;
 
+  /// Attaches (or detaches, with nullptr) an observability tracer.  Every
+  /// layer built on the engine reaches it through tracer(); a null handle
+  /// disables all instrumentation at the cost of one pointer test per site.
+  void setTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
+  /// Timeline row for `p` (group obs::kGroupRanks), registered on first use
+  /// under the process's name.  Returns -1 when no tracer is attached.
+  int processRow(Process& p);
+
  private:
   friend class Context;
   friend class Process;
@@ -103,6 +113,10 @@ class Engine {
     }
   };
 
+  void pushEvent(Event ev);
+  /// Removes and returns the earliest event (FIFO on time ties).
+  Event popEvent();
+
   void scheduleResume(Process& p, SimTime when);
   RunStats runImpl(std::optional<SimTime> limit);
   void reap(Process& p, RunStats& stats);
@@ -110,12 +124,17 @@ class Engine {
 
   SimTime now_ = SimTime::zero();
   std::uint64_t seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  /// Binary heap ordered by EventLater (std::push_heap/std::pop_heap), the
+  /// same discipline std::priority_queue uses — kept as a plain vector so
+  /// the top event can be moved out without const_cast (mutating through a
+  /// const reference is UB).
+  std::vector<Event> queue_;
   std::vector<std::unique_ptr<Process>> processes_;
   Process* current_ = nullptr;
   Rng rng_;
   bool collectErrors_ = false;
   std::uint64_t nextProcId_ = 1;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace cbsim::sim

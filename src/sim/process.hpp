@@ -39,8 +39,10 @@ class Context {
   [[nodiscard]] SimTime now() const;
   [[nodiscard]] const std::string& name() const;
 
-  /// Advances this process's simulated clock by `d`.
-  void delay(SimTime d);
+  /// Advances this process's simulated clock by `d`.  `label` names the
+  /// resulting activity span on this process's timeline row when a tracer
+  /// is attached (obs/); it must be a string with static storage duration.
+  void delay(SimTime d, const char* label = "delay");
 
   /// Blocks until another party calls Engine::wake() on this process.
   /// Wakes are counted: a wake delivered while the process is runnable is
@@ -103,6 +105,7 @@ class Process {
   State state_ = State::Created;
   bool cancelRequested_ = false;
   std::uint64_t wakeTokens_ = 0;  ///< wakes delivered while not suspended
+  int traceRow_ = -1;             ///< lazily registered obs/ timeline row
   std::string errorMsg_;
 
   // Handshake: exactly one of {engine driver, this process} holds a token.

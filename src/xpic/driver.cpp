@@ -103,30 +103,36 @@ void monolithicMain(Env& env, const XpicConfig& cfg, Report* rep) {
   ParticleSolver ps(cfg, grid, 42);
   PhaseTimers t;
 
-  // Phase bracketing: wall time and blocking-comm share per solver.
-  const auto phase = [&](double& acc, double& comm, auto&& body) {
+  // Phase bracketing: wall time and blocking-comm share per solver; the
+  // span mirrors the bracket onto the rank's trace row (no-op untraced).
+  const auto phase = [&](double& acc, double& comm, const char* name,
+                         auto&& body) {
+    const sim::SimTime s0 = env.ctx().now();
     const double t0 = env.wtime();
     const double c0 = env.commSec();
     body();
     acc += env.wtime() - t0;
     comm += env.commSec() - c0;
+    env.tracePhase(name, s0);
   };
 
-  phase(t.particles, t.particleComm, [&] { ps.particleMoments(f, halo, env); });
+  phase(t.particles, t.particleComm, "particles",
+        [&] { ps.particleMoments(f, halo, env); });
 
   std::vector<double> history;
   for (int step = 0; step < cfg.steps; ++step) {
-    phase(t.fields, t.fieldComm, [&] { fs.calculateE(f, halo, env, env.world()); });
-    phase(t.particles, t.particleComm, [&] {
+    phase(t.fields, t.fieldComm, "fields",
+          [&] { fs.calculateE(f, halo, env, env.world()); });
+    phase(t.particles, t.particleComm, "particles", [&] {
       env.compute(workmodel::interfaceCopy(cells));
       ps.particlesMove(f, env);
       ps.migrate(env, env.world());
       ps.particleMoments(f, halo, env);
       env.compute(workmodel::interfaceCopy(cells));
     });
-    phase(t.fields, t.fieldComm, [&] { fs.calculateB(f, halo, env); });
+    phase(t.fields, t.fieldComm, "fields", [&] { fs.calculateB(f, halo, env); });
     // Diagnostics and output staging: on the critical path in this mode.
-    phase(t.aux, t.particleComm, [&] {
+    phase(t.aux, t.particleComm, "aux", [&] {
       env.compute(workmodel::auxiliary(
           cells, static_cast<double>(ps.particleCount()) * cfg.particleScale()));
       env.ioDelay(sim::SimTime::micros(cfg.outputStagingUs));
@@ -179,14 +185,16 @@ void boosterMain(Env& env, const XpicConfig& cfg, int nodesPerSolver,
   ParticleSolver ps(cfg, grid, 42);
   PhaseTimers t;
 
-  const auto phase = [&](double& acc, auto&& body) {
+  const auto phase = [&](double& acc, const char* name, auto&& body) {
+    const sim::SimTime s0 = env.ctx().now();
     const double t0 = env.wtime();
     body();
     acc += env.wtime() - t0;
+    env.tracePhase(name, s0);
   };
 
   // Initial moments feed the Cluster's first calculateE.
-  phase(t.particles, [&] { ps.particleMoments(f, halo, env); });
+  phase(t.particles, "particles", [&] { ps.particleMoments(f, halo, env); });
   {
     auto mom = packMoments(grid, f);
     padInterface(mom, grid, cfg);
@@ -201,8 +209,8 @@ void boosterMain(Env& env, const XpicConfig& cfg, int nodesPerSolver,
   for (int step = 0; step < cfg.steps; ++step) {
     std::vector<double> mom;
     pmpi::Request sendMoments;
-    phase(t.sync, [&] { env.wait(recvFields); });  // ClusterWait
-    phase(t.particles, [&] {
+    phase(t.sync, "sync", [&] { env.wait(recvFields); });  // ClusterWait
+    phase(t.particles, "particles", [&] {
       unpackEM(grid, emBuf, f);
       env.compute(workmodel::interfaceCopy(cells));  // cpyFromArr_F
       halo.exchange({&f.ex, &f.ey, &f.ez, &f.bx, &f.by, &f.bz});
@@ -224,9 +232,9 @@ void boosterMain(Env& env, const XpicConfig& cfg, int nodesPerSolver,
       env.compute(workmodel::auxiliary(
           cells, static_cast<double>(ps.particleCount()) * cfg.particleScale()));
     };
-    if (cfg.overlapAux) phase(t.aux, boosterAux);
-    phase(t.sync, [&] { env.wait(sendMoments); });  // BoosterWait
-    if (!cfg.overlapAux) phase(t.aux, boosterAux);
+    if (cfg.overlapAux) phase(t.aux, "aux", boosterAux);
+    phase(t.sync, "sync", [&] { env.wait(sendMoments); });  // BoosterWait
+    if (!cfg.overlapAux) phase(t.aux, "aux", boosterAux);
   }
 
   // Aggregate Booster-side numbers, then merge the Cluster side's.
@@ -275,10 +283,12 @@ void clusterMain(Env& env, const XpicConfig& cfg) {
   HaloExchanger halo(env, env.world(), grid);
   PhaseTimers t;
 
-  const auto phase = [&](double& acc, auto&& body) {
+  const auto phase = [&](double& acc, const char* name, auto&& body) {
+    const sim::SimTime s0 = env.ctx().now();
     const double t0 = env.wtime();
     body();
     acc += env.wtime() - t0;
+    env.tracePhase(name, s0);
   };
 
   std::vector<double> momBuf(5 * static_cast<std::size_t>(cells));
@@ -289,7 +299,7 @@ void clusterMain(Env& env, const XpicConfig& cfg) {
   for (int step = 0; step < cfg.steps; ++step) {
     std::vector<double> em;
     pmpi::Request sendFields, recvMoments;
-    phase(t.fields, [&] {
+    phase(t.fields, "fields", [&] {
       fs.calculateE(f, halo, env, env.world());
       env.compute(workmodel::interfaceCopy(cells));  // cpyToArr_F
       em = packEM(grid, f);
@@ -305,13 +315,13 @@ void clusterMain(Env& env, const XpicConfig& cfg) {
       env.compute(workmodel::auxiliary(cells, 0.0));
       env.ioDelay(sim::SimTime::micros(cfg.outputStagingUs));
     };
-    if (cfg.overlapAux) phase(t.aux, clusterAux);
-    phase(t.sync, [&] {
+    if (cfg.overlapAux) phase(t.aux, "aux", clusterAux);
+    phase(t.sync, "sync", [&] {
       env.wait(sendFields);   // ClusterWait
       env.wait(recvMoments);  // BoosterWait
     });
-    if (!cfg.overlapAux) phase(t.aux, clusterAux);
-    phase(t.fields, [&] {
+    if (!cfg.overlapAux) phase(t.aux, "aux", clusterAux);
+    phase(t.fields, "fields", [&] {
       unpackMoments(grid, momBuf, f);
       env.compute(workmodel::interfaceCopy(cells));  // cpyFromArr_M
       fs.calculateB(f, halo, env);
@@ -349,8 +359,9 @@ void registerXpicApps(pmpi::AppRegistry& registry, const XpicConfig& cfg,
 }
 
 Report runXpic(Mode mode, int nodesPerSolver, const XpicConfig& cfg,
-               hw::MachineConfig machineCfg) {
+               hw::MachineConfig machineCfg, obs::Tracer* tracer) {
   sim::Engine engine;
+  engine.setTracer(tracer);
   hw::Machine machine(engine, std::move(machineCfg));
   extoll::Fabric fabric(machine);
   rm::ResourceManager resources(machine);

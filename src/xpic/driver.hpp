@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "hw/machine.hpp"
+#include "obs/tracer.hpp"
 #include "pmpi/registry.hpp"
 #include "xpic/config.hpp"
 
@@ -72,9 +73,12 @@ struct Report {
 
 /// Runs one scenario on a freshly built machine.  `nodesPerSolver` follows
 /// Fig. 8's x-axis: the C+B mode uses n Cluster + n Booster nodes; the
-/// monolithic modes use n nodes of their kind.
+/// monolithic modes use n nodes of their kind.  When `tracer` is non-null
+/// the run is recorded onto it (per-rank phase spans, link occupancy,
+/// message lifecycle events) without perturbing any simulated time.
 Report runXpic(Mode mode, int nodesPerSolver, const XpicConfig& cfg,
-               hw::MachineConfig machineCfg = hw::MachineConfig::deepEr());
+               hw::MachineConfig machineCfg = hw::MachineConfig::deepEr(),
+               obs::Tracer* tracer = nullptr);
 
 /// Registers the three xPic "binaries" on a registry (advanced use: embeds
 /// xPic into an externally managed runtime).  `report` receives the

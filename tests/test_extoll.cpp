@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -113,6 +114,38 @@ TEST(Fabric, Gen1SameNetworkSkipsBridge) {
   f.fabric.send(bns[0], bns[1], 1e3, [&] { arrived = f.engine.now(); });
   f.engine.run();
   EXPECT_EQ(f.fabric.stats().bridgeHops, 0u);
+}
+
+TEST(Fabric, QueriesAreObservationallyPure) {
+  // Regression: pathLatency()/bottleneckBwGBs() used to advance the gen-1
+  // bridge round-robin through a mutable member, so merely *asking* about a
+  // bridged path changed which bridge later traffic took — and with it the
+  // whole arrival schedule.  Interleaving an arbitrary query storm must
+  // leave the picosecond-exact schedule untouched.
+  const auto schedule = [](bool queryStorm) {
+    FabricFixture f(hw::MachineConfig::deepGen1(4, 4, 2));
+    const auto cns = f.machine.nodesOfKind(hw::NodeKind::Cluster);
+    const auto bns = f.machine.nodesOfKind(hw::NodeKind::Booster);
+    std::vector<std::int64_t> arrivals;
+    for (int i = 0; i < 6; ++i) {
+      const int cn = cns[static_cast<std::size_t>(i) % cns.size()];
+      const int bn = bns[static_cast<std::size_t>(i) % bns.size()];
+      if (queryStorm) {
+        for (int q = 0; q < 3 + i; ++q) {
+          (void)f.fabric.pathLatency(cn, bn);
+          (void)f.fabric.bottleneckBwGBs(bn, cn);
+        }
+      }
+      f.fabric.send(cn, bn, 1e5 * (i + 1),
+                    [&] { arrivals.push_back(f.engine.now().picos()); });
+    }
+    f.engine.run();
+    EXPECT_GT(f.fabric.stats().bridgeHops, 0u);  // the storm hits bridged paths
+    return arrivals;
+  };
+  const auto clean = schedule(false);
+  ASSERT_EQ(clean.size(), 6u);
+  EXPECT_EQ(clean, schedule(true));
 }
 
 TEST(Fabric, TrunkRouteCrossesSwitches) {

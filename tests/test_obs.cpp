@@ -1,0 +1,123 @@
+// Tests for the observability layer: metrics registry semantics, trace row
+// bookkeeping, and the end-to-end guarantees the tracer makes — recording a
+// run perturbs nothing, and identical runs serialize byte-identically.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "sim/time.hpp"
+#include "xpic/driver.hpp"
+
+namespace {
+
+using namespace cbsim;
+using sim::SimTime;
+
+TEST(Metrics, CountersAccumulate) {
+  obs::Metrics m;
+  m.add("msgs");
+  m.add("msgs");
+  m.add("bytes", 512.0);
+  EXPECT_DOUBLE_EQ(m.value("msgs"), 2.0);
+  EXPECT_DOUBLE_EQ(m.value("bytes"), 512.0);
+  EXPECT_DOUBLE_EQ(m.value("absent"), 0.0);
+}
+
+TEST(Metrics, GaugesTrackLastAndMax) {
+  obs::Metrics m;
+  EXPECT_DOUBLE_EQ(m.gaugeAdd("depth", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.gaugeAdd("depth", 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(m.gaugeAdd("depth", -3.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.value("depth"), 0.0);
+  EXPECT_DOUBLE_EQ(m.maxValue("depth"), 3.0);
+  m.gaugeSet("depth", 1.5);
+  EXPECT_DOUBLE_EQ(m.value("depth"), 1.5);
+  EXPECT_DOUBLE_EQ(m.maxValue("depth"), 3.0);
+}
+
+TEST(Metrics, TableIsSortedAndDeterministic) {
+  obs::Metrics m;
+  m.add("z.last", 1.0);
+  m.add("a.first", 2.0);
+  m.gaugeAdd("m.gauge", 4.0);
+  std::ostringstream a, b;
+  m.writeTable(a);
+  m.writeTable(b);
+  EXPECT_EQ(a.str(), b.str());
+  const std::string t = a.str();
+  EXPECT_LT(t.find("a.first"), t.find("m.gauge"));
+  EXPECT_LT(t.find("m.gauge"), t.find("z.last"));
+  EXPECT_NE(t.find("(max"), std::string::npos);  // gauges report their peak
+}
+
+TEST(Tracer, RowsArePerGroupAndRunLabelled) {
+  obs::Tracer tr;
+  const int r0 = tr.row(obs::kGroupRanks, "rank0");
+  const int l0 = tr.row(obs::kGroupLinks, "link0");
+  const int r1 = tr.row(obs::kGroupRanks, "rank1");
+  EXPECT_EQ(r0, 0);
+  EXPECT_EQ(l0, 0);  // tids are allocated per group
+  EXPECT_EQ(r1, 1);
+  tr.setRunLabel("run2/");
+  tr.row(obs::kGroupRanks, "rank0");
+  const std::string json = tr.json();
+  EXPECT_NE(json.find("\"run2/rank0\""), std::string::npos);
+  EXPECT_NE(json.find("\"rank0\""), std::string::npos);
+}
+
+TEST(Tracer, EmitsWellFormedEvents) {
+  obs::Tracer tr;
+  const int row = tr.row(obs::kGroupRanks, "r");
+  tr.span(obs::kGroupRanks, row, "work", "test", SimTime::us(1), SimTime::us(3),
+          {{"bytes", 42.0}});
+  tr.instant(obs::kGroupRanks, row, "tick", "test", SimTime::ns(1500));
+  tr.counter("depth", SimTime::us(2), 7.0);
+  const std::string json = tr.json();
+  // Timestamps are fixed-point microseconds derived from integer picos.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.000000,\"dur\":2.000000"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.500000"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":42"), std::string::npos);
+  EXPECT_EQ(tr.eventCount(), 3u);
+}
+
+// The guarantee the whole design leans on: attaching a tracer changes no
+// simulated outcome, and a re-run of the same scenario produces the same
+// bytes (so traces can be diffed across code changes).
+TEST(Tracer, XpicRunIsUnperturbedAndReproducible) {
+  const xpic::XpicConfig cfg = xpic::XpicConfig::tiny();
+
+  const xpic::Report plain =
+      runXpic(xpic::Mode::ClusterBooster, 1, cfg);
+
+  obs::Tracer t1;
+  const xpic::Report traced = runXpic(xpic::Mode::ClusterBooster, 1, cfg,
+                                      hw::MachineConfig::deepEr(), &t1);
+  EXPECT_EQ(plain.wallSec, traced.wallSec);  // bit-identical, not just close
+  EXPECT_EQ(plain.fieldEnergy, traced.fieldEnergy);
+  EXPECT_EQ(plain.kineticEnergy, traced.kineticEnergy);
+  EXPECT_EQ(plain.cgIterations, traced.cgIterations);
+
+  obs::Tracer t2;
+  runXpic(xpic::Mode::ClusterBooster, 1, cfg, hw::MachineConfig::deepEr(), &t2);
+  EXPECT_GT(t1.eventCount(), 0u);
+  EXPECT_EQ(t1.json(), t2.json());
+
+  // One timeline row per rank of both drivers, plus lifecycle + metrics.
+  const std::string json = t1.json();
+  EXPECT_NE(json.find("\"xpic.booster:j0:r0\""), std::string::npos);
+  EXPECT_NE(json.find("\"xpic.cluster:j1:r0\""), std::string::npos);
+  EXPECT_NE(json.find("\"sync\""), std::string::npos);
+  EXPECT_NE(json.find("\"send.post\""), std::string::npos);
+  EXPECT_GT(t1.metrics().value("pmpi.sends.rendezvous"), 0.0);
+  EXPECT_GT(t1.metrics().value("fabric.messages"), 0.0);
+  EXPECT_GT(t1.metrics().value("engine.events_processed"), 0.0);
+}
+
+}  // namespace
