@@ -1,0 +1,39 @@
+// Campaign-runner throughput: runs the fig8-tiny grid at increasing worker
+// counts and reports wall-clock, the sum of per-scenario host times, and
+// pool speedup.  On a multi-core host the wall time drops with --jobs while
+// the report stays byte-identical — the property the campaign layer exists
+// for (ROADMAP: "as fast as the hardware allows").
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "campaign/builtin.hpp"
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+
+int main() {
+  using namespace cbsim;
+
+  const campaign::Campaign c = campaign::builtinCampaign("fig8-tiny");
+  std::printf("=== campaign worker-pool throughput (%zu scenarios, %u hw threads) ===\n\n",
+              c.scenarios.size(), std::thread::hardware_concurrency());
+  std::printf("%6s %10s %14s %9s %10s\n", "jobs", "wall [s]", "scen.sum [s]",
+              "speedup", "identical");
+
+  std::string reference;
+  double wall1 = 0;
+  for (const int jobs : {1, 2, 4, 8}) {
+    const campaign::CampaignReport rep =
+        campaign::runCampaign(c, {.jobs = jobs});
+    const std::string json = campaign::toJson(rep);
+    if (jobs == 1) {
+      reference = json;
+      wall1 = rep.hostElapsedSec;
+    }
+    std::printf("%6d %10.3f %14.3f %8.2fx %10s\n", jobs, rep.hostElapsedSec,
+                rep.hostScenarioSecSum(), wall1 / rep.hostElapsedSec,
+                json == reference ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+#pragma once
+
+// Built-in campaigns.
+//
+// fig8Campaign  — the paper's Fig. 8 grid: execution mode (Cluster-only /
+//     Booster-only / C+B) x nodes-per-solver (1/2/4/8), one isolated xPic
+//     world per cell, with the section IV-C derived numbers (parallel
+//     efficiencies, C+B gains, efficiency crossovers) computed campaign-
+//     wide.  This is the sweep the golden-reference suite pins down.
+//
+// resilienceCampaign — the DEEP-ER-style resiliency matrix (Kreuzer et
+//     al., arXiv:1904.07725): node MTBF x SCR checkpoint-level scheme.
+//     Each scenario supervises a checkpointing job under exponentially
+//     distributed node failures (scr::FailureInjector) until it completes,
+//     and reports attempts, injected failures, completion time and
+//     checkpoint overhead.
+
+#include <cstdint>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+#include "xpic/config.hpp"
+
+namespace cbsim::campaign {
+
+struct Fig8Params {
+  xpic::XpicConfig xpic = xpic::XpicConfig::tableII();
+  std::vector<int> nodeCounts = {1, 2, 4, 8};
+};
+
+[[nodiscard]] Campaign fig8Campaign(const Fig8Params& params = {});
+
+struct ResilienceParams {
+  /// Simulated node-MTBF sweep, in seconds.  The job itself runs for a
+  /// fraction of a simulated second, so these MTBFs probe failure-free
+  /// through failure-dominated regimes.
+  std::vector<double> mtbfSec = {0.25, 0.5, 1.0, 2.0};
+  int ranks = 4;
+  int steps = 30;
+  double stepSec = 0.020;       ///< per-step simulated compute
+  std::size_t stateBytes = 256 << 10;  ///< checkpoint payload per rank
+  int maxAttempts = 40;         ///< supervisor relaunch budget
+};
+
+[[nodiscard]] Campaign resilienceCampaign(const ResilienceParams& params = {});
+
+/// Built-in campaign by name ("fig8", "fig8-tiny", "resilience");
+/// throws std::invalid_argument for unknown names.
+[[nodiscard]] Campaign builtinCampaign(const std::string& name);
+[[nodiscard]] std::vector<std::string> builtinCampaignNames();
+
+}  // namespace cbsim::campaign

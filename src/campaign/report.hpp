@@ -1,0 +1,29 @@
+#pragma once
+
+// Deterministic report serialization for campaign results.
+//
+// Both writers emit exactly the data that is invariant under worker count:
+// scenario entries in campaign definition order, values/metrics in key
+// order (they are ordered maps), doubles rendered with round-trip %.17g.
+// Host timings and worker counts are deliberately excluded — byte-identical
+// output for `--jobs 1` and `--jobs N` is a tested guarantee, and it is
+// what lets a report file double as a regression fixture.
+
+#include <iosfwd>
+#include <string>
+
+#include "campaign/runner.hpp"
+
+namespace cbsim::campaign {
+
+/// One JSON object: campaign, description, scenarios[{name, seed, error?,
+/// values{}, metrics{}}], derived{}.
+void writeJson(const CampaignReport& rep, std::ostream& os);
+[[nodiscard]] std::string toJson(const CampaignReport& rep);
+
+/// Flat CSV: scenario,section,key,value — sections are "values",
+/// "metrics" per scenario plus a trailing pseudo-scenario "(derived)".
+void writeCsv(const CampaignReport& rep, std::ostream& os);
+[[nodiscard]] std::string toCsv(const CampaignReport& rep);
+
+}  // namespace cbsim::campaign

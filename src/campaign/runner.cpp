@@ -1,0 +1,134 @@
+#include "campaign/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+namespace cbsim::campaign {
+
+namespace {
+
+double hostSeconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+/// Runs one scenario in its own world; never throws.
+ScenarioResult runOne(const Scenario& s, std::uint64_t baseSeed) {
+  ScenarioResult r;
+  r.name = s.name;
+  r.seed = scenarioSeed(baseSeed, s.name);
+  const double t0 = hostSeconds();
+  try {
+    ScenarioContext ctx;
+    ctx.seed = r.seed;
+    ctx.tracer.setMetricsOnly(true);
+    r.values = s.run(ctx);
+    for (const auto& [name, e] : ctx.tracer.metrics().entries()) {
+      r.metrics[name] = e.value;
+      if (e.kind == obs::Metrics::Kind::Gauge) r.metrics[name + ".max"] = e.max;
+    }
+  } catch (const std::exception& e) {
+    r.values.clear();
+    r.metrics.clear();
+    r.error = e.what();
+  } catch (...) {
+    r.values.clear();
+    r.metrics.clear();
+    r.error = "unknown exception";
+  }
+  r.hostSec = hostSeconds() - t0;
+  return r;
+}
+
+}  // namespace
+
+std::uint64_t scenarioSeed(std::uint64_t baseSeed, std::string_view name) {
+  // FNV-1a over the name, folded into the base seed, finalized with the
+  // SplitMix64 mixer so adjacent names land far apart.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t z = baseSeed ^ h;
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double CampaignReport::hostScenarioSecSum() const {
+  return std::accumulate(
+      scenarios.begin(), scenarios.end(), 0.0,
+      [](double acc, const ScenarioResult& r) { return acc + r.hostSec; });
+}
+
+int CampaignReport::failedCount() const {
+  return static_cast<int>(std::count_if(
+      scenarios.begin(), scenarios.end(),
+      [](const ScenarioResult& r) { return !r.error.empty(); }));
+}
+
+CampaignReport runCampaign(const Campaign& campaign,
+                           const RunnerOptions& opts) {
+  {
+    std::set<std::string_view> names;
+    for (const Scenario& s : campaign.scenarios) {
+      if (!names.insert(s.name).second) {
+        throw std::invalid_argument("campaign '" + campaign.name +
+                                    "': duplicate scenario name '" + s.name +
+                                    "'");
+      }
+    }
+  }
+
+  CampaignReport rep;
+  rep.campaign = campaign.name;
+  rep.description = campaign.description;
+  const std::size_t n = campaign.scenarios.size();
+  rep.scenarios.resize(n);
+
+  int jobs = opts.jobs;
+  if (jobs <= 0) jobs = static_cast<int>(std::thread::hardware_concurrency());
+  jobs = std::clamp(jobs, 1, std::max(1, static_cast<int>(n)));
+  rep.jobsUsed = jobs;
+
+  // LPT order: expensive scenarios first, ties in definition order.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return campaign.scenarios[a].costHint > campaign.scenarios[b].costHint;
+  });
+
+  const double t0 = hostSeconds();
+  // Workers pop indices from a shared counter and write only their own
+  // result slot; the report's content is therefore interleaving-free.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      const std::size_t k = order[i];
+      rep.scenarios[k] = runOne(campaign.scenarios[k], campaign.baseSeed);
+    }
+  };
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  rep.hostElapsedSec = hostSeconds() - t0;
+
+  if (campaign.derive) rep.derived = campaign.derive(rep.scenarios);
+  return rep;
+}
+
+}  // namespace cbsim::campaign

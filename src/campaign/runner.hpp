@@ -1,0 +1,55 @@
+#pragma once
+
+// Campaign runner: executes a campaign's scenarios concurrently on a
+// std::thread worker pool and merges the results into a CampaignReport
+// whose content — and hence every serialization of it — is independent of
+// the worker count and of thread interleaving.
+//
+// Determinism contract:
+//   * results live in a pre-sized vector indexed by scenario definition
+//     order; workers only ever write their own slot,
+//   * per-scenario seeds derive from (baseSeed, name), not from scheduling,
+//   * host wall-clock is recorded for diagnostics but excluded from the
+//     report writers (report.hpp).
+// Under this contract `--jobs 1` and `--jobs N` produce byte-identical
+// reports (regression-tested, including under TSan).
+
+#include <cstdint>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+
+namespace cbsim::campaign {
+
+struct RunnerOptions {
+  /// Worker threads; 0 means one per hardware thread.  Clamped to
+  /// [1, scenario count].
+  int jobs = 1;
+};
+
+/// Merged outcome of a campaign run.
+struct CampaignReport {
+  std::string campaign;
+  std::string description;
+  /// One entry per scenario, in campaign definition order.
+  std::vector<ScenarioResult> scenarios;
+  /// Cross-scenario derivations (Campaign::derive), if any.
+  Values derived;
+  /// Host seconds for the whole run (diagnostic; not serialized).
+  double hostElapsedSec = 0;
+  /// Worker threads actually used (diagnostic; not serialized).
+  int jobsUsed = 1;
+
+  /// Sum of per-scenario host times — the serial-execution estimate the
+  /// CLI reports speedup against.
+  [[nodiscard]] double hostScenarioSecSum() const;
+  [[nodiscard]] int failedCount() const;
+};
+
+/// Runs every scenario (expensive ones first), merges, derives.
+/// Scenario exceptions are captured per-scenario (ScenarioResult::error);
+/// the run itself only throws on campaign-level misuse (duplicate names).
+[[nodiscard]] CampaignReport runCampaign(const Campaign& campaign,
+                                         const RunnerOptions& opts = {});
+
+}  // namespace cbsim::campaign

@@ -65,6 +65,7 @@ int Tracer::row(Group group, std::string_view name) {
 void Tracer::span(Group group, int tid, std::string_view name,
                   std::string_view cat, sim::SimTime start, sim::SimTime end,
                   std::initializer_list<TraceArg> args) {
+  if (metricsOnly_) return;
   Event e{'X', group, tid, start.picos(), (end - start).picos(),
           std::string(name), std::string(cat), {}};
   e.args.reserve(args.size());
@@ -75,6 +76,7 @@ void Tracer::span(Group group, int tid, std::string_view name,
 void Tracer::instant(Group group, int tid, std::string_view name,
                      std::string_view cat, sim::SimTime t,
                      std::initializer_list<TraceArg> args) {
+  if (metricsOnly_) return;
   Event e{'i', group, tid, t.picos(), 0, std::string(name), std::string(cat), {}};
   e.args.reserve(args.size());
   for (const TraceArg& a : args) e.args.emplace_back(a.key, a.value);
@@ -82,6 +84,7 @@ void Tracer::instant(Group group, int tid, std::string_view name,
 }
 
 void Tracer::counter(std::string_view name, sim::SimTime t, double value) {
+  if (metricsOnly_) return;
   Event e{'C', kGroupCounters, 0, t.picos(), 0, std::string(name), "", {}};
   e.args.emplace_back("value", value);
   events_.push_back(std::move(e));

@@ -57,6 +57,13 @@ class Tracer {
   void setRunLabel(std::string label) { runLabel_ = std::move(label); }
   [[nodiscard]] const std::string& runLabel() const { return runLabel_; }
 
+  /// Metrics-only mode: span/instant/counter become no-ops (row
+  /// registration still hands out ids) while the metrics registry keeps
+  /// recording.  Campaign sweeps run hundreds of worlds with a tracer each
+  /// and only want the numbers, not an unbounded timeline.
+  void setMetricsOnly(bool on) { metricsOnly_ = on; }
+  [[nodiscard]] bool metricsOnly() const { return metricsOnly_; }
+
   /// Registers a new timeline row in `group` and returns its row id (Chrome
   /// "tid").  Rows are never deduplicated; each simulated entity registers
   /// exactly once and caches the id.
@@ -104,6 +111,7 @@ class Tracer {
   std::vector<Event> events_;
   std::vector<int> nextTid_;  ///< per-group row id allocator
   std::string runLabel_;
+  bool metricsOnly_ = false;
   Metrics metrics_;
 };
 

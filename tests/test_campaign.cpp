@@ -1,0 +1,164 @@
+// Tests for the scenario-campaign runner: deterministic seeding, report
+// byte-identity across worker counts (the world-isolation guarantee the
+// whole campaign/ layer rests on — run this under CBSIM_SANITIZE=thread to
+// let TSan check the pool), per-scenario error capture, and the report
+// writers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "campaign/builtin.hpp"
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "xpic/config.hpp"
+
+namespace {
+
+using namespace cbsim;
+using campaign::Campaign;
+using campaign::CampaignReport;
+using campaign::RunnerOptions;
+using campaign::Scenario;
+using campaign::ScenarioContext;
+using campaign::Values;
+
+TEST(ScenarioSeed, DeterministicAndNameSensitive) {
+  const auto a = campaign::scenarioSeed(1, "fig8/C+B/n8");
+  EXPECT_EQ(a, campaign::scenarioSeed(1, "fig8/C+B/n8"));
+  EXPECT_NE(a, campaign::scenarioSeed(1, "fig8/C+B/n4"));
+  EXPECT_NE(a, campaign::scenarioSeed(2, "fig8/C+B/n8"));
+}
+
+TEST(Runner, ResultsStayInDefinitionOrderDespiteLptScheduling) {
+  Campaign c;
+  c.name = "order";
+  for (int i = 0; i < 6; ++i) {
+    Scenario s;
+    s.name = "s" + std::to_string(i);
+    s.costHint = i;  // inverted: the runner starts s5 first
+    s.run = [i](ScenarioContext&) { return Values{{"i", double(i)}}; };
+    c.scenarios.push_back(std::move(s));
+  }
+  const CampaignReport rep = campaign::runCampaign(c, {.jobs = 3});
+  ASSERT_EQ(rep.scenarios.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(rep.scenarios[size_t(i)].name, "s" + std::to_string(i));
+    EXPECT_EQ(rep.scenarios[size_t(i)].values.at("i"), i);
+  }
+}
+
+TEST(Runner, DuplicateScenarioNamesRejected) {
+  Campaign c;
+  c.name = "dup";
+  for (int i = 0; i < 2; ++i) {
+    c.scenarios.push_back(
+        {"same", 1.0, [](ScenarioContext&) { return Values{}; }});
+  }
+  EXPECT_THROW((void)campaign::runCampaign(c), std::invalid_argument);
+}
+
+TEST(Runner, ScenarioErrorsAreCapturedPerScenario) {
+  Campaign c;
+  c.name = "err";
+  c.scenarios.push_back({"bad", 1.0, [](ScenarioContext&) -> Values {
+                           throw std::runtime_error("boom");
+                         }});
+  c.scenarios.push_back(
+      {"good", 1.0, [](ScenarioContext&) { return Values{{"ok", 1.0}}; }});
+  const CampaignReport rep = campaign::runCampaign(c, {.jobs = 2});
+  EXPECT_EQ(rep.failedCount(), 1);
+  EXPECT_EQ(rep.scenarios[0].error, "boom");
+  EXPECT_TRUE(rep.scenarios[0].values.empty());
+  EXPECT_TRUE(rep.scenarios[1].error.empty());
+  EXPECT_EQ(rep.scenarios[1].values.at("ok"), 1.0);
+  // The report stays serializable and names the failure.
+  EXPECT_NE(campaign::toJson(rep).find("\"error\": \"boom\""), std::string::npos);
+}
+
+TEST(Runner, JobsZeroMeansHardwareConcurrency) {
+  Campaign c;
+  c.name = "jobs0";
+  c.scenarios.push_back(
+      {"one", 1.0, [](ScenarioContext&) { return Values{}; }});
+  const CampaignReport rep = campaign::runCampaign(c, {.jobs = 0});
+  EXPECT_GE(rep.jobsUsed, 1);  // clamped to scenario count
+}
+
+TEST(Runner, MetricsSnapshotCarriesPerWorldRegistries) {
+  campaign::Fig8Params p;
+  p.xpic = xpic::XpicConfig::tiny();
+  p.nodeCounts = {1};
+  const CampaignReport rep = campaign::runCampaign(fig8Campaign(p));
+  ASSERT_EQ(rep.scenarios.size(), 3u);
+  for (const auto& s : rep.scenarios) {
+    ASSERT_TRUE(s.error.empty()) << s.name << ": " << s.error;
+    // Every world carries its own engine counter and rank gauges (rank
+    // metric names vary by mode: xpic vs xpic.cluster/xpic.booster jobs).
+    EXPECT_GT(s.metrics.at("engine.events_processed"), 0) << s.name;
+    const bool hasCompute = std::any_of(
+        s.metrics.begin(), s.metrics.end(), [](const auto& kv) {
+          return kv.first.find(".compute_sec") != std::string::npos &&
+                 kv.second > 0;
+        });
+    EXPECT_TRUE(hasCompute) << s.name;
+  }
+  // Isolated worlds of the same size do the same amount of work.
+  EXPECT_EQ(rep.scenarios[0].metrics.at("engine.events_processed"),
+            rep.scenarios[1].metrics.at("engine.events_processed"));
+}
+
+// The headline guarantee: running the same campaign on 1 worker and on 8
+// produces byte-identical JSON and CSV reports.  This is simultaneously
+// the engine-isolation audit — 8 workers means up to 8 fully independent
+// sim::Engine / pmpi::Runtime worlds (each with many rank threads) running
+// concurrently; any shared mutable state would show up as a diff here (or
+// as a TSan report under CBSIM_SANITIZE=thread).
+TEST(Determinism, Fig8TinyReportIdenticalAcrossJobCounts) {
+  const Campaign c = campaign::builtinCampaign("fig8-tiny");
+  const CampaignReport r1 = campaign::runCampaign(c, {.jobs = 1});
+  const CampaignReport r8 = campaign::runCampaign(c, {.jobs = 8});
+  EXPECT_EQ(campaign::toJson(r1), campaign::toJson(r8));
+  EXPECT_EQ(campaign::toCsv(r1), campaign::toCsv(r8));
+  EXPECT_EQ(r8.jobsUsed, 8);
+  EXPECT_EQ(r1.failedCount(), 0);
+}
+
+TEST(Determinism, ResilienceReportIdenticalAcrossJobCounts) {
+  // Reduced matrix: failure injection, restarts and RNG sampling all
+  // inside per-scenario worlds, so worker count must not matter.
+  campaign::ResilienceParams p;
+  p.mtbfSec = {0.25, 1.0};
+  p.steps = 10;
+  p.maxAttempts = 20;
+  const Campaign c = campaign::resilienceCampaign(p);
+  const CampaignReport r1 = campaign::runCampaign(c, {.jobs = 1});
+  const CampaignReport r6 = campaign::runCampaign(c, {.jobs = 6});
+  EXPECT_EQ(campaign::toJson(r1), campaign::toJson(r6));
+  EXPECT_EQ(campaign::toCsv(r1), campaign::toCsv(r6));
+  for (const auto& s : r1.scenarios) {
+    EXPECT_TRUE(s.error.empty()) << s.name << ": " << s.error;
+    EXPECT_EQ(s.values.at("done"), 1.0) << s.name;
+  }
+}
+
+TEST(Report, JsonEscapesAndStructure) {
+  CampaignReport rep;
+  rep.campaign = "quoted \"name\"";
+  rep.description = "line1\nline2";
+  campaign::ScenarioResult s;
+  s.name = "s,with\"csv";
+  s.seed = 42;
+  s.values["v"] = 0.5;
+  rep.scenarios.push_back(s);
+  const std::string json = campaign::toJson(rep);
+  EXPECT_NE(json.find("quoted \\\"name\\\""), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+  const std::string csv = campaign::toCsv(rep);
+  // CSV quoting doubles embedded quotes.
+  EXPECT_NE(csv.find("\"s,with\"\"csv\""), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,295 @@
+// Golden-reference regression suite: pins the key numbers of the paper
+// reproduction — Table I (machine peaks), Fig. 3 (fabric latency/bandwidth),
+// Fig. 7 (single-node solver ratios) and Fig. 8 (strong scaling) — against
+// snapshots in tests/golden/*.txt.
+//
+// Each golden file holds `key value abs_tolerance` lines.  A drift in the
+// hardware models, fabric timing, or xPic kernels beyond the recorded
+// tolerance fails here with a side-by-side diff.  After an *intentional*
+// model change, refresh the snapshots and review the diff like source:
+//
+//     ./build/tests/test_golden_figs --update-golden
+//
+// This binary is registered as ONE ctest entry (not per-TEST discovery) so
+// the Fig. 7 and Fig. 8 checks share a single campaign run.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/builtin.hpp"
+#include "campaign/runner.hpp"
+#include "extoll/fabric.hpp"
+#include "pmpi/env.hpp"
+#include "pmpi/runtime.hpp"
+#include "rm/resource_manager.hpp"
+
+#ifndef CBSIM_GOLDEN_DIR
+#error "build must define CBSIM_GOLDEN_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace {
+
+using namespace cbsim;
+
+bool gUpdateGolden = false;
+
+struct Entry {
+  std::string key;
+  double value;        ///< freshly computed by this run
+  double relTol = 0.02;
+  double absFloor = 1e-12;  ///< tolerance floor for near-zero goldens
+
+  [[nodiscard]] double tolFor(double reference) const {
+    return std::max(relTol * std::fabs(reference), absFloor);
+  }
+};
+
+std::string goldenPath(const std::string& fig) {
+  return std::string(CBSIM_GOLDEN_DIR) + "/" + fig + ".txt";
+}
+
+void writeGolden(const std::string& fig, const std::vector<Entry>& entries) {
+  const std::string path = goldenPath(fig);
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << "cannot write " << path;
+  out << "# cbsim golden reference: " << fig << "\n"
+      << "# format: key value abs_tolerance\n"
+      << "# refresh: ./build/tests/test_golden_figs --update-golden\n";
+  char buf[128];
+  for (const Entry& e : entries) {
+    std::snprintf(buf, sizeof(buf), "%s %.17g %.6g\n", e.key.c_str(), e.value,
+                  e.tolFor(e.value));
+    out << buf;
+  }
+  std::printf("[golden] wrote %zu entries to %s\n", entries.size(), path.c_str());
+}
+
+void checkGolden(const std::string& fig, const std::vector<Entry>& entries) {
+  const std::string path = goldenPath(fig);
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — generate it with: test_golden_figs --update-golden";
+  std::map<std::string, std::pair<double, double>> golden;  // key -> (value, tol)
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    double value = 0, tol = 0;
+    ASSERT_TRUE(ls >> key >> value >> tol) << path << ": bad line: " << line;
+    golden[key] = {value, tol};
+  }
+  for (const Entry& e : entries) {
+    const auto it = golden.find(e.key);
+    if (it == golden.end()) {
+      ADD_FAILURE() << fig << ": key '" << e.key << "' not in " << path
+                    << " — refresh with --update-golden";
+      continue;
+    }
+    const auto [ref, tol] = it->second;
+    EXPECT_LE(std::fabs(e.value - ref), tol)
+        << fig << "/" << e.key << ": golden " << ref << ", got " << e.value
+        << " (tolerance " << tol << ")";
+    golden.erase(it);
+  }
+  for (const auto& [key, unused] : golden) {
+    (void)unused;
+    ADD_FAILURE() << fig << ": stale golden key '" << key
+                  << "' no longer produced — refresh with --update-golden";
+  }
+}
+
+void checkOrUpdate(const std::string& fig, const std::vector<Entry>& entries) {
+  if (gUpdateGolden) {
+    writeGolden(fig, entries);
+  } else {
+    checkGolden(fig, entries);
+  }
+}
+
+/// The Fig. 7/8 numbers all come from one Table-II-sized fig8 campaign;
+/// run it once and share across tests (this binary is one ctest entry).
+const campaign::CampaignReport& fig8Report() {
+  static const campaign::CampaignReport rep =
+      campaign::runCampaign(campaign::builtinCampaign("fig8"), {.jobs = 0});
+  return rep;
+}
+
+double scenarioValue(const campaign::CampaignReport& rep,
+                     const std::string& scenario, const std::string& key) {
+  for (const auto& s : rep.scenarios) {
+    if (s.name == scenario) return s.values.at(key);
+  }
+  ADD_FAILURE() << "scenario '" << scenario << "' missing from report";
+  return NAN;
+}
+
+// ---- Table I: machine configuration peaks -----------------------------------
+
+TEST(Golden, TableI) {
+  sim::Engine engine;
+  hw::Machine m(engine, hw::MachineConfig::deepEr());
+  const auto& net = m.config().switches.front().net;
+  checkOrUpdate(
+      "table1",
+      {
+          // Config-derived constants: drift here means the Table I model
+          // itself changed, so pin them tightly.
+          {"cluster_peak_tflops", m.peakTflops(hw::NodeKind::Cluster), 1e-9},
+          {"booster_peak_tflops", m.peakTflops(hw::NodeKind::Booster), 1e-9},
+          {"cluster_nodes",
+           double(m.nodesOfKind(hw::NodeKind::Cluster).size()), 0.0},
+          {"booster_nodes",
+           double(m.nodesOfKind(hw::NodeKind::Booster).size()), 0.0},
+          {"link_goodput_gbs", net.linkBandwidthGBs * net.protocolEfficiency,
+           1e-9},
+      });
+}
+
+// ---- Fig. 3: ping-pong latency and bandwidth --------------------------------
+
+/// One ping-pong world (same construction as bench_fig3_pingpong);
+/// returns one-way latency in microseconds.
+double pingPongUs(hw::NodeKind a, hw::NodeKind b, std::size_t bytes, int reps) {
+  sim::Engine engine;
+  hw::Machine machine(engine, hw::MachineConfig::deepEr(2, 2));
+  extoll::Fabric fabric(machine);
+  rm::ResourceManager rm(machine);
+  pmpi::AppRegistry registry;
+  pmpi::Runtime rt(machine, fabric, rm, registry);
+
+  double result = 0;
+  registry.add("pp", [&](pmpi::Env& env) {
+    std::vector<std::byte> buf(bytes);
+    const auto span = pmpi::Bytes(buf);
+    const auto cspan = pmpi::ConstBytes(buf);
+    env.barrier(env.world());
+    if (env.rank() == 0) {
+      const double t0 = env.wtime();
+      for (int i = 0; i < reps; ++i) {
+        env.send(env.world(), 1, 1, cspan);
+        env.recv(env.world(), 1, 2, span);
+      }
+      result = (env.wtime() - t0) / (2.0 * reps) * 1e6;
+    } else {
+      for (int i = 0; i < reps; ++i) {
+        env.recv(env.world(), 0, 1, span);
+        env.send(env.world(), 0, 2, cspan);
+      }
+    }
+  });
+  const int na = machine.nodesOfKind(a).front();
+  const int nb =
+      a == b ? machine.nodesOfKind(b)[1] : machine.nodesOfKind(b).front();
+  pmpi::JobSpec spec;
+  spec.appName = "pp";
+  spec.nodes = {na, nb};
+  rt.launch(spec);
+  engine.run();
+  return result;
+}
+
+TEST(Golden, Fig3PingPong) {
+  using hw::NodeKind;
+  const double cncn = pingPongUs(NodeKind::Cluster, NodeKind::Cluster, 1, 10);
+  const double bnbn = pingPongUs(NodeKind::Booster, NodeKind::Booster, 1, 10);
+  const double cnbn = pingPongUs(NodeKind::Cluster, NodeKind::Booster, 1, 10);
+  // The eager->rendezvous knee sits between these two points.
+  const double lat8k = pingPongUs(NodeKind::Cluster, NodeKind::Cluster, 8 << 10, 10);
+  const double lat16k =
+      pingPongUs(NodeKind::Cluster, NodeKind::Cluster, 16 << 10, 10);
+  const double bwPlateau =
+      (4 << 20) / pingPongUs(NodeKind::Cluster, NodeKind::Cluster, 4 << 20, 3);
+
+  // Paper reference points: 1.0 / 1.8 / ~1.4 us small-message latency and a
+  // ~10 GB/s plateau (Table I + Fig. 3); the sim is deterministic, so the
+  // golden pins the reproduced values, the EXPECTs pin the physics.
+  EXPECT_LT(cncn, bnbn);  // KNL cores add software overhead
+  EXPECT_GT(lat16k, 1.5 * lat8k);  // rendezvous knee is visible
+  checkOrUpdate("fig3", {
+                            {"lat_1B_cncn_us", cncn},
+                            {"lat_1B_bnbn_us", bnbn},
+                            {"lat_1B_cnbn_us", cnbn},
+                            {"lat_8KiB_cncn_us", lat8k},
+                            {"lat_16KiB_cncn_us", lat16k},
+                            {"bw_4MiB_cncn_MBs", bwPlateau},
+                        });
+}
+
+// ---- Fig. 7: single-node solver split ---------------------------------------
+
+TEST(Golden, Fig7SolverRatios) {
+  const auto& rep = fig8Report();
+  ASSERT_EQ(rep.failedCount(), 0);
+  std::vector<Entry> entries = {
+      // Paper: fields ~6x faster on Cluster, particles ~1.3x faster on
+      // Booster, exchange ~3-4% of C+B runtime.
+      {"fields_cluster_advantage",
+       rep.derived.at("ratio/fields_cluster_advantage")},
+      {"particles_booster_advantage",
+       rep.derived.at("ratio/particles_booster_advantage")},
+      {"intermodule_exchange_share",
+       rep.derived.at("ratio/intermodule_exchange_share")},
+      {"wall_sec_cluster_n1", scenarioValue(rep, "fig8/Cluster/n1", "wall_sec")},
+      {"wall_sec_booster_n1", scenarioValue(rep, "fig8/Booster/n1", "wall_sec")},
+      {"wall_sec_cb_n1", scenarioValue(rep, "fig8/C+B/n1", "wall_sec")},
+      // Physics invariants of the workload: exact particle census, CG work.
+      {"particle_count", scenarioValue(rep, "fig8/C+B/n1", "particle_count"),
+       0.0},
+      {"cg_iterations_cluster_n1",
+       scenarioValue(rep, "fig8/Cluster/n1", "cg_iterations"), 0.0},
+      {"net_charge", scenarioValue(rep, "fig8/C+B/n1", "net_charge"), 0.0,
+       1e-12},
+  };
+  // Division-of-labour crossover the paper builds on: C+B beats BOTH
+  // single-module runs already at one node per solver.
+  EXPECT_GT(rep.derived.at("gain/C+B_vs_Cluster/n1"), 1.0);
+  EXPECT_GT(rep.derived.at("gain/C+B_vs_Booster/n1"), 1.0);
+  checkOrUpdate("fig7", entries);
+}
+
+// ---- Fig. 8: strong scaling -------------------------------------------------
+
+TEST(Golden, Fig8Scaling) {
+  const auto& rep = fig8Report();
+  ASSERT_EQ(rep.failedCount(), 0);
+  std::vector<Entry> entries;
+  for (const auto& [key, value] : rep.derived) {
+    if (key.rfind("efficiency/", 0) == 0 || key.rfind("gain/", 0) == 0) {
+      entries.push_back({key, value});
+    }
+  }
+  ASSERT_FALSE(entries.empty());
+  // Structural facts of Fig. 8, independent of the exact snapshot: the C+B
+  // gain grows with scale, and at 8 nodes the efficiency ranking is
+  // C+B > Cluster > Booster (communication hurts the Booster most).
+  EXPECT_GT(rep.derived.at("gain/C+B_vs_Cluster/n8"),
+            rep.derived.at("gain/C+B_vs_Cluster/n1"));
+  EXPECT_GT(rep.derived.at("efficiency/C+B/n8"),
+            rep.derived.at("efficiency/Cluster/n8"));
+  EXPECT_GT(rep.derived.at("efficiency/Cluster/n8"),
+            rep.derived.at("efficiency/Booster/n8"));
+  checkOrUpdate("fig8", entries);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      gUpdateGolden = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -246,4 +246,75 @@ TEST(Failure, CheckpointRestartResumesAcrossFailure) {
   EXPECT_EQ(scrLib.lastRestoreLevel(), scr::Level::Buddy);
 }
 
+// ---- FailureInjector properties ---------------------------------------------------
+
+TEST(Failure, AfterJobCompletionIsNoOp) {
+  ScrStack s;
+  std::vector<int> nodes(2, -1);
+  const auto blob = stateOf(0, 0, 64);
+  s.w.registry.add("quick", [&](Env& env) {
+    nodes[static_cast<std::size_t>(env.rank())] = env.node().id;
+    // Seed this rank's NVMe so we can verify it is NOT dropped.
+    s.local.write(env, "/survives", pmpi::ConstBytes(blob));
+    for (int step = 0; step < 5; ++step) {
+      env.ctx().delay(sim::SimTime::ms(10));
+    }
+  });
+  const auto& job = s.w.rt.launch("quick", hw::NodeKind::Cluster, 2);
+  scr::FailureInjector inj(s.w.rt, s.local);
+  inj.scheduleNodeFailure(job.id, sim::SimTime::ms(200), /*dropNode=*/0);
+  s.w.engine.run();
+  // The job finished at ~50ms; the 200ms failure must be a pure no-op.
+  EXPECT_EQ(inj.injected(), 0);
+  EXPECT_TRUE(s.w.rt.jobDone(job.id));
+  EXPECT_EQ(s.w.rm.freeCount(hw::NodeKind::Cluster), 4);
+  // The would-be victim node keeps its NVMe contents.
+  EXPECT_TRUE(s.local.has(nodes[0], "/survives"));
+  EXPECT_TRUE(s.local.has(nodes[1], "/survives"));
+}
+
+TEST(Failure, InjectedCountIsExact) {
+  ScrStack s;
+  s.w.registry.add("longrun", [&](Env& env) {
+    for (int step = 0; step < 200; ++step) {
+      env.ctx().delay(sim::SimTime::ms(10));
+    }
+  });
+  scr::FailureInjector inj(s.w.rt, s.local);
+  // Several failures aimed at the same job: only the first one fires; the
+  // rest see jobDone() and are no-ops.
+  const auto& first = s.w.rt.launch("longrun", hw::NodeKind::Cluster, 2);
+  inj.scheduleNodeFailure(first.id, sim::SimTime::ms(20), 0);
+  inj.scheduleNodeFailure(first.id, sim::SimTime::ms(40), 1);
+  inj.scheduleNodeFailure(first.id, sim::SimTime::ms(60), 0);
+  s.w.engine.run();
+  EXPECT_EQ(inj.injected(), 1);
+  // Each subsequent killed job adds exactly one.
+  for (int k = 0; k < 3; ++k) {
+    const auto& job = s.w.rt.launch("longrun", hw::NodeKind::Cluster, 2);
+    inj.scheduleNodeFailure(job.id, s.w.engine.now() + sim::SimTime::ms(30), 0);
+    s.w.engine.run();
+    EXPECT_EQ(inj.injected(), 2 + k);
+  }
+}
+
+TEST(Failure, SampleFailureTimeIsExponentialWithMtbfMean) {
+  sim::Rng rng(12345);
+  const sim::SimTime mtbf = sim::SimTime::seconds(100.0);
+  constexpr int kSamples = 20000;
+  double sum = 0;
+  int belowMtbf = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double t = scr::FailureInjector::sampleFailureTime(rng, mtbf).toSeconds();
+    ASSERT_GT(t, 0.0);
+    sum += t;
+    if (t < mtbf.toSeconds()) ++belowMtbf;
+  }
+  // Mean of Exp(1/mtbf) is the MTBF; sd/sqrt(N) ~ 0.7% here, so 3% is a
+  // comfortable deterministic bound for this fixed seed.
+  EXPECT_NEAR(sum / kSamples, mtbf.toSeconds(), 0.03 * mtbf.toSeconds());
+  // P(T < mtbf) = 1 - 1/e ~ 0.632 for an exponential.
+  EXPECT_NEAR(belowMtbf / double(kSamples), 1.0 - 1.0 / std::exp(1.0), 0.02);
+}
+
 }  // namespace
