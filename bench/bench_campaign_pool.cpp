@@ -3,26 +3,46 @@
 // pool speedup.  On a multi-core host the wall time drops with --jobs while
 // the report stays byte-identical — the property the campaign layer exists
 // for (ROADMAP: "as fast as the hardware allows").
+//
+// Emits BENCH_campaign.json (override with --out) with scenarios/sec per
+// worker count, for the same CI artifact flow as bench_engine_hotpath.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "campaign/builtin.hpp"
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
+#include "harness.hpp"
+#include "sim/process.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cbsim;
 
+  std::string outPath = "BENCH_campaign.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
   const campaign::Campaign c = campaign::builtinCampaign("fig8-tiny");
+  const auto scenarioCount = static_cast<long long>(c.scenarios.size());
   std::printf("=== campaign worker-pool throughput (%zu scenarios, %u hw threads) ===\n\n",
               c.scenarios.size(), std::thread::hardware_concurrency());
-  std::printf("%6s %10s %14s %9s %10s\n", "jobs", "wall [s]", "scen.sum [s]",
-              "speedup", "identical");
+  std::printf("%6s %10s %14s %9s %11s %10s\n", "jobs", "wall [s]",
+              "scen.sum [s]", "speedup", "scen/s", "identical");
 
   std::string reference;
   double wall1 = 0;
+  std::vector<std::string> rows;
+  bool allIdentical = true;
   for (const int jobs : {1, 2, 4, 8}) {
     const campaign::CampaignReport rep =
         campaign::runCampaign(c, {.jobs = jobs});
@@ -31,9 +51,36 @@ int main() {
       reference = json;
       wall1 = rep.hostElapsedSec;
     }
-    std::printf("%6d %10.3f %14.3f %8.2fx %10s\n", jobs, rep.hostElapsedSec,
-                rep.hostScenarioSecSum(), wall1 / rep.hostElapsedSec,
-                json == reference ? "yes" : "NO");
+    const bool identical = json == reference;
+    allIdentical = allIdentical && identical;
+    const double scenPerSec =
+        static_cast<double>(scenarioCount) / rep.hostElapsedSec;
+    std::printf("%6d %10.3f %14.3f %8.2fx %11.2f %10s\n", jobs,
+                rep.hostElapsedSec, rep.hostScenarioSecSum(),
+                wall1 / rep.hostElapsedSec, scenPerSec,
+                identical ? "yes" : "NO");
+
+    bench::JsonObject row;
+    row.integer("jobs", jobs)
+        .num("wall_sec", rep.hostElapsedSec)
+        .num("scenario_host_sec_sum", rep.hostScenarioSecSum())
+        .num("scenarios_per_sec", scenPerSec)
+        .num("speedup_vs_1", wall1 / rep.hostElapsedSec)
+        .boolean("report_identical_to_jobs1", identical);
+    rows.push_back(row.render(2));
   }
-  return 0;
+
+  bench::JsonObject root;
+  root.str("bench", "campaign_pool")
+      .str("campaign", "fig8-tiny")
+      .integer("scenarios", scenarioCount)
+      .integer("host_threads",
+               static_cast<long long>(std::thread::hardware_concurrency()))
+      .str("process_backend",
+           sim::toString(sim::defaultProcessBackend()))
+      .boolean("all_reports_identical", allIdentical)
+      .raw("runs", bench::jsonArray(rows, 0));
+  bench::writeFile(outPath, root.render());
+  std::printf("\nwrote %s\n", outPath.c_str());
+  return allIdentical ? 0 : 1;
 }

@@ -1,0 +1,224 @@
+// Engine hot-path wall-clock benchmark: measures the cost of the two
+// operations every simulated second is made of — dispatching an event and
+// switching into/out of a process — under both process backends.
+//
+// Workloads (each run per backend, best of N repeats):
+//   delay_loop  P processes each doing I timed delays.  Every delay is one
+//               resume event plus two stack switches; this is the shape of
+//               compute/communication phases in the pmpi/xpic layers.
+//   ping_pong   two processes alternately wake() each other and suspend() —
+//               the pure handoff cost with no event-queue pressure.
+//   event_chain self-rescheduling plain callbacks, no processes: isolates
+//               event-queue push/pop + SmallFn dispatch (backend-neutral).
+//
+// Emits BENCH_engine.json (override with --out).  The committed copy of
+// that file records the fiber-vs-thread speedups on the reference host;
+// CI re-runs this as a smoke test and uploads the fresh numbers.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using cbsim::sim::Context;
+using cbsim::sim::Engine;
+using cbsim::sim::ProcessBackend;
+using cbsim::sim::RunStats;
+using cbsim::sim::SimTime;
+
+struct Measurement {
+  double wallSec = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t switches = 0;  ///< stack switches (2 per process resume)
+};
+
+Measurement runDelayLoop(ProcessBackend backend, int procs, int iters,
+                         int repeats) {
+  Measurement m;
+  m.wallSec = cbsim::bench::bestOfSeconds(repeats, [&] {
+    Engine e(42, backend);
+    for (int p = 0; p < procs; ++p) {
+      e.spawn("p" + std::to_string(p), [iters](Context& ctx) {
+        for (int i = 0; i < iters; ++i) ctx.delay(SimTime::micros(1.0));
+      });
+    }
+    const RunStats stats = e.run();
+    m.events = stats.eventsProcessed;
+  });
+  // Every event in this workload is a process resume: one switch in, one out.
+  m.switches = 2 * m.events;
+  return m;
+}
+
+Measurement runPingPong(ProcessBackend backend, int iters, int repeats) {
+  Measurement m;
+  m.wallSec = cbsim::bench::bestOfSeconds(repeats, [&] {
+    Engine e(42, backend);
+    cbsim::sim::Process* a = nullptr;
+    cbsim::sim::Process* b = nullptr;
+    b = &e.spawn("pong", [&](Context& ctx) {
+      for (int i = 0; i < iters; ++i) {
+        ctx.suspend();
+        e.wake(*a);
+      }
+    });
+    a = &e.spawn("ping", [&](Context& ctx) {
+      for (int i = 0; i < iters; ++i) {
+        e.wake(*b);
+        ctx.suspend();
+      }
+    });
+    const RunStats stats = e.run();
+    m.events = stats.eventsProcessed;
+  });
+  m.switches = 2 * m.events;
+  return m;
+}
+
+void chainStep(Engine& e, std::uint64_t& left) {
+  if (left > 0) {
+    --left;
+    e.schedule(SimTime::micros(1.0), [&e, &left] { chainStep(e, left); });
+  }
+}
+
+Measurement runEventChain(int chains, std::uint64_t perChain, int repeats) {
+  Measurement m;
+  m.wallSec = cbsim::bench::bestOfSeconds(repeats, [&] {
+    Engine e(42);
+    std::vector<std::uint64_t> counters(static_cast<std::size_t>(chains),
+                                        perChain);
+    for (auto& c : counters) chainStep(e, c);
+    const RunStats stats = e.run();
+    m.events = stats.eventsProcessed;
+  });
+  return m;
+}
+
+std::string renderRates(const Measurement& m, bool withSwitches) {
+  cbsim::bench::JsonObject o;
+  o.integer("events", static_cast<long long>(m.events))
+      .num("wall_sec", m.wallSec)
+      .num("events_per_sec", static_cast<double>(m.events) / m.wallSec)
+      .num("ns_per_event",
+           m.wallSec * 1e9 / static_cast<double>(m.events));
+  if (withSwitches) {
+    o.integer("switches", static_cast<long long>(m.switches))
+        .num("switches_per_sec",
+             static_cast<double>(m.switches) / m.wallSec)
+        .num("ns_per_process_switch",
+             m.wallSec * 1e9 / static_cast<double>(m.switches));
+  }
+  return o.render(4);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string outPath = "BENCH_engine.json";
+  double scale = 1.0;
+  int repeats = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
+      repeats = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out FILE] [--scale X] [--repeats N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // The thread backend pays two condition-variable handshakes per switch, so
+  // it gets a smaller iteration budget; all metrics are normalized rates.
+  const int procs = 32;
+  const auto fiberIters = static_cast<int>(3000 * scale);
+  const auto threadIters = static_cast<int>(300 * scale);
+  const auto fiberPp = static_cast<int>(50000 * scale);
+  const auto threadPp = static_cast<int>(5000 * scale);
+
+  std::printf("=== engine hot path (best of %d) ===\n", repeats);
+
+  cbsim::bench::JsonObject backendsJson;
+  struct BackendResult {
+    Measurement delayLoop;
+    Measurement pingPong;
+  };
+  BackendResult results[2];
+  const ProcessBackend order[2] = {ProcessBackend::Fiber,
+                                   ProcessBackend::Thread};
+  for (int bi = 0; bi < 2; ++bi) {
+    const ProcessBackend req = order[bi];
+    const ProcessBackend eff = cbsim::sim::effectiveProcessBackend(req);
+    const bool fiber = req == ProcessBackend::Fiber;
+    const int dlIters = fiber ? fiberIters : threadIters;
+    const int ppIters = fiber ? fiberPp : threadPp;
+
+    BackendResult& r = results[bi];
+    r.delayLoop = runDelayLoop(req, procs, dlIters, repeats);
+    r.pingPong = runPingPong(req, ppIters, repeats);
+
+    std::printf(
+        "%-7s delay_loop: %9.0f events/s (%7.1f ns/event)   "
+        "ping_pong: %9.0f switches/s (%7.1f ns/switch)\n",
+        cbsim::sim::toString(req),
+        r.delayLoop.events / r.delayLoop.wallSec,
+        r.delayLoop.wallSec * 1e9 / r.delayLoop.events,
+        r.pingPong.switches / r.pingPong.wallSec,
+        r.pingPong.wallSec * 1e9 / r.pingPong.switches);
+
+    cbsim::bench::JsonObject bj;
+    bj.str("effective_backend", cbsim::sim::toString(eff))
+        .raw("delay_loop", renderRates(r.delayLoop, true))
+        .raw("ping_pong", renderRates(r.pingPong, true));
+    backendsJson.raw(cbsim::sim::toString(req), bj.render(2));
+  }
+
+  const Measurement chain =
+      runEventChain(64, static_cast<std::uint64_t>(2000 * scale), repeats);
+  std::printf("events  event_chain: %9.0f events/s (%7.1f ns/event)\n",
+              chain.events / chain.wallSec,
+              chain.wallSec * 1e9 / chain.events);
+
+  const double evRatio =
+      (results[0].delayLoop.events / results[0].delayLoop.wallSec) /
+      (results[1].delayLoop.events / results[1].delayLoop.wallSec);
+  const double swRatio =
+      (results[0].pingPong.switches / results[0].pingPong.wallSec) /
+      (results[1].pingPong.switches / results[1].pingPong.wallSec);
+  std::printf("fiber/thread: %.1fx events/s, %.1fx switch rate\n", evRatio,
+              swRatio);
+
+  const bool fibersAvailable =
+      cbsim::sim::effectiveProcessBackend(ProcessBackend::Fiber) ==
+      ProcessBackend::Fiber;
+
+  cbsim::bench::JsonObject ratios;
+  ratios.num("events_per_sec_fiber_over_thread", evRatio)
+      .num("switch_rate_fiber_over_thread", swRatio);
+
+  cbsim::bench::JsonObject root;
+  root.str("bench", "engine_hotpath")
+      .integer("host_threads",
+               static_cast<long long>(std::thread::hardware_concurrency()))
+      .boolean("fibers_available", fibersAvailable)
+      .integer("repeats", repeats)
+      .num("scale", scale)
+      .raw("backends", backendsJson.render(0))
+      .raw("event_chain", renderRates(chain, false))
+      .raw("ratios", ratios.render(0));
+  cbsim::bench::writeFile(outPath, root.render());
+  std::printf("wrote %s\n", outPath.c_str());
+  return 0;
+}

@@ -1,0 +1,114 @@
+#pragma once
+
+// Shared support for the wall-clock benches that emit machine-readable
+// BENCH_*.json files (picked up as CI artifacts; see EXPERIMENTS.md).
+//
+// Deliberately tiny: a steady_clock stopwatch, a best-of-N repeat helper
+// (minimum wall time is the standard estimator for a noisy shared host),
+// and an insertion-ordered JSON object builder.  Header-only, no deps.
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cbsim::bench {
+
+/// Wall-clock seconds consumed by `fn()`.
+template <typename Fn>
+double wallSeconds(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Runs `fn` `repeats` times and returns the minimum wall time — the run
+/// least disturbed by scheduler noise, cache warmup, or neighbours.
+template <typename Fn>
+double bestOfSeconds(int repeats, Fn&& fn) {
+  double best = -1.0;
+  for (int i = 0; i < repeats; ++i) {
+    const double s = wallSeconds(fn);
+    if (best < 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+/// Insertion-ordered JSON object.  Values are rendered eagerly; nesting
+/// works by rendering a child object and attaching it with raw().
+class JsonObject {
+ public:
+  JsonObject& num(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return raw(key, buf);
+  }
+  JsonObject& integer(const std::string& key, long long v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonObject& boolean(const std::string& key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+  JsonObject& str(const std::string& key, const std::string& v) {
+    return raw(key, quote(v));
+  }
+  /// Attaches pre-rendered JSON (a child object, array, ...) verbatim.
+  JsonObject& raw(const std::string& key, std::string renderedJson) {
+    entries_.emplace_back(key, std::move(renderedJson));
+    return *this;
+  }
+
+  [[nodiscard]] std::string render(int indent = 0) const {
+    const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out += pad + quote(entries_[i].first) + ": " + entries_[i].second;
+      if (i + 1 < entries_.size()) out += ",";
+      out += "\n";
+    }
+    out += std::string(static_cast<std::size_t>(indent), ' ') + "}";
+    return out;
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Renders a JSON array from already-rendered element strings.
+inline std::string jsonArray(const std::vector<std::string>& elems,
+                             int indent = 0) {
+  const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    out += pad + elems[i];
+    if (i + 1 < elems.size()) out += ",";
+    out += "\n";
+  }
+  out += std::string(static_cast<std::size_t>(indent), ' ') + "]";
+  return out;
+}
+
+inline void writeFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("bench: cannot open output file " + path);
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+}  // namespace cbsim::bench

@@ -16,6 +16,7 @@
 #include "campaign/builtin.hpp"
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
+#include "sim/process.hpp"
 
 namespace {
 
@@ -23,13 +24,16 @@ int usage(const char* argv0, int code) {
   std::fprintf(
       code == 0 ? stdout : stderr,
       "usage: %s --campaign <name> [--jobs N] [--out report.json]\n"
-      "          [--csv report.csv] [--list]\n"
+      "          [--csv report.csv] [--backend fiber|thread] [--list]\n"
       "\n"
       "  --campaign <name>  built-in campaign to run (see --list)\n"
       "  --jobs N           worker threads (default 1; 0 = all hardware\n"
       "                     threads); the report is byte-identical for any N\n"
       "  --out FILE         write the JSON report to FILE (default: stdout)\n"
       "  --csv FILE         additionally write a flat CSV report\n"
+      "  --backend B        process backend for scenario engines (fiber |\n"
+      "                     thread; default: fiber where available); the\n"
+      "                     report is byte-identical for either\n"
       "  --list             list built-in campaigns and exit\n",
       argv0);
   return code;
@@ -76,6 +80,19 @@ int main(int argc, char** argv) {
       outPath = value();
     } else if (arg("--csv")) {
       csvPath = value();
+    } else if (arg("--backend")) {
+      const char* v = value();
+      if (std::strcmp(v, "fiber") == 0) {
+        cbsim::sim::setDefaultProcessBackend(
+            cbsim::sim::ProcessBackend::Fiber);
+      } else if (std::strcmp(v, "thread") == 0) {
+        cbsim::sim::setDefaultProcessBackend(
+            cbsim::sim::ProcessBackend::Thread);
+      } else {
+        std::fprintf(stderr, "%s: --backend expects fiber|thread, got '%s'\n",
+                     argv[0], v);
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
       return usage(argv[0], 2);
@@ -119,9 +136,11 @@ int main(int argc, char** argv) {
 
     const double serial = rep.hostScenarioSecSum();
     std::fprintf(stderr,
-                 "campaign %-12s %3zu scenarios  jobs=%d  wall %.2fs  "
-                 "(scenario sum %.2fs, speedup %.2fx)  failures=%d\n",
+                 "campaign %-12s %3zu scenarios  jobs=%d  backend=%s  "
+                 "wall %.2fs  (scenario sum %.2fs, speedup %.2fx)  "
+                 "failures=%d\n",
                  rep.campaign.c_str(), rep.scenarios.size(), rep.jobsUsed,
+                 cbsim::sim::toString(cbsim::sim::defaultProcessBackend()),
                  rep.hostElapsedSec, serial,
                  rep.hostElapsedSec > 0 ? serial / rep.hostElapsedSec : 1.0,
                  rep.failedCount());

@@ -76,21 +76,19 @@ std::size_t Env::waitAny(std::span<const Request> rs) {
 
 bool Env::iprobe(Comm c, int src, int tag, Status* st) {
   checkUserTag(tag);
-  for (const Proc::UnexpectedMsg& m : proc_.unexpected) {
-    RequestState filter;
-    filter.commId = c.id();
-    filter.srcFilter = src;
-    filter.tagFilter = tag;
-    if (Runtime::matches(filter, m)) {
-      if (st != nullptr) {
-        st->source = m.srcRank;
-        st->tag = m.tag;
-        st->bytes = m.bytes;
-      }
-      return true;
-    }
+  RequestState filter;
+  filter.commId = c.id();
+  filter.srcFilter = src;
+  filter.tagFilter = tag;
+  const Proc::UnexpectedMsg* m = proc_.unexpected.findFirst(
+      [&](const Proc::UnexpectedMsg& u) { return Runtime::matches(filter, u); });
+  if (m == nullptr) return false;
+  if (st != nullptr) {
+    st->source = m->srcRank;
+    st->tag = m->tag;
+    st->bytes = m->bytes;
   }
-  return false;
+  return true;
 }
 
 Request Env::isend(Comm c, int dst, int tag, ConstBytes data) {
@@ -169,7 +167,7 @@ std::uint64_t mix(std::uint64_t x) {
 Comm Env::commSplit(Comm c, int color, int key) {
   const int n = commSize(c);
   const int r = commRank(c);
-  const int seq = proc_.splitSeq[c.id()]++;
+  const int seq = proc_.splitSeq.next(c.id());
 
   // Exchange (color, key) pairs, then every rank deterministically derives
   // the same sub-communicator membership.

@@ -186,7 +186,7 @@ class Env {
 
  private:
   /// Per-collective-invocation tag block; see collTag().
-  int nextCollSeq(Comm c) { return proc_.collSeq[c.id()]++; }
+  int nextCollSeq(Comm c) { return proc_.collSeq.next(c.id()); }
   /// Tags >= kCollTagBase are reserved for collectives (user tags must be
   /// smaller; enforced in send/recv).
   static constexpr int kCollTagBase = 1 << 24;

@@ -1,0 +1,102 @@
+#pragma once
+
+// FIFO matching queues for the pmpi message engine.
+//
+// MPI matching scans in arrival order and removes the *first* element a
+// predicate accepts (non-overtaking rule).  A plain vector makes that
+// removal O(n) — erase-from-middle shifts the whole tail, which is what the
+// posted/unexpected queues used to do on every match.  MatchFifo keeps the
+// same iteration order but tombstones the matched slot and compacts lazily
+// once tombstones dominate, so an erase costs amortized O(1) even for
+// matches deep in a long queue.  Steady state does not allocate: the
+// backing vector's capacity is reused across messages.
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace cbsim::pmpi {
+
+template <typename T>
+class MatchFifo {
+ public:
+  void push(T value) {
+    slots_.push_back(Slot{std::move(value), true});
+    ++live_;
+  }
+
+  /// Removes and returns the first element (in insertion order) that
+  /// `pred` accepts, or nullopt.
+  template <typename Pred>
+  std::optional<T> extractFirst(Pred&& pred) {
+    for (std::size_t i = head_; i < slots_.size(); ++i) {
+      Slot& s = slots_[i];
+      if (!s.live || !pred(static_cast<const T&>(s.value))) continue;
+      std::optional<T> out(std::move(s.value));
+      s.live = false;
+      --live_;
+      afterErase();
+      return out;
+    }
+    return std::nullopt;
+  }
+
+  /// First element (in insertion order) that `pred` accepts, or nullptr.
+  /// The pointer is invalidated by any mutating call.
+  template <typename Pred>
+  [[nodiscard]] const T* findFirst(Pred&& pred) const {
+    for (std::size_t i = head_; i < slots_.size(); ++i) {
+      if (slots_[i].live && pred(static_cast<const T&>(slots_[i].value))) {
+        return &slots_[i].value;
+      }
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    head_ = 0;
+    live_ = 0;
+  }
+
+ private:
+  struct Slot {
+    T value;
+    bool live;
+  };
+
+  void afterErase() {
+    // Common case: the match was at the front; skip the tombstone prefix.
+    while (head_ < slots_.size() && !slots_[head_].live) ++head_;
+    if (live_ == 0) {
+      slots_.clear();  // capacity retained
+      head_ = 0;
+      return;
+    }
+    if (slots_.size() >= kCompactMin && live_ * 2 < slots_.size()) compact();
+  }
+
+  void compact() {
+    std::size_t w = 0;
+    for (std::size_t r = head_; r < slots_.size(); ++r) {
+      if (!slots_[r].live) continue;
+      if (w != r) slots_[w] = std::move(slots_[r]);
+      ++w;
+    }
+    slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(w),
+                 slots_.end());
+    head_ = 0;
+  }
+
+  static constexpr std::size_t kCompactMin = 16;
+
+  std::vector<Slot> slots_;
+  std::size_t head_ = 0;  ///< first index that may hold a live element
+  std::size_t live_ = 0;
+};
+
+}  // namespace cbsim::pmpi

@@ -187,26 +187,24 @@ Request Runtime::postRecv(Proc& dst, Comm c, int srcRank, int tag, Bytes buf) {
   req->tagFilter = tag;
   req->recvBuf = buf;
 
-  for (auto it = dst.unexpected.begin(); it != dst.unexpected.end(); ++it) {
-    if (matches(*req, *it)) {
-      Proc::UnexpectedMsg msg = std::move(*it);
-      dst.unexpected.erase(it);
-      if (obs::Tracer* tr = engine().tracer()) {
-        traceQueueDepth(engine(), *tr, "pmpi.unexpected.depth", -1.0);
-        traceMsgEvent(engine(), *tr, dst, "msg.match",
-                      {{"src", static_cast<double>(msg.srcRank)},
-                       {"tag", static_cast<double>(msg.tag)},
-                       {"bytes", static_cast<double>(msg.bytes)}});
-      }
-      if (msg.rendezvous) {
-        startRendezvousTransfer(dst, req, std::move(msg));
-      } else {
-        completeEagerRecv(dst, req, std::move(msg));
-      }
-      return req;
+  if (std::optional<Proc::UnexpectedMsg> hit = dst.unexpected.extractFirst(
+          [&](const Proc::UnexpectedMsg& m) { return matches(*req, m); })) {
+    Proc::UnexpectedMsg msg = std::move(*hit);
+    if (obs::Tracer* tr = engine().tracer()) {
+      traceQueueDepth(engine(), *tr, "pmpi.unexpected.depth", -1.0);
+      traceMsgEvent(engine(), *tr, dst, "msg.match",
+                    {{"src", static_cast<double>(msg.srcRank)},
+                     {"tag", static_cast<double>(msg.tag)},
+                     {"bytes", static_cast<double>(msg.bytes)}});
     }
+    if (msg.rendezvous) {
+      startRendezvousTransfer(dst, req, std::move(msg));
+    } else {
+      completeEagerRecv(dst, req, std::move(msg));
+    }
+    return req;
   }
-  dst.posted.push_back(req);
+  dst.posted.push(req);
   if (obs::Tracer* tr = engine().tracer()) {
     traceQueueDepth(engine(), *tr, "pmpi.posted.depth", 1.0);
   }
@@ -214,26 +212,23 @@ Request Runtime::postRecv(Proc& dst, Comm c, int srcRank, int tag, Bytes buf) {
 }
 
 bool Runtime::tryMatchArrival(Proc& dst, Proc::UnexpectedMsg& msg) {
-  for (auto it = dst.posted.begin(); it != dst.posted.end(); ++it) {
-    if (matches(**it, msg)) {
-      const Request req = *it;
-      dst.posted.erase(it);
-      if (obs::Tracer* tr = engine().tracer()) {
-        traceQueueDepth(engine(), *tr, "pmpi.posted.depth", -1.0);
-        traceMsgEvent(engine(), *tr, dst, "msg.match",
-                      {{"src", static_cast<double>(msg.srcRank)},
-                       {"tag", static_cast<double>(msg.tag)},
-                       {"bytes", static_cast<double>(msg.bytes)}});
-      }
-      if (msg.rendezvous) {
-        startRendezvousTransfer(dst, req, std::move(msg));
-      } else {
-        completeEagerRecv(dst, req, std::move(msg));
-      }
-      return true;
-    }
+  std::optional<Request> hit = dst.posted.extractFirst(
+      [&](const Request& r) { return matches(*r, msg); });
+  if (!hit) return false;
+  const Request req = std::move(*hit);
+  if (obs::Tracer* tr = engine().tracer()) {
+    traceQueueDepth(engine(), *tr, "pmpi.posted.depth", -1.0);
+    traceMsgEvent(engine(), *tr, dst, "msg.match",
+                  {{"src", static_cast<double>(msg.srcRank)},
+                   {"tag", static_cast<double>(msg.tag)},
+                   {"bytes", static_cast<double>(msg.bytes)}});
   }
-  return false;
+  if (msg.rendezvous) {
+    startRendezvousTransfer(dst, req, std::move(msg));
+  } else {
+    completeEagerRecv(dst, req, std::move(msg));
+  }
+  return true;
 }
 
 void Runtime::deliverEager(int dstProcIdx, Proc::UnexpectedMsg msg) {
@@ -245,7 +240,7 @@ void Runtime::deliverEager(int dstProcIdx, Proc::UnexpectedMsg msg) {
                     {{"src", static_cast<double>(msg.srcRank)},
                      {"tag", static_cast<double>(msg.tag)}});
     }
-    dst.unexpected.push_back(std::move(msg));
+    dst.unexpected.push(std::move(msg));
   }
 }
 
@@ -258,7 +253,7 @@ void Runtime::deliverRts(int dstProcIdx, Proc::UnexpectedMsg msg) {
                     {{"src", static_cast<double>(msg.srcRank)},
                      {"tag", static_cast<double>(msg.tag)}});
     }
-    dst.unexpected.push_back(std::move(msg));
+    dst.unexpected.push(std::move(msg));
   }
 }
 

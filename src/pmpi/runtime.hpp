@@ -18,6 +18,7 @@
 
 #include "extoll/fabric.hpp"
 #include "hw/machine.hpp"
+#include "pmpi/match_fifo.hpp"
 #include "pmpi/registry.hpp"
 #include "pmpi/types.hpp"
 #include "rm/resource_manager.hpp"
@@ -27,6 +28,21 @@ namespace cbsim::pmpi {
 
 class Env;
 class Runtime;
+
+/// Monotonic per-communicator counters backed by a flat array.  Comm ids
+/// are dense Runtime-local indices, and these counters are bumped on every
+/// collective — a std::map node hop per lookup is measurable there.
+class SeqByComm {
+ public:
+  int next(int commId) {
+    const auto id = static_cast<std::size_t>(commId);
+    if (id >= seq_.size()) seq_.resize(id + 1, 0);
+    return seq_[id]++;
+  }
+
+ private:
+  std::vector<int> seq_;
+};
 
 /// In-flight nonblocking operation.
 struct RequestState {
@@ -65,8 +81,8 @@ struct Proc {
     int srcProcIdx = -1;             ///< rendezvous: who to CTS
     Request sendReq;                 ///< rendezvous: sender's request
   };
-  std::vector<UnexpectedMsg> unexpected;
-  std::vector<Request> posted;
+  MatchFifo<UnexpectedMsg> unexpected;
+  MatchFifo<Request> posted;
 
   // Accounting for the paper's overhead metric (section IV-C: 3-4% MPI
   // overhead per solver) — maintained by Env.
@@ -76,8 +92,8 @@ struct Proc {
 
   /// Per-communicator sequence counters; they stay aligned across ranks
   /// because MPI requires collectives to be called in the same order.
-  std::map<int, int> collSeq;
-  std::map<int, int> splitSeq;
+  SeqByComm collSeq;
+  SeqByComm splitSeq;
 };
 
 struct Job {

@@ -6,105 +6,14 @@
 
 namespace cbsim::sim {
 
-// ---------------------------------------------------------------- Process
-
-Process::Process(Engine& engine, std::string name,
-                 std::function<void(Context&)> fn, std::uint64_t id)
-    : engine_(engine), name_(std::move(name)), fn_(std::move(fn)), id_(id) {}
-
-Process::~Process() {
-  // The engine joins threads when reaping / shutting down; this is a last
-  // line of defence so a stray Process never std::terminates the program.
-  if (thread_.joinable()) thread_.join();
-}
-
-void Process::launchThread() {
-  thread_ = std::thread([this] { threadMain(); });
-}
-
-void Process::resumeFromEngine() {
-  std::unique_lock lock(mtx_);
-  runToken_ = true;
-  cv_.notify_all();
-  cv_.wait(lock, [this] { return controlToken_; });
-  controlToken_ = false;
-}
-
-void Process::yieldToEngine() {
-  {
-    std::unique_lock lock(mtx_);
-    controlToken_ = true;
-    cv_.notify_all();
-    cv_.wait(lock, [this] { return runToken_; });
-    runToken_ = false;
-  }
-  if (cancelRequested_) throw ProcessCancelled{};
-}
-
-void Process::threadMain() {
-  {
-    std::unique_lock lock(mtx_);
-    cv_.wait(lock, [this] { return runToken_; });
-    runToken_ = false;
-  }
-  if (cancelRequested_) {
-    state_ = State::Cancelled;
-  } else {
-    state_ = State::Running;
-    try {
-      Context ctx(engine_, *this);
-      fn_(ctx);
-      state_ = State::Finished;
-    } catch (const ProcessCancelled&) {
-      state_ = State::Cancelled;
-    } catch (const std::exception& e) {
-      state_ = State::Failed;
-      errorMsg_ = e.what();
-    } catch (...) {
-      state_ = State::Failed;
-      errorMsg_ = "unknown exception";
-    }
-  }
-  // Final return of control to the engine.
-  std::unique_lock lock(mtx_);
-  controlToken_ = true;
-  cv_.notify_all();
-}
-
-// ---------------------------------------------------------------- Context
-
-SimTime Context::now() const { return engine_.now(); }
-const std::string& Context::name() const { return proc_.name(); }
-
-void Context::delay(SimTime d, const char* label) {
-  if (obs::Tracer* tr = engine_.tracer()) {
-    // The delay interval is this process's active simulated time (compute,
-    // I/O service, protocol overhead) — the span that makes up its timeline.
-    tr->span(obs::kGroupRanks, engine_.processRow(proc_), label, "sim",
-             engine_.now(), engine_.now() + d);
-  }
-  engine_.scheduleResume(proc_, engine_.now() + d);
-  proc_.state_ = Process::State::Runnable;
-  proc_.yieldToEngine();
-}
-
-void Context::suspend() {
-  if (proc_.wakeTokens_ > 0) {
-    --proc_.wakeTokens_;
-    return;
-  }
-  proc_.state_ = Process::State::Suspended;
-  proc_.yieldToEngine();
-}
-
-// ----------------------------------------------------------------- Engine
-
 Engine::Engine() : Engine(0xcb51742a5ce1ull) {}
-Engine::Engine(std::uint64_t rngSeed) : rng_(rngSeed) {}
+Engine::Engine(std::uint64_t rngSeed) : Engine(rngSeed, defaultProcessBackend()) {}
+Engine::Engine(std::uint64_t rngSeed, ProcessBackend backend)
+    : backend_(effectiveProcessBackend(backend)), rng_(rngSeed) {}
 
 Engine::~Engine() { shutdownProcesses(); }
 
-void Engine::schedule(SimTime delay, std::function<void()> fn) {
+void Engine::schedule(SimTime delay, EventFn fn) {
   scheduleAt(now_ + delay, std::move(fn));
 }
 
@@ -120,7 +29,7 @@ Engine::Event Engine::popEvent() {
   return ev;
 }
 
-void Engine::scheduleAt(SimTime when, std::function<void()> fn) {
+void Engine::scheduleAt(SimTime when, EventFn fn) {
   if (when < now_) throw std::logic_error("Engine::scheduleAt: time in the past");
   pushEvent(Event{when, seq_++, std::move(fn), nullptr});
 }
@@ -131,11 +40,11 @@ Process& Engine::spawn(std::string name, std::function<void(Context&)> fn) {
 
 Process& Engine::spawnAfter(SimTime startDelay, std::string name,
                             std::function<void(Context&)> fn) {
-  auto proc = std::unique_ptr<Process>(
-      new Process(*this, std::move(name), std::move(fn), nextProcId_++));
+  auto proc = std::unique_ptr<Process>(new Process(
+      *this, std::move(name), std::move(fn), nextProcId_++, backend_));
   Process& ref = *proc;
   processes_.push_back(std::move(proc));
-  ref.launchThread();
+  ref.start();
   scheduleResume(ref, now_ + startDelay);
   ref.state_ = Process::State::Runnable;
   return ref;
@@ -213,7 +122,7 @@ RunStats Engine::runImpl(std::optional<SimTime> limit) {
 }
 
 void Engine::reap(Process& p, RunStats& stats) {
-  if (p.thread_.joinable()) p.thread_.join();
+  p.exec_->finalize();
   if (p.state() == Process::State::Failed) {
     const std::string msg = p.name() + ": " + p.errorMessage();
     if (!collectErrors_) {
@@ -237,7 +146,7 @@ void Engine::shutdownProcesses() {
       p->cancelRequested_ = true;
       p->resumeFromEngine();
     }
-    if (p->thread_.joinable()) p->thread_.join();
+    p->exec_->finalize();
   }
   processes_.clear();
 }

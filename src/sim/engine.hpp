@@ -18,9 +18,15 @@
 #include "obs/tracer.hpp"
 #include "sim/process.hpp"
 #include "sim/rng.hpp"
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace cbsim::sim {
+
+/// Event callback storage.  Captures up to the inline capacity are stored
+/// in the event itself — the schedule/pop hot path never allocates for
+/// them; larger captures are boxed once (see small_fn.hpp).
+using EventFn = SmallFn<64>;
 
 /// Result of an Engine::run() call.
 struct RunStats {
@@ -39,17 +45,22 @@ class Engine {
  public:
   Engine();
   explicit Engine(std::uint64_t rngSeed);
+  /// Selects the process execution substrate for this engine; the request
+  /// is mapped through effectiveProcessBackend() (TSan forces Thread).
+  Engine(std::uint64_t rngSeed, ProcessBackend backend);
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] Rng& rng() { return rng_; }
+  /// Backend every process spawned by this engine runs on.
+  [[nodiscard]] ProcessBackend processBackend() const { return backend_; }
 
   /// Schedules `fn` to run `delay` after the current simulated time.
-  void schedule(SimTime delay, std::function<void()> fn);
+  void schedule(SimTime delay, EventFn fn);
   /// Schedules `fn` at the absolute simulated time `when` (>= now()).
-  void scheduleAt(SimTime when, std::function<void()> fn);
+  void scheduleAt(SimTime when, EventFn fn);
 
   /// Creates a process and schedules its first run at the current time.
   Process& spawn(std::string name, std::function<void(Context&)> fn);
@@ -103,8 +114,8 @@ class Engine {
   struct Event {
     SimTime when;
     std::uint64_t seq;
-    std::function<void()> fn;  // empty when proc != nullptr
-    Process* proc = nullptr;   // process to resume
+    EventFn fn;               // empty when proc != nullptr
+    Process* proc = nullptr;  // process to resume
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -131,6 +142,7 @@ class Engine {
   std::vector<Event> queue_;
   std::vector<std::unique_ptr<Process>> processes_;
   Process* current_ = nullptr;
+  ProcessBackend backend_;
   Rng rng_;
   bool collectErrors_ = false;
   std::uint64_t nextProcId_ = 1;

@@ -4,18 +4,29 @@
 //
 // A Process is user code (an arbitrary callable) that runs against simulated
 // time: it can delay(), suspend() until woken, and exchange control with the
-// Engine's event loop.  Exactly one thread — either the engine's caller or
-// one process — runs at any instant; processes are backed by OS threads only
-// to get independent stacks, and a strict token handshake serializes them.
-// This gives blocking-call semantics (natural for an MPI-like library) with
-// fully deterministic scheduling.
+// Engine's event loop.  Exactly one logical thread of control — either the
+// engine's caller or one process — runs at any instant.
+//
+// Two interchangeable execution substrates provide the independent stack a
+// process needs (see ProcessBackend):
+//
+//  * Fiber (default): stackful fibers on the engine's own OS thread,
+//    bootstrapped with ucontext and switched with sigsetjmp/siglongjmp —
+//    no scheduler involvement, no futex, no syscalls in steady state,
+//    ~two orders of magnitude cheaper than the thread handshake.
+//  * Thread: one OS thread per process, serialized by a strict mutex/condvar
+//    token handshake.  Kept as a portability fallback and for TSan runs
+//    (TSan builds force this backend; see effectiveProcessBackend).
+//
+// Scheduling order is decided entirely by the Engine's event queue and the
+// Process state machine below; a backend only transfers control.  Both
+// backends therefore produce bit-identical simulations (asserted by
+// tests/test_backend.cpp).
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <thread>
 
 #include "sim/time.hpp"
 
@@ -27,6 +38,25 @@ class Process;
 /// Thrown inside a process when the engine cancels it (e.g. engine
 /// destruction, or failure injection).  Process code must let it propagate.
 struct ProcessCancelled {};
+
+/// Execution substrate for Process stacks.
+enum class ProcessBackend {
+  Fiber,   ///< stackful user-space fibers (ucontext); default on Linux
+  Thread,  ///< one OS thread per process; fallback and TSan substrate
+};
+
+[[nodiscard]] const char* toString(ProcessBackend b);
+
+/// Backend used by engines that don't request one explicitly.  Initialized
+/// once from $CBSIM_PROCESS_BACKEND ("fiber" | "thread", empty = default);
+/// Fiber where available, else Thread.
+[[nodiscard]] ProcessBackend defaultProcessBackend();
+/// Overrides the process-wide default (tests, benches, CLI --backend).
+void setDefaultProcessBackend(ProcessBackend b);
+/// Maps a requested backend to the one actually used: Fiber degrades to
+/// Thread on TSan builds (TSan cannot follow user-space context switches)
+/// and on platforms without ucontext.
+[[nodiscard]] ProcessBackend effectiveProcessBackend(ProcessBackend requested);
 
 /// Handle passed to process code; the only sanctioned way for process code
 /// to interact with simulated time.
@@ -52,14 +82,47 @@ class Context {
   void suspend();
 
  private:
+  /// Out-of-line tracer bookkeeping; the hot path tests one pointer and
+  /// calls this only when a tracer is attached.
+  void traceDelay(const char* label, SimTime until);
+
   Engine& engine_;
   Process& proc_;
 };
 
+namespace detail {
+
+/// One process's execution substrate: an independent stack plus control
+/// transfer in both directions.  Exactly one side is ever running.
+class ExecContext {
+ public:
+  virtual ~ExecContext() = default;
+  /// Engine side: start/resume the process, returning once it yields or
+  /// terminates.  A process cancelled before its first run is marked
+  /// Cancelled without ever executing user code.
+  virtual void switchToProcess() = 0;
+  /// Process side: give control back to the engine; returns when resumed.
+  virtual void switchToEngine() = 0;
+  /// Engine side, after the process terminated: release substrate
+  /// resources that need the owner's thread (OS-thread join).  Idempotent.
+  virtual void finalize() = 0;
+
+ protected:
+  // Subclasses drive the Process state machine through these.
+  static void runProcessBody(Process& p);
+  static bool cancelRequested(const Process& p);
+  static void markCancelledBeforeStart(Process& p);
+};
+
+std::unique_ptr<ExecContext> makeExecContext(ProcessBackend backend,
+                                             Process& proc);
+
+}  // namespace detail
+
 class Process {
  public:
   enum class State {
-    Created,    ///< thread launched, never scheduled yet
+    Created,    ///< spawned, never scheduled yet
     Runnable,   ///< resume event in the queue
     Running,    ///< currently executing user code
     Suspended,  ///< blocked in Context::suspend() awaiting a wake
@@ -75,6 +138,7 @@ class Process {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::uint64_t id() const { return id_; }
   [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] ProcessBackend backend() const { return backend_; }
   [[nodiscard]] bool live() const {
     return state_ != State::Finished && state_ != State::Cancelled &&
            state_ != State::Failed;
@@ -84,23 +148,28 @@ class Process {
  private:
   friend class Engine;
   friend class Context;
+  friend class detail::ExecContext;
 
   Process(Engine& engine, std::string name, std::function<void(Context&)> fn,
-          std::uint64_t id);
+          std::uint64_t id, ProcessBackend backend);
 
-  void launchThread();
-  /// Engine side: hand the run token to the process and block until it
-  /// yields control back.  Pre: current thread is the engine's driver.
-  void resumeFromEngine();
+  /// Creates the execution substrate (thread backend: launches the thread).
+  void start();
+  /// Engine side: hand control to the process and block until it yields.
+  /// Pre: current thread is the engine's driver.
+  void resumeFromEngine() { exec_->switchToProcess(); }
   /// Process side: hand control back to the engine and block until resumed.
   /// Throws ProcessCancelled if cancellation was requested meanwhile.
   void yieldToEngine();
-  void threadMain();
+  /// Runs the user function with the full state/exception protocol; called
+  /// exactly once, on the process's own stack.
+  void runBody();
 
   Engine& engine_;
   std::string name_;
   std::function<void(Context&)> fn_;
   std::uint64_t id_;
+  ProcessBackend backend_;
 
   State state_ = State::Created;
   bool cancelRequested_ = false;
@@ -108,12 +177,7 @@ class Process {
   int traceRow_ = -1;             ///< lazily registered obs/ timeline row
   std::string errorMsg_;
 
-  // Handshake: exactly one of {engine driver, this process} holds a token.
-  std::mutex mtx_;
-  std::condition_variable cv_;
-  bool runToken_ = false;      // engine -> process
-  bool controlToken_ = false;  // process -> engine
-  std::thread thread_;
+  std::unique_ptr<detail::ExecContext> exec_;
 };
 
 }  // namespace cbsim::sim

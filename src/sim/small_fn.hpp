@@ -1,0 +1,129 @@
+#pragma once
+
+// Small-buffer-optimized move-only callable for the engine's event hot path.
+//
+// std::function heap-allocates any capture larger than its (typically
+// 16-byte) internal buffer, which puts one malloc/free pair on every
+// scheduled event.  SmallFn stores callables of up to `Capacity` bytes in
+// place — construction, move, invocation and destruction of such callables
+// never touch the heap — and falls back to a single boxed allocation for
+// oversized captures (moved around as one pointer afterwards).  The event
+// queue's steady state is therefore allocation-free for process resumes
+// (which carry no callable at all) and for every callback whose capture
+// fits the buffer.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cbsim::sim {
+
+template <std::size_t Capacity = 64>
+class SmallFn {
+ public:
+  SmallFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using D = std::decay_t<F>;
+    if constexpr (fitsInline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kBoxedOps<D>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { moveFrom(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-constructs `dst` from `src` and destroys `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* self);
+  };
+
+  template <typename D>
+  static constexpr bool fitsInline() {
+    return sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static void invokeInline(void* p) {
+    (*std::launder(static_cast<D*>(p)))();
+  }
+  template <typename D>
+  static void relocateInline(void* dst, void* src) {
+    D* s = std::launder(static_cast<D*>(src));
+    ::new (dst) D(std::move(*s));
+    s->~D();
+  }
+  template <typename D>
+  static void destroyInline(void* p) {
+    std::launder(static_cast<D*>(p))->~D();
+  }
+
+  template <typename D>
+  static void invokeBoxed(void* p) {
+    (**std::launder(static_cast<D**>(p)))();
+  }
+  template <typename D>
+  static void relocateBoxed(void* dst, void* src) {
+    ::new (dst) D*(*std::launder(static_cast<D**>(src)));
+  }
+  template <typename D>
+  static void destroyBoxed(void* p) {
+    delete *std::launder(static_cast<D**>(p));
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps{&invokeInline<D>, &relocateInline<D>,
+                                  &destroyInline<D>};
+  template <typename D>
+  static constexpr Ops kBoxedOps{&invokeBoxed<D>, &relocateBoxed<D>,
+                                 &destroyBoxed<D>};
+
+  void moveFrom(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace cbsim::sim

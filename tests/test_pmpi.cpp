@@ -764,4 +764,101 @@ TEST(Pmpi, ProcsPerNodeSplitsThreads) {
   EXPECT_NE(nodes[1], nodes[2]);
 }
 
+// ---- Matching order (MPI non-overtaking rule) -------------------------------
+//
+// These pin the FIFO semantics of the unexpected/posted queues after the
+// tombstone+compact rewrite (pmpi/match_fifo.hpp): extracting a message
+// from the middle of the queue must not reorder what remains.
+
+TEST(PmpiMatchOrder, UnexpectedQueueStaysFifoAcrossTagExtraction) {
+  World w;
+  std::vector<std::int64_t> got;
+  w.registry.add("order", [&](Env& env) {
+    const Comm c = env.world();
+    if (env.rank() == 0) {
+      const int tags[5] = {5, 7, 5, 7, 5};
+      for (std::int64_t i = 0; i < 5; ++i) {
+        env.send(c, 1, tags[i], std::as_bytes(std::span(&i, 1)));
+      }
+    } else {
+      // Let all five land in the unexpected queue first.
+      env.computeDelay(1_ms);
+      auto recvOne = [&](int tag) {
+        std::int64_t v = -1;
+        env.recv(c, 0, tag, std::as_writable_bytes(std::span(&v, 1)));
+        got.push_back(v);
+      };
+      recvOne(7);       // first tag-7 message: payload 1 (skips payload 0)
+      recvOne(AnyTag);  // oldest remaining: payload 0, behind a tombstone
+      recvOne(7);       // payload 3
+      recvOne(AnyTag);  // payload 2
+      recvOne(AnyTag);  // payload 4
+    }
+  });
+  w.rt.launch("order", hw::NodeKind::Cluster, 2);
+  w.run();
+  EXPECT_EQ(got, (std::vector<std::int64_t>{1, 0, 3, 2, 4}));
+}
+
+TEST(PmpiMatchOrder, PostedQueueMatchesEarliestCompatibleRecv) {
+  World w;
+  std::int64_t b1 = -1, b2 = -1, b3 = -1;
+  w.registry.add("posted", [&](Env& env) {
+    const Comm c = env.world();
+    if (env.rank() == 1) {
+      // Three posted receives with overlapping filters; matching must walk
+      // them in posting order per message, skipping incompatible ones.
+      const pmpi::Request r1 =
+          env.irecv(c, 0, AnyTag, std::as_writable_bytes(std::span(&b1, 1)));
+      const pmpi::Request r2 =
+          env.irecv(c, 0, 5, std::as_writable_bytes(std::span(&b2, 1)));
+      const pmpi::Request r3 =
+          env.irecv(c, 0, AnyTag, std::as_writable_bytes(std::span(&b3, 1)));
+      const pmpi::Request rs[3] = {r1, r2, r3};
+      env.waitAll(rs);
+    } else {
+      std::int64_t v;
+      v = 100;  // tag 5: earliest compatible is r1 (AnyTag)
+      env.send(c, 1, 5, std::as_bytes(std::span(&v, 1)));
+      v = 200;  // tag 9: r2 filters tag 5, so this lands in r3
+      env.send(c, 1, 9, std::as_bytes(std::span(&v, 1)));
+      v = 300;  // tag 5 again: now r2, the tombstoned middle slot's neighbour
+      env.send(c, 1, 5, std::as_bytes(std::span(&v, 1)));
+    }
+  });
+  w.rt.launch("posted", hw::NodeKind::Cluster, 2);
+  w.run();
+  EXPECT_EQ(b1, 100);
+  EXPECT_EQ(b3, 200);
+  EXPECT_EQ(b2, 300);
+}
+
+TEST(PmpiMatchOrder, ReverseDrainSurvivesQueueCompaction) {
+  // Draining 48 unexpected messages in reverse tag order leaves a long
+  // tombstone tail and forces MatchFifo::compact() mid-drain; every payload
+  // must still arrive under the right tag.
+  World w;
+  constexpr int kMsgs = 48;
+  int checked = 0;
+  w.registry.add("drain", [&](Env& env) {
+    const Comm c = env.world();
+    if (env.rank() == 0) {
+      for (std::int64_t i = 0; i < kMsgs; ++i) {
+        env.send(c, 1, static_cast<int>(i), std::as_bytes(std::span(&i, 1)));
+      }
+    } else {
+      env.computeDelay(1_ms);
+      for (int tag = kMsgs - 1; tag >= 0; --tag) {
+        std::int64_t v = -1;
+        env.recv(c, 0, tag, std::as_writable_bytes(std::span(&v, 1)));
+        ASSERT_EQ(v, tag);
+        ++checked;
+      }
+    }
+  });
+  w.rt.launch("drain", hw::NodeKind::Cluster, 2);
+  w.run();
+  EXPECT_EQ(checked, kMsgs);
+}
+
 }  // namespace
