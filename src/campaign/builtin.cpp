@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "extoll/fabric.hpp"
+#include "fault/plan.hpp"
 #include "io/beegfs.hpp"
 #include "io/local_store.hpp"
 #include "io/nam_store.hpp"
@@ -170,13 +171,37 @@ std::vector<Scheme> schemes() {
 
 Values runResilienceScenario(const ResilienceParams& p, const Scheme& scheme,
                              double mtbfSec, ScenarioContext& ctx) {
-  sim::Engine engine;
+  sim::Engine engine(ctx.seed);
   engine.setTracer(&ctx.tracer);
-  hw::Machine machine(engine, hw::MachineConfig::deepEr(p.ranks, 2));
+  hw::Machine machine(engine,
+                      hw::MachineConfig::deepEr(p.ranks + p.spareNodes, 2));
   extoll::Fabric fabric(machine);
+
+  // The fabric runs degraded for the whole scenario: random per-message
+  // loss and corruption everywhere, a bandwidth slump plus a brief full
+  // outage on node 1's endpoint.  The reliable pmpi transport has to carry
+  // the checkpoint/restart traffic through all of it.
+  fault::FaultPlan plan;
+  plan.dropProb = p.dropProb;
+  plan.corruptProb = p.corruptProb;
+  if (p.degradeUntilSec > p.degradeFromSec && p.degradeFactor < 1.0) {
+    plan.degradeEndpoint(machine.endpointOfNode(1),
+                         sim::SimTime::seconds(p.degradeFromSec),
+                         sim::SimTime::seconds(p.degradeUntilSec),
+                         p.degradeFactor);
+  }
+  if (p.flapUntilSec > p.flapFromSec) {
+    plan.flapEndpoint(machine.endpointOfNode(1),
+                      sim::SimTime::seconds(p.flapFromSec),
+                      sim::SimTime::seconds(p.flapUntilSec));
+  }
+  if (plan.active()) fabric.setFaultPlan(&plan);
+
   rm::ResourceManager resources(machine);
   pmpi::AppRegistry registry;
-  pmpi::Runtime rt(machine, fabric, resources, registry);
+  pmpi::ProtocolParams pp;
+  pp.reliable = p.reliableTransport;
+  pmpi::Runtime rt(machine, fabric, resources, registry, pp);
   io::BeeGfs fs(machine, fabric);
   io::LocalStore local(machine, fabric);
   io::NamStore nam(machine, fabric);
@@ -203,32 +228,71 @@ Values runResilienceScenario(const ResilienceParams& p, const Scheme& scheme,
     doneAtSec = std::max(doneAtSec, env.wtime());
   });
 
-  scr::FailureInjector chaos(rt, local);
-  sim::Rng rng(ctx.seed);
+  // Event-driven supervisor: failures mark the victim node out of service
+  // (repaired after the MTTR) and the job's drain triggers a relaunch onto
+  // whatever spare/surviving nodes the resource manager still has.  All of
+  // it runs inside a single engine.run() so repairs, relaunches and the
+  // fault plan interleave on the one simulated clock.
+  scr::FailureInjector chaos(rt, local, &resources,
+                             sim::SimTime::seconds(p.repairSec));
+  sim::Rng rng(ctx.seed + 1);  // decorrelated from the fabric's fault draws
   const sim::SimTime mtbf = sim::SimTime::seconds(mtbfSec);
   int attempts = 0;
-  while (!finished && attempts < p.maxAttempts) {
+  int relaunchStalls = 0;
+  bool relaunchQueued = false;
+  std::function<void()> launchAttempt;
+  const auto queueRelaunch = [&] {
+    if (relaunchQueued || finished) return;
+    relaunchQueued = true;
+    engine.schedule(sim::SimTime::seconds(p.restartDelaySec), [&] {
+      relaunchQueued = false;
+      launchAttempt();
+    });
+  };
+  launchAttempt = [&] {
+    if (finished || attempts >= p.maxAttempts) return;
+    if (resources.freeCount(hw::NodeKind::Cluster) < p.ranks) {
+      // Pool short: failed nodes outnumber the spares.  With repair
+      // enabled the supervisor retries until a node returns; without it
+      // the run is permanently stuck — give up instead of spinning.
+      if (p.repairSec > 0) {
+        ++relaunchStalls;
+        queueRelaunch();
+      }
+      return;
+    }
     ++attempts;
     const auto& job = rt.launch("sim", hw::NodeKind::Cluster, p.ranks);
-    // One pending node failure per attempt, exponentially distributed; it
-    // is a no-op if the attempt completes first (FailureInjector contract).
+    // One pending node failure per attempt; a no-op if the attempt
+    // completes first (FailureInjector contract).  The first one is pinned
+    // to a deterministic mid-run time so every scenario exercises the
+    // recovery loop; later ones are exponentially distributed.
     const sim::SimTime at =
-        engine.now() + scr::FailureInjector::sampleFailureTime(rng, mtbf);
-    const int victim = static_cast<int>(rng.below(static_cast<std::uint64_t>(p.ranks)));
-    const int victimNode = rt.proc(job.procIdx[static_cast<std::size_t>(victim)]).nodeId;
+        attempts == 1 && p.firstFailureAtSec > 0
+            ? sim::SimTime::seconds(p.firstFailureAtSec)
+            : engine.now() + scr::FailureInjector::sampleFailureTime(rng, mtbf);
+    const int victim =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(p.ranks)));
+    const int victimNode =
+        rt.proc(job.procIdx[static_cast<std::size_t>(victim)]).nodeId;
     chaos.scheduleNodeFailure(job.id, at, victimNode);
-    const sim::RunStats st = engine.run();
-    if (!st.blockedProcesses.empty()) {
-      throw std::runtime_error("resilience scenario deadlocked");
-    }
+  };
+  rt.setJobDrainHook([&](int) { queueRelaunch(); });
+  launchAttempt();
+  const sim::RunStats st = engine.run();
+  rt.setJobDrainHook({});
+  if (!st.blockedProcesses.empty()) {
+    throw std::runtime_error("resilience scenario deadlocked");
   }
 
   const double idealSec = p.steps * p.stepSec;
+  const double completionSec = finished ? doneAtSec : engine.now().toSeconds();
+  const extoll::Fabric::Stats& fab = fabric.stats();
   Values v;
   v["done"] = finished ? 1.0 : 0.0;
   v["attempts"] = attempts;
   v["failures_injected"] = chaos.injected();
-  v["completion_sec"] = finished ? doneAtSec : engine.now().toSeconds();
+  v["completion_sec"] = completionSec;
   v["ideal_sec"] = idealSec;
   v["overhead_frac"] =
       finished && idealSec > 0 ? doneAtSec / idealSec - 1.0 : -1.0;
@@ -236,6 +300,23 @@ Values runResilienceScenario(const ResilienceParams& p, const Scheme& scheme,
   v["checkpoints_written"] = static_cast<double>(ckpt.stats().checkpoints);
   v["scr_restarts"] = static_cast<double>(ckpt.stats().restarts);
   v["checkpoint_bytes"] = ckpt.stats().bytesWritten;
+  // Recovery accounting: how long after the last node failure the run
+  // still needed to reach completion, and the absolute time-to-solution
+  // penalty versus the failure-free ideal.
+  v["recovery_tail_sec"] =
+      finished && chaos.injected() > 0
+          ? completionSec - chaos.lastFailureAt().toSeconds()
+          : 0.0;
+  v["recovery_overhead_sec"] = finished ? completionSec - idealSec : -1.0;
+  v["relaunch_stalls"] = relaunchStalls;
+  // Fabric-level fault/recovery totals (satellite: Fabric::Stats counters
+  // surfaced through the campaign report).
+  v["fabric_messages"] = static_cast<double>(fab.messages);
+  v["fabric_drops"] = static_cast<double>(fab.drops);
+  v["fabric_corrupts"] = static_cast<double>(fab.corrupts);
+  v["fabric_retransmits"] = static_cast<double>(fab.retransmits);
+  v["fabric_reroutes"] = static_cast<double>(fab.reroutes);
+  v["unreachable_peers"] = rt.unreachablePeers();
   return v;
 }
 
@@ -278,12 +359,23 @@ Campaign builtinCampaign(const std::string& name) {
     return c;
   }
   if (name == "resilience") return resilienceCampaign();
-  throw std::invalid_argument("unknown campaign '" + name +
-                              "'; known: fig8, fig8-tiny, resilience");
+  if (name == "resilience-tiny") {
+    ResilienceParams p;
+    p.mtbfSec = {0.3, 1.0};
+    p.ranks = 3;
+    p.steps = 12;
+    Campaign c = resilienceCampaign(p);
+    c.name = "resilience-tiny";
+    c.description += " (tiny smoke grid)";
+    return c;
+  }
+  throw std::invalid_argument(
+      "unknown campaign '" + name +
+      "'; known: fig8, fig8-tiny, resilience, resilience-tiny");
 }
 
 std::vector<std::string> builtinCampaignNames() {
-  return {"fig8", "fig8-tiny", "resilience"};
+  return {"fig8", "fig8-tiny", "resilience", "resilience-tiny"};
 }
 
 }  // namespace cbsim::campaign

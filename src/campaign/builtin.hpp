@@ -40,12 +40,32 @@ struct ResilienceParams {
   double stepSec = 0.020;       ///< per-step simulated compute
   std::size_t stateBytes = 256 << 10;  ///< checkpoint payload per rank
   int maxAttempts = 40;         ///< supervisor relaunch budget
+
+  // Degraded-fabric fault injection.  The fabric runs lossy and flaky for
+  // the whole scenario; the reliable pmpi transport has to carry the
+  // checkpoint/restart traffic through it.
+  bool reliableTransport = true;
+  double dropProb = 0.0015;     ///< per-message random loss
+  double corruptProb = 0.0005;  ///< per-message CRC-failure probability
+  double degradeFactor = 0.35;  ///< endpoint bandwidth factor in the window
+  double degradeFromSec = 0.05; ///< degradation window on node 1's endpoint
+  double degradeUntilSec = 0.20;
+  double flapFromSec = 0.08;    ///< brief full outage inside the window
+  double flapUntilSec = 0.082;
+
+  // Recovery loop.  Spare nodes let the supervisor relaunch while the
+  // failed node sits in repair (MTTR); the first failure is pinned to a
+  // deterministic mid-run time so every scenario exercises the loop.
+  int spareNodes = 2;
+  double repairSec = 0.25;          ///< MTTR; <= 0 disables repair
+  double firstFailureAtSec = 0.12;  ///< deterministic first node failure
+  double restartDelaySec = 0.005;   ///< supervisor relaunch latency
 };
 
 [[nodiscard]] Campaign resilienceCampaign(const ResilienceParams& params = {});
 
-/// Built-in campaign by name ("fig8", "fig8-tiny", "resilience");
-/// throws std::invalid_argument for unknown names.
+/// Built-in campaign by name ("fig8", "fig8-tiny", "resilience",
+/// "resilience-tiny"); throws std::invalid_argument for unknown names.
 [[nodiscard]] Campaign builtinCampaign(const std::string& name);
 [[nodiscard]] std::vector<std::string> builtinCampaignNames();
 

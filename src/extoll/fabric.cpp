@@ -90,12 +90,14 @@ Fabric::Path Fabric::route(int srcEp, int dstEp) const {
   return p;
 }
 
-SimTime Fabric::occupy(const Path& path, double bytes) {
+SimTime Fabric::occupy(const Path& path, double bytes, double bwFactor) {
   SimTime t0 = engine_.now();
   for (const int l : path.links) {
     t0 = std::max(t0, linkBusy_[static_cast<std::size_t>(l)]);
   }
-  const SimTime occ = SimTime::seconds(bytes / (path.bwGBs * 1e9));
+  // Degradation is sampled once, at injection: a window closing mid-flight
+  // still applies to the whole transfer (NIC rate negotiation granularity).
+  const SimTime occ = SimTime::seconds(bytes / (path.bwGBs * bwFactor * 1e9));
   for (const int l : path.links) {
     linkBusy_[static_cast<std::size_t>(l)] = t0 + occ;
   }
@@ -120,25 +122,126 @@ void Fabric::deliverLeg(int srcEp, int dstEp, double bytes,
     if (obs::Tracer* tr = engine_.tracer()) {
       tr->metrics().add("fabric.bridge_hops");
     }
-    const int bridgeEp = machine_.endpointOfNode(p.bridgeNode);
-    const hw::Node& bridge = machine_.node(p.bridgeNode);
-    // Store-and-forward: receive fully, CPU forwards (software + memcpy),
-    // then inject onto the second network.
-    const SimTime fwd =
-        bridge.mpiSwOverhead +
-        SimTime::seconds(bytes / (bridge.cpu.memBwGBs * 1e9));
-    deliverLeg(srcEp, bridgeEp, bytes,
-               [this, bridgeEp, dstEp, bytes, fwd,
-                onArrive = std::move(onArrive)]() mutable {
-                 engine_.schedule(fwd, [this, bridgeEp, dstEp, bytes,
-                                        onArrive = std::move(onArrive)]() mutable {
-                   deliverLeg(bridgeEp, dstEp, bytes, std::move(onArrive));
-                 });
-               });
+    deliverViaBridge(p.bridgeNode, srcEp, dstEp, bytes, std::move(onArrive));
     return;
   }
-  const SimTime arrival = occupy(p, bytes);
+  double bwFactor = 1.0;
+  if (faultPlan_ != nullptr) {
+    const SimTime t = engine_.now();
+    const int epLinks = 2 * machine_.endpointCount();
+    for (const int l : p.links) {
+      const double f = linkFaultFactor(l, t);
+      if (f == 0.0) {
+        // A down trunk can be detoured over a gen-1 bridge node; a down
+        // endpoint link leaves that endpoint unreachable, so the message
+        // is lost in flight (the reliable transport's retransmit recovers
+        // it once the link is back up).
+        if (l >= epLinks && !bridgeNodes_.empty()) {
+          const int bridge = bridgeNodes_[nextBridge_ % bridgeNodes_.size()];
+          nextBridge_ = (nextBridge_ + 1) % bridgeNodes_.size();
+          ++stats_.reroutes;
+          ++stats_.bridgeHops;
+          if (obs::Tracer* tr = engine_.tracer()) {
+            tr->metrics().add("fabric.reroutes");
+            tr->metrics().add("fabric.bridge_hops");
+          }
+          deliverViaBridge(bridge, srcEp, dstEp, bytes, std::move(onArrive));
+          return;
+        }
+        dropMessage("link_down", l);
+        return;
+      }
+      // Approximation: the most-degraded link's factor scales the whole
+      // path's bottleneck rate (exact only when the degraded link is the
+      // bottleneck, which it is in every practical plan).
+      bwFactor = std::min(bwFactor, f);
+    }
+  }
+  const SimTime arrival = occupy(p, bytes, bwFactor);
   engine_.scheduleAt(arrival, std::move(onArrive));
+}
+
+void Fabric::deliverViaBridge(int bridgeNode, int srcEp, int dstEp,
+                              double bytes, std::function<void()> onArrive) {
+  const int bridgeEp = machine_.endpointOfNode(bridgeNode);
+  const hw::Node& bridge = machine_.node(bridgeNode);
+  // Store-and-forward: receive fully, CPU forwards (software + memcpy),
+  // then inject onto the second network.
+  const SimTime fwd = bridge.mpiSwOverhead +
+                      SimTime::seconds(bytes / (bridge.cpu.memBwGBs * 1e9));
+  deliverLeg(srcEp, bridgeEp, bytes,
+             [this, bridgeEp, dstEp, bytes, fwd,
+              onArrive = std::move(onArrive)]() mutable {
+               engine_.schedule(fwd, [this, bridgeEp, dstEp, bytes,
+                                      onArrive = std::move(onArrive)]() mutable {
+                 deliverLeg(bridgeEp, dstEp, bytes, std::move(onArrive));
+               });
+             });
+}
+
+double Fabric::linkFaultFactor(int link, sim::SimTime t) const {
+  if (faultPlan_ == nullptr) return 1.0;
+  const int epLinks = 2 * machine_.endpointCount();
+  if (link < epLinks) return faultPlan_->endpointFactor(link / 2, t);
+  return faultPlan_->trunkFactor((link - epLinks) / 2, t);
+}
+
+void Fabric::dropMessage(const char* reason, int link) {
+  ++stats_.drops;
+  if (obs::Tracer* tr = engine_.tracer()) {
+    obs::Metrics& m = tr->metrics();
+    m.add("fabric.drops");
+    m.add(std::string("fabric.drops.") + reason);
+    const int row = linkRow(*tr, link);
+    tr->instant(static_cast<obs::Group>(
+                    linkRowGroups_[static_cast<std::size_t>(link)]),
+                row, "fault.drop", "fault", engine_.now(), {});
+  }
+}
+
+void Fabric::sendReliable(int srcEp, int dstEp, double bytes,
+                          std::function<void()> onArrive) {
+  if (faultPlan_ == nullptr || !faultPlan_->active() || srcEp == dstEp) {
+    send(srcEp, dstEp, bytes, std::move(onArrive));
+    return;
+  }
+  // Hardware retry loop: resend on timeout until one attempt lands.  A
+  // slow-but-delivered attempt can race its own retransmit, so arrival is
+  // latched and duplicates are discarded at the "NIC".  The attempt
+  // closure holds itself alive through the timeout chain; the latch clears
+  // it on arrival to break the cycle.
+  struct Rc {
+    bool arrived = false;
+  };
+  auto st = std::make_shared<Rc>();
+  auto cb = std::make_shared<std::function<void()>>(std::move(onArrive));
+  auto attempt = std::make_shared<std::function<void(SimTime)>>();
+  const SimTime base =
+      (pathLatency(srcEp, dstEp) +
+       SimTime::seconds(bytes / (bottleneckBwGBs(srcEp, dstEp) * 1e9))) *
+          4 +
+      SimTime::us(50);
+  *attempt = [this, srcEp, dstEp, bytes, st, cb, attempt](SimTime rto) {
+    send(srcEp, dstEp, bytes, [st, cb, attempt] {
+      if (st->arrived) return;
+      st->arrived = true;
+      *attempt = {};  // break the self-reference cycle
+      (*cb)();
+    });
+    engine_.schedule(rto, [this, st, attempt, rto] {
+      if (st->arrived) return;
+      noteRetransmit();
+      (*attempt)(std::min(rto * 2, std::max(SimTime::ms(20), rto)));
+    });
+  };
+  (*attempt)(base);
+}
+
+void Fabric::noteRetransmit() {
+  ++stats_.retransmits;
+  if (obs::Tracer* tr = engine_.tracer()) {
+    tr->metrics().add("fabric.retransmits");
+  }
 }
 
 void Fabric::send(int srcEp, int dstEp, double bytes,
@@ -152,11 +255,39 @@ void Fabric::send(int srcEp, int dstEp, double bytes,
   }
   if (srcEp == dstEp) {
     // Loopback: shared-memory (or device-internal) copy, never touches the
-    // NIC; rate comes from the endpoint's own configuration.
+    // NIC; rate comes from the endpoint's own configuration.  Loopback is
+    // exempt from the fault plan — a memory copy cannot be lost in flight.
     const double bw = loopbackBwGBs(srcEp) * 1e9;
     engine_.schedule(SimTime::ns(100) + SimTime::seconds(bytes / bw),
                      std::move(onArrive));
     return;
+  }
+  if (faultPlan_ != nullptr) {
+    // Per-message decisions draw from the engine RNG so the decision
+    // stream is part of the deterministic event order (identical across
+    // --jobs values and process backends).
+    if (faultPlan_->dropProb > 0.0 &&
+        engine_.rng().uniform() < faultPlan_->dropProb) {
+      dropMessage("random", upLink(srcEp));
+      return;
+    }
+    if (faultPlan_->corruptProb > 0.0 &&
+        engine_.rng().uniform() < faultPlan_->corruptProb) {
+      // The payload still travels (and occupies the path) but the
+      // receiving NIC discards it on CRC failure — deliver the discard
+      // instead of the message.
+      onArrive = [this, dstEp] {
+        ++stats_.corrupts;
+        if (obs::Tracer* tr = engine_.tracer()) {
+          tr->metrics().add("fabric.corrupts");
+          const int link = downLink(dstEp);
+          const int row = linkRow(*tr, link);  // registers the row first
+          tr->instant(static_cast<obs::Group>(
+                          linkRowGroups_[static_cast<std::size_t>(link)]),
+                      row, "fault.corrupt", "fault", engine_.now(), {});
+        }
+      };
+    }
   }
   deliverLeg(srcEp, dstEp, bytes, std::move(onArrive));
 }
@@ -204,8 +335,7 @@ std::string Fabric::linkName(int link) const {
   return "trunk" + std::to_string(t) + dir;
 }
 
-void Fabric::traceLinkSpan(obs::Tracer& tr, int link, sim::SimTime t0,
-                           sim::SimTime end, double bytes) {
+int Fabric::linkRow(obs::Tracer& tr, int link) {
   if (linkRows_.empty()) {
     linkRows_.assign(linkBusy_.size(), -1);
     linkRowGroups_.assign(linkBusy_.size(), obs::kGroupLinks);
@@ -220,6 +350,12 @@ void Fabric::traceLinkSpan(obs::Tracer& tr, int link, sim::SimTime t0,
     linkRowGroups_[static_cast<std::size_t>(link)] = g;
     row = tr.row(g, linkName(link));
   }
+  return row;
+}
+
+void Fabric::traceLinkSpan(obs::Tracer& tr, int link, sim::SimTime t0,
+                           sim::SimTime end, double bytes) {
+  const int row = linkRow(tr, link);
   tr.span(static_cast<obs::Group>(
               linkRowGroups_[static_cast<std::size_t>(link)]),
           row, "xfer", "extoll", t0, end, {{"bytes", bytes}});

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "hw/machine.hpp"
 #include "sim/engine.hpp"
 
@@ -32,6 +33,10 @@ class Fabric {
     std::uint64_t messages = 0;
     double bytes = 0.0;
     std::uint64_t bridgeHops = 0;
+    std::uint64_t drops = 0;        ///< lost in flight: random loss + down links
+    std::uint64_t corrupts = 0;     ///< arrived but failed CRC, discarded at NIC
+    std::uint64_t retransmits = 0;  ///< resends noted by the reliable transport
+    std::uint64_t reroutes = 0;     ///< trunk-down messages detoured via a bridge
   };
 
   explicit Fabric(hw::Machine& machine);
@@ -51,6 +56,28 @@ class Fabric {
   /// Effective (protocol-derated) bottleneck bandwidth of the path in GB/s.
   /// Pure query, like pathLatency().
   [[nodiscard]] double bottleneckBwGBs(int srcEp, int dstEp) const;
+
+  /// Attaches a fault schedule (nullptr detaches).  The plan is consulted
+  /// on every non-loopback send: per-message drop/corrupt decisions draw
+  /// from the engine RNG, degradation windows stretch occupancy, and down
+  /// links drop traffic (or detour it over a gen-1 bridge when the machine
+  /// has one).  The plan is borrowed — the caller keeps it alive for as
+  /// long as it is attached.
+  void setFaultPlan(const fault::FaultPlan* plan) { faultPlan_ = plan; }
+  [[nodiscard]] const fault::FaultPlan* faultPlan() const { return faultPlan_; }
+
+  /// Reliable-connection send (EXTOLL RC semantics, used by the io/ RDMA
+  /// paths): like send(), but a message the fault plan loses is resent on
+  /// a deterministic timeout with capped exponential backoff, and
+  /// `onArrive` fires exactly once.  Without an active fault plan this is
+  /// plain send().  The pmpi layer does NOT use this — it runs its own
+  /// end-to-end ack/retransmit protocol with an error budget.
+  void sendReliable(int srcEp, int dstEp, double bytes,
+                    std::function<void()> onArrive);
+
+  /// Reliable-transport hook (pmpi): counts a resend caused by loss on
+  /// this fabric, so drop and recovery totals live side by side in Stats.
+  void noteRetransmit();
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] hw::Machine& machine() const { return machine_; }
@@ -76,17 +103,30 @@ class Fabric {
   /// would pick next without advancing it (only deliverLeg advances it, so
   /// latency/bandwidth queries cannot perturb later traffic).
   [[nodiscard]] Path route(int srcEp, int dstEp) const;
-  /// Books the path's links and returns the arrival time.
-  sim::SimTime occupy(const Path& path, double bytes);
+  /// Books the path's links and returns the arrival time.  `bwFactor`
+  /// scales the path's bottleneck bandwidth (fault-plan degradation,
+  /// sampled once at injection time).
+  sim::SimTime occupy(const Path& path, double bytes, double bwFactor = 1.0);
   void deliverLeg(int srcEp, int dstEp, double bytes,
                   std::function<void()> onArrive);
+  /// Store-and-forward hop over a gen-1 bridge node (shared by bridged
+  /// routes and trunk-down detours).
+  void deliverViaBridge(int bridgeNode, int srcEp, int dstEp, double bytes,
+                        std::function<void()> onArrive);
+  /// Fault-plan bandwidth factor of one link at time `t` (1.0 without a plan).
+  [[nodiscard]] double linkFaultFactor(int link, sim::SimTime t) const;
+  /// Counts a lost message (`stats_.drops`) under a reason label and marks
+  /// it on the link's trace row.
+  void dropMessage(const char* reason, int link);
   /// Intra-endpoint copy bandwidth in GB/s: node memory bandwidth for node
   /// endpoints, the device's streaming rate for NAM endpoints.
   [[nodiscard]] double loopbackBwGBs(int ep) const;
   /// Human-readable link label ("cn03 up", "trunk0 a>b") for traces/metrics.
   [[nodiscard]] std::string linkName(int link) const;
-  /// Emits the occupancy span of `link` onto its timeline row (registered
-  /// on first use; NAM endpoint links land in the devices group).
+  /// Timeline row of `link` (registered on first use; NAM endpoint links
+  /// land in the devices group).  Returns the row id.
+  int linkRow(obs::Tracer& tr, int link);
+  /// Emits the occupancy span of `link` onto its timeline row.
   void traceLinkSpan(obs::Tracer& tr, int link, sim::SimTime t0,
                      sim::SimTime end, double bytes);
 
@@ -99,6 +139,7 @@ class Fabric {
   std::size_t nextBridge_ = 0;         ///< round-robin bridge selection
   std::vector<int> linkRows_;          ///< lazily registered obs/ rows
   std::vector<int> linkRowGroups_;     ///< obs::Group of each link's row
+  const fault::FaultPlan* faultPlan_ = nullptr;
   Stats stats_;
 };
 

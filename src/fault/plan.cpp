@@ -1,0 +1,55 @@
+#include "fault/plan.hpp"
+
+#include <stdexcept>
+
+namespace cbsim::fault {
+
+namespace {
+
+void validate(int idx, sim::SimTime from, sim::SimTime until, double factor) {
+  if (idx < 0) throw std::invalid_argument("fault: negative link index");
+  if (until <= from) {
+    throw std::invalid_argument("fault: window must end after it starts");
+  }
+  if (factor < 0.0 || factor > 1.0) {
+    throw std::invalid_argument("fault: bandwidth factor outside [0, 1]");
+  }
+}
+
+}  // namespace
+
+void FaultPlan::degradeEndpoint(int ep, sim::SimTime from, sim::SimTime until,
+                                double bwFactor) {
+  validate(ep, from, until, bwFactor);
+  endpointWindows_[ep].push_back({from, until, bwFactor});
+}
+
+void FaultPlan::degradeTrunk(int trunkIdx, sim::SimTime from,
+                             sim::SimTime until, double bwFactor) {
+  validate(trunkIdx, from, until, bwFactor);
+  trunkWindows_[trunkIdx].push_back({from, until, bwFactor});
+}
+
+double FaultPlan::factorAt(const std::vector<LinkWindow>& windows,
+                           sim::SimTime t) {
+  double f = 1.0;
+  for (const LinkWindow& w : windows) {
+    if (w.covers(t)) {
+      if (w.bwFactor == 0.0) return 0.0;
+      f *= w.bwFactor;
+    }
+  }
+  return f;
+}
+
+double FaultPlan::endpointFactor(int ep, sim::SimTime t) const {
+  const auto it = endpointWindows_.find(ep);
+  return it == endpointWindows_.end() ? 1.0 : factorAt(it->second, t);
+}
+
+double FaultPlan::trunkFactor(int trunkIdx, sim::SimTime t) const {
+  const auto it = trunkWindows_.find(trunkIdx);
+  return it == trunkWindows_.end() ? 1.0 : factorAt(it->second, t);
+}
+
+}  // namespace cbsim::fault

@@ -1,0 +1,90 @@
+#pragma once
+
+// Deterministic link-fault schedules for the extoll fabric.
+//
+// Real Cluster-Booster fabrics do not fail like the textbook whole-node
+// crash: links flap, SerDes retrain at reduced width, and individual
+// packets are lost or arrive corrupted (DEEP-ER resiliency motivation,
+// Kreuzer et al., arXiv:1904.07725).  A FaultPlan captures those modes as
+// data so a scenario can schedule them up front and stay bit-reproducible:
+//
+//   * bandwidth-degradation windows on an endpoint's links or on a trunk
+//     (factor in (0,1]; overlapping windows compound multiplicatively),
+//   * link down/up flaps (a window with factor 0: injected messages are
+//     dropped, or detoured over a gen-1 bridge where one exists),
+//   * per-message drop/corrupt probabilities, drawn from the engine RNG at
+//     injection time so the stream of decisions is identical across
+//     process backends and --jobs values.
+//
+// The plan itself is passive: extoll::Fabric consults it inside
+// send()/occupy(), which is what makes faults interact naturally with
+// contention (a degraded link stays busy longer, queueing everyone else)
+// and with rerouting.  The plan must outlive the Fabric's use of it; the
+// owner (test or campaign scenario) keeps it alive alongside the world.
+
+#include <map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace cbsim::fault {
+
+/// One bandwidth window: while `[from, until)` covers the current time the
+/// affected links run at `bwFactor` of their configured rate.  Factor 0
+/// means the link is down (a flap is a zero-factor window).
+struct LinkWindow {
+  sim::SimTime from;
+  sim::SimTime until;
+  double bwFactor = 1.0;
+
+  [[nodiscard]] bool covers(sim::SimTime t) const {
+    return from <= t && t < until;
+  }
+};
+
+class FaultPlan {
+ public:
+  /// Probability that an injected (non-loopback) message is silently lost
+  /// end-to-end.  One engine-RNG draw per message.
+  double dropProb = 0.0;
+  /// Probability that a message arrives but fails its CRC at the receiving
+  /// NIC and is discarded there (it still occupies the path's links).
+  double corruptProb = 0.0;
+
+  /// Degrades both links of endpoint `ep` to `bwFactor` during the window.
+  void degradeEndpoint(int ep, sim::SimTime from, sim::SimTime until,
+                       double bwFactor);
+  /// Degrades both directions of trunk `trunkIdx` during the window.
+  void degradeTrunk(int trunkIdx, sim::SimTime from, sim::SimTime until,
+                    double bwFactor);
+  /// Down/up flap: the endpoint's links carry nothing during the window.
+  void flapEndpoint(int ep, sim::SimTime from, sim::SimTime until) {
+    degradeEndpoint(ep, from, until, 0.0);
+  }
+  void flapTrunk(int trunkIdx, sim::SimTime from, sim::SimTime until) {
+    degradeTrunk(trunkIdx, from, until, 0.0);
+  }
+
+  /// Combined bandwidth factor of the endpoint's links at time `t`
+  /// (product over covering windows; 0 when any covering window is down).
+  [[nodiscard]] double endpointFactor(int ep, sim::SimTime t) const;
+  [[nodiscard]] double trunkFactor(int trunkIdx, sim::SimTime t) const;
+
+  [[nodiscard]] bool hasWindows() const {
+    return !endpointWindows_.empty() || !trunkWindows_.empty();
+  }
+  /// True when the plan can affect traffic at all; a default-constructed
+  /// plan is inert and costs the fabric one pointer test per message.
+  [[nodiscard]] bool active() const {
+    return dropProb > 0.0 || corruptProb > 0.0 || hasWindows();
+  }
+
+ private:
+  static double factorAt(const std::vector<LinkWindow>& windows,
+                         sim::SimTime t);
+
+  std::map<int, std::vector<LinkWindow>> endpointWindows_;
+  std::map<int, std::vector<LinkWindow>> trunkWindows_;
+};
+
+}  // namespace cbsim::fault

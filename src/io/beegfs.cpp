@@ -87,7 +87,8 @@ void BeeGfs::writeAsync(int clientNode, const std::string& path,
     const int target = targets_[chunkIdx % targets_.size()];
     ++stats_.chunkWrites;
     ++*outstanding;
-    fabric_.send(me, machine_.endpointOfNode(target), static_cast<double>(chunk),
+    fabric_.sendReliable(me, machine_.endpointOfNode(target),
+                 static_cast<double>(chunk),
                  [this, target, chunk, outstanding, done, &engine] {
                    const SimTime at =
                        machine_.disk(target).reserve(static_cast<double>(chunk),
@@ -139,14 +140,14 @@ std::size_t BeeGfs::read(pmpi::Env& env, const File& f, std::size_t offset,
     ++stats_.chunkReads;
     ++outstanding;
     // Request (small), disk read at the target, then the data transfer.
-    fabric_.send(me, machine_.endpointOfNode(target), 128.0,
+    fabric_.sendReliable(me, machine_.endpointOfNode(target), 128.0,
                  [this, target, chunk, me, &outstanding, &engine, &proc] {
                    const SimTime done =
                        machine_.disk(target).reserve(static_cast<double>(chunk),
                                                      /*isWrite=*/false);
                    engine.scheduleAt(done, [this, target, chunk, me,
                                             &outstanding, &engine, &proc] {
-                     fabric_.send(machine_.endpointOfNode(target), me,
+                     fabric_.sendReliable(machine_.endpointOfNode(target), me,
                                   static_cast<double>(chunk),
                                   [&outstanding, &engine, &proc] {
                                     if (--outstanding == 0) engine.wake(proc);

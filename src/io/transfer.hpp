@@ -11,14 +11,16 @@
 namespace cbsim::io {
 
 /// Moves `bytes` from endpoint `srcEp` to `dstEp` and blocks the calling
-/// rank until delivery.
+/// rank until delivery.  Uses the fabric's reliable-connection send so a
+/// fault-plan loss retries at the NIC instead of suspending the rank
+/// forever; waking a rank that died while waiting is a safe no-op.
 inline void awaitTransfer(pmpi::Env& env, extoll::Fabric& fabric, int srcEp,
                           int dstEp, double bytes) {
   bool done = false;
   sim::Engine& engine = fabric.machine().engine();
   sim::Process& proc = env.ctx().process();
   const double t0 = env.wtime();
-  fabric.send(srcEp, dstEp, bytes, [&done, &engine, &proc] {
+  fabric.sendReliable(srcEp, dstEp, bytes, [&done, &engine, &proc] {
     done = true;
     engine.wake(proc);
   });

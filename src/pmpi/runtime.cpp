@@ -137,8 +137,6 @@ Request Runtime::postSend(Proc& src, Comm c, int dstRank, int tag,
 
   const bool rendezvous =
       mode == SendMode::Synchronous || data.size() > params_.eagerThreshold;
-  const int srcEp = machine_.endpointOfNode(src.nodeId);
-  const int dstEp = machine_.endpointOfNode(proc(dstIdx).nodeId);
 
   Proc::UnexpectedMsg msg;
   msg.commId = c.id();
@@ -161,20 +159,20 @@ Request Runtime::postSend(Proc& src, Comm c, int dstRank, int tag,
     req->sendBuf = data;
     msg.rendezvous = true;
     msg.sendReq = req;
-    fabric_.send(srcEp, dstEp, params_.ctrlMsgBytes,
-                 [this, dstIdx, msg = std::move(msg)]() mutable {
-                   deliverRts(dstIdx, std::move(msg));
-                 });
+    transportSend(src.idx, dstIdx, params_.ctrlMsgBytes,
+                  [this, dstIdx, msg = std::move(msg)]() mutable {
+                    deliverRts(dstIdx, std::move(msg));
+                  });
   } else {
     // Eager: payload travels with the message; the send buffer is free as
     // soon as the local copy is made.
     msg.payload.assign(data.begin(), data.end());
     req->done = true;
-    fabric_.send(srcEp, dstEp,
-                 static_cast<double>(data.size()) + params_.headerBytes,
-                 [this, dstIdx, msg = std::move(msg)]() mutable {
-                   deliverEager(dstIdx, std::move(msg));
-                 });
+    transportSend(src.idx, dstIdx,
+                  static_cast<double>(data.size()) + params_.headerBytes,
+                  [this, dstIdx, msg = std::move(msg)]() mutable {
+                    deliverEager(dstIdx, std::move(msg));
+                  });
   }
   return req;
 }
@@ -263,6 +261,10 @@ void Runtime::completeEagerRecv(Proc& dst, const Request& req,
   const hw::Node& node = machine_.node(dst.nodeId);
   engine().schedule(
       node.mpiSwOverhead, [this, &dst, req, msg = std::move(msg)]() {
+        // The rank may have been cancelled (failure injection) between the
+        // match and this completion; its receive buffer lives on the
+        // unwound stack, so the copy must not happen.
+        if (!procLive(dst)) return;
         if (msg.payload.size() > req->recvBuf.size()) {
           throw std::runtime_error("pmpi: eager message truncates receive buffer");
         }
@@ -277,9 +279,6 @@ void Runtime::startRendezvousTransfer(Proc& dst, const Request& req,
     throw std::runtime_error("pmpi: rendezvous message truncates receive buffer");
   }
   const hw::Node& dstNode = machine_.node(dst.nodeId);
-  const int dstEp = machine_.endpointOfNode(dst.nodeId);
-  const Proc& src = proc(msg.srcProcIdx);
-  const int srcEp = machine_.endpointOfNode(src.nodeId);
   if (obs::Tracer* tr = engine().tracer()) {
     traceMsgEvent(engine(), *tr, dst, "rdv.cts",
                   {{"src", static_cast<double>(msg.srcRank)},
@@ -289,22 +288,27 @@ void Runtime::startRendezvousTransfer(Proc& dst, const Request& req,
   // Receiver processes the RTS, sends the CTS; on CTS arrival the payload
   // moves as one RDMA transfer straight into the receive buffer (no
   // further endpoint software on the payload path).
-  engine().schedule(dstNode.mpiSwOverhead, [this, &dst, req, srcEp, dstEp,
+  const int srcIdx = msg.srcProcIdx;
+  engine().schedule(dstNode.mpiSwOverhead, [this, &dst, req, srcIdx,
                                             msg = std::move(msg)]() mutable {
-    fabric_.send(dstEp, srcEp, params_.ctrlMsgBytes, [this, &dst, req, srcEp,
-                                                      dstEp,
-                                                      msg = std::move(msg)]() mutable {
-      fabric_.send(srcEp, dstEp,
-                   static_cast<double>(msg.bytes) + params_.headerBytes,
-                   [this, &dst, req, msg = std::move(msg)]() {
-                     const Request sendReq = msg.sendReq;
-                     std::memcpy(req->recvBuf.data(), sendReq->sendBuf.data(),
-                                 msg.bytes);
-                     completeRequest(dst, req, msg.srcRank, msg.tag, msg.bytes);
-                     Proc& src = *procs_.at(static_cast<std::size_t>(msg.srcProcIdx));
-                     completeRequest(src, sendReq, msg.srcRank, msg.tag,
-                                     msg.bytes);
-                   });
+    transportSend(dst.idx, srcIdx, params_.ctrlMsgBytes, [this, &dst, req,
+                                                          srcIdx,
+                                                          msg = std::move(msg)]() mutable {
+      transportSend(srcIdx, dst.idx,
+                    static_cast<double>(msg.bytes) + params_.headerBytes,
+                    [this, &dst, req, msg = std::move(msg)]() {
+                      const Request sendReq = msg.sendReq;
+                      Proc& src = *procs_.at(static_cast<std::size_t>(msg.srcProcIdx));
+                      // Both stacks must still exist: the source buffer is
+                      // pinned on the sender, the destination buffer on the
+                      // receiver.  A cancelled rank invalidates its side.
+                      if (!procLive(dst) || !procLive(src)) return;
+                      std::memcpy(req->recvBuf.data(), sendReq->sendBuf.data(),
+                                  msg.bytes);
+                      completeRequest(dst, req, msg.srcRank, msg.tag, msg.bytes);
+                      completeRequest(src, sendReq, msg.srcRank, msg.tag,
+                                      msg.bytes);
+                    });
     });
   });
 }
@@ -322,6 +326,134 @@ void Runtime::completeRequest(Proc& owner, const Request& req, int srcRank,
                    {"bytes", static_cast<double>(bytes)}});
   }
   if (owner.sproc != nullptr) engine().wake(*owner.sproc);
+}
+
+// ---- Reliable transport ---------------------------------------------------------
+
+bool Runtime::procLive(const Proc& p) const {
+  return p.sproc != nullptr && p.sproc->live();
+}
+
+Runtime::TransportChannel& Runtime::channel(int srcIdx, int dstIdx) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(srcIdx))
+                             << 32) |
+                            static_cast<std::uint32_t>(dstIdx);
+  return channels_[key];
+}
+
+void Runtime::transportSend(int srcIdx, int dstIdx, double bytes,
+                            std::function<void()> deliver) {
+  if (!params_.reliable) {
+    const int srcEp = machine_.endpointOfNode(proc(srcIdx).nodeId);
+    const int dstEp = machine_.endpointOfNode(proc(dstIdx).nodeId);
+    fabric_.send(srcEp, dstEp, bytes, std::move(deliver));
+    return;
+  }
+  TransportChannel& ch = channel(srcIdx, dstIdx);
+  const std::uint32_t seq = ch.nextSendSeq++;
+  TransportChannel::Inflight inf;
+  inf.bytes = bytes;
+  inf.deliver = std::move(deliver);
+  // First-shot RTO: configured base plus a generous serialization estimate
+  // so big rendezvous payloads under contention don't time out spuriously.
+  const int srcEp = machine_.endpointOfNode(proc(srcIdx).nodeId);
+  const int dstEp = machine_.endpointOfNode(proc(dstIdx).nodeId);
+  inf.rto = params_.retransmitTimeout +
+            4 * sim::SimTime::seconds(
+                    bytes / (fabric_.bottleneckBwGBs(srcEp, dstEp) * 1e9));
+  ch.inflight.emplace(seq, std::move(inf));
+  transmitFrame(srcIdx, dstIdx, seq);
+}
+
+void Runtime::transmitFrame(int srcIdx, int dstIdx, std::uint32_t seq) {
+  TransportChannel& ch = channel(srcIdx, dstIdx);
+  const auto it = ch.inflight.find(seq);
+  if (it == ch.inflight.end()) return;  // acked in the meantime
+  const int srcEp = machine_.endpointOfNode(proc(srcIdx).nodeId);
+  const int dstEp = machine_.endpointOfNode(proc(dstIdx).nodeId);
+  fabric_.send(srcEp, dstEp, it->second.bytes, [this, srcIdx, dstIdx, seq] {
+    onFrameArrive(srcIdx, dstIdx, seq);
+  });
+  engine().schedule(it->second.rto, [this, srcIdx, dstIdx, seq] {
+    onFrameTimeout(srcIdx, dstIdx, seq);
+  });
+}
+
+void Runtime::onFrameArrive(int srcIdx, int dstIdx, std::uint32_t seq) {
+  TransportChannel& ch = channel(srcIdx, dstIdx);
+  // Ack every arrival, duplicates included — the ack for the first copy
+  // may itself have been lost.  Acks ride the fabric (and its faults).
+  const int srcEp = machine_.endpointOfNode(proc(srcIdx).nodeId);
+  const int dstEp = machine_.endpointOfNode(proc(dstIdx).nodeId);
+  fabric_.send(dstEp, srcEp, params_.ackBytes, [this, srcIdx, dstIdx, seq] {
+    onFrameAck(srcIdx, dstIdx, seq);
+  });
+  if (seq < ch.nextDeliverSeq || ch.reorder.count(seq) != 0) {
+    // Spurious retransmit of a frame already handed over (or queued).
+    if (obs::Tracer* tr = engine().tracer()) {
+      tr->metrics().add("pmpi.transport.duplicates");
+    }
+    return;
+  }
+  const auto it = ch.inflight.find(seq);
+  if (it == ch.inflight.end() || !it->second.deliver) return;  // defensive
+  ch.reorder.emplace(seq, std::move(it->second.deliver));
+  // Hand frames to the matching engine strictly in send order: a
+  // retransmitted earlier message must not be overtaken by a later one
+  // (MPI non-overtaking), so later arrivals wait in the reorder buffer.
+  while (true) {
+    const auto rit = ch.reorder.find(ch.nextDeliverSeq);
+    if (rit == ch.reorder.end()) break;
+    std::function<void()> fn = std::move(rit->second);
+    ch.reorder.erase(rit);
+    ++ch.nextDeliverSeq;
+    fn();
+  }
+}
+
+void Runtime::onFrameAck(int srcIdx, int dstIdx, std::uint32_t seq) {
+  channel(srcIdx, dstIdx).inflight.erase(seq);
+}
+
+void Runtime::onFrameTimeout(int srcIdx, int dstIdx, std::uint32_t seq) {
+  TransportChannel& ch = channel(srcIdx, dstIdx);
+  const auto it = ch.inflight.find(seq);
+  if (it == ch.inflight.end()) return;  // acked
+  // Frames between dead procs (whole-job kill) are abandoned quietly; the
+  // supervisor handles the job, not the transport.
+  if (!procLive(proc(srcIdx)) && !procLive(proc(dstIdx))) {
+    ch.inflight.erase(it);
+    return;
+  }
+  TransportChannel::Inflight& inf = it->second;
+  if (inf.tries >= params_.retransmitBudget) {
+    onPeerUnreachable(srcIdx, dstIdx, seq);
+    return;
+  }
+  ++inf.tries;
+  const sim::SimTime grown = sim::SimTime::seconds(
+      inf.rto.toSeconds() * params_.retransmitBackoff);
+  inf.rto = std::min(grown, std::max(params_.retransmitCap, inf.rto));
+  fabric_.noteRetransmit();
+  if (obs::Tracer* tr = engine().tracer()) {
+    tr->metrics().add("pmpi.transport.retransmits");
+  }
+  transmitFrame(srcIdx, dstIdx, seq);
+}
+
+void Runtime::onPeerUnreachable(int srcIdx, int dstIdx, std::uint32_t seq) {
+  channel(srcIdx, dstIdx).inflight.erase(seq);
+  ++unreachablePeers_;
+  if (obs::Tracer* tr = engine().tracer()) {
+    tr->metrics().add("pmpi.transport.unreachable");
+  }
+  // Surface as a rank failure, not a hang: tear down the involved job(s)
+  // exactly like a node loss, so checkpoint/restart supervision takes over.
+  const int srcJob = proc(srcIdx).jobId;
+  if (srcJob >= 0 && !jobDone(srcJob)) killJob(srcJob);
+  const int dstJob = proc(dstIdx).jobId;
+  if (dstJob >= 0 && dstJob != srcJob && !jobDone(dstJob)) killJob(dstJob);
 }
 
 // ---- Process management ---------------------------------------------------------
@@ -406,8 +538,18 @@ Job& Runtime::startJob(const std::string& appName,
                 m.gaugeSet(key + ".comm_sec", self->commSec);
                 m.gaugeSet(key + ".io_sec", self->ioSec);
               }
-              if (--job->liveProcs == 0 && job->allocationId >= 0) {
-                rt->rm_.release(job->allocationId);
+              if (--job->liveProcs == 0) {
+                if (job->allocationId >= 0) rt->rm_.release(job->allocationId);
+                if (rt->drainHook_) {
+                  // Deferred to a zero-delay event: the hook may relaunch
+                  // jobs, which must not run while this rank's stack is
+                  // still unwinding.
+                  Runtime* r = rt;
+                  const int id = job->id;
+                  rt->engine().schedule(SimTime::zero(), [r, id] {
+                    if (r->drainHook_) r->drainHook_(id);
+                  });
+                }
               }
             }
           } drain{this, &job, &self};

@@ -150,6 +150,19 @@ class Runtime {
   [[nodiscard]] bool jobDone(int id) const { return job(id).liveProcs == 0; }
   [[nodiscard]] int jobCount() const { return static_cast<int>(jobs_.size()); }
 
+  /// Invoked (as a zero-delay engine event) whenever a job's last rank
+  /// drains, with the job id.  Lets a supervisor react to failures
+  /// promptly — relaunching from inside the event loop instead of waiting
+  /// for the queue to empty (by which time repaired nodes would mask the
+  /// loss).  One hook; pass {} to detach.
+  void setJobDrainHook(std::function<void(int)> hook) {
+    drainHook_ = std::move(hook);
+  }
+
+  /// Transport-level diagnosis: peers declared unreachable after the
+  /// retransmit budget ran out (each one tore down the involved jobs).
+  [[nodiscard]] int unreachablePeers() const { return unreachablePeers_; }
+
   [[nodiscard]] hw::Machine& machine() const { return machine_; }
   [[nodiscard]] extoll::Fabric& fabric() const { return fabric_; }
   [[nodiscard]] sim::Engine& engine() const { return machine_.engine(); }
@@ -202,6 +215,41 @@ class Runtime {
 
   void deliverEager(int dstProcIdx, Proc::UnexpectedMsg msg);
   void deliverRts(int dstProcIdx, Proc::UnexpectedMsg msg);
+
+  // ---- Reliable transport ---------------------------------------------------
+  // Ack/retransmit channel per directed proc pair (ProtocolParams::reliable).
+  // Frames carry per-channel sequence numbers; the receive side acks every
+  // arrival, de-duplicates spurious retransmits, and releases frames to the
+  // matching engine strictly in send order (a reorder buffer bridges gaps
+  // left by dropped frames), preserving MPI's non-overtaking guarantee.
+  struct TransportChannel {
+    struct Inflight {
+      double bytes = 0.0;
+      std::function<void()> deliver;  ///< moved to the receiver on first arrival
+      int tries = 0;
+      sim::SimTime rto;
+    };
+    std::uint32_t nextSendSeq = 0;
+    std::uint32_t nextDeliverSeq = 0;
+    std::map<std::uint32_t, Inflight> inflight;  ///< sender side, by seq
+    std::map<std::uint32_t, std::function<void()>> reorder;  ///< receiver side
+  };
+
+  /// Sends `bytes` from proc `srcIdx` to proc `dstIdx` and runs `deliver`
+  /// at the destination.  Plain fabric send when reliable mode is off;
+  /// otherwise exactly-once, in-order delivery via the channel machinery.
+  void transportSend(int srcIdx, int dstIdx, double bytes,
+                     std::function<void()> deliver);
+  TransportChannel& channel(int srcIdx, int dstIdx);
+  void transmitFrame(int srcIdx, int dstIdx, std::uint32_t seq);
+  void onFrameArrive(int srcIdx, int dstIdx, std::uint32_t seq);
+  void onFrameAck(int srcIdx, int dstIdx, std::uint32_t seq);
+  void onFrameTimeout(int srcIdx, int dstIdx, std::uint32_t seq);
+  void onPeerUnreachable(int srcIdx, int dstIdx, std::uint32_t seq);
+  /// True while the proc's simulated process can still consume results —
+  /// guards late message completions against writing into buffers on a
+  /// cancelled rank's unwound stack.
+  [[nodiscard]] bool procLive(const Proc& p) const;
   /// Matches a newly arrived message against posted receives or a newly
   /// posted receive against the unexpected queue.
   bool tryMatchArrival(Proc& dst, Proc::UnexpectedMsg& msg);
@@ -231,6 +279,12 @@ class Runtime {
   std::deque<Job> jobs_;  // deque: stable references across growth
   std::deque<CommInfo> comms_;  // deque: stable references across growth
   std::map<std::uint64_t, Comm> internedComms_;
+  /// Reliable-transport channels keyed by (srcIdx << 32) | dstIdx.
+  /// std::map: node stability under insertion (channel references stay
+  /// valid across reentrant delivery) and deterministic everything.
+  std::map<std::uint64_t, TransportChannel> channels_;
+  std::function<void(int)> drainHook_;
+  int unreachablePeers_ = 0;
 };
 
 }  // namespace cbsim::pmpi

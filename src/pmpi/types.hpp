@@ -50,6 +50,23 @@ struct ProtocolParams {
   /// connection setup (base), plus a per-started-process term.
   sim::SimTime spawnBase = sim::SimTime::ms(5);
   sim::SimTime spawnPerProc = sim::SimTime::us(500);
+
+  // ---- Reliable transport (degraded-fabric operation) ---------------------
+  /// Runs every inter-process fabric transfer through an ack/retransmit
+  /// channel with per-peer sequencing, so messages survive fault-plan
+  /// drops, corruption and link flaps.  Off by default: on a loss-free
+  /// fabric the classic fire-and-forget path is exact and cheaper.
+  bool reliable = false;
+  double ackBytes = 32.0;  ///< transport-level ack frame on the wire
+  /// First-shot retransmit timeout, on top of an automatic serialization
+  /// estimate for the frame's size (large rendezvous payloads get
+  /// proportionally more patience).
+  sim::SimTime retransmitTimeout = sim::SimTime::us(500);
+  double retransmitBackoff = 2.0;  ///< RTO multiplier per retry
+  sim::SimTime retransmitCap = sim::SimTime::ms(20);  ///< max RTO
+  /// Retries before the peer is declared unreachable and the affected
+  /// job(s) are torn down like a node failure (no silent hangs).
+  int retransmitBudget = 12;
 };
 
 /// Completion handle for nonblocking operations (MPI_Request analogue).

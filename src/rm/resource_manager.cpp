@@ -4,6 +4,7 @@ namespace cbsim::rm {
 
 ResourceManager::ResourceManager(hw::Machine& machine) : machine_(machine) {
   owner_.assign(static_cast<std::size_t>(machine_.nodeCount()), -1);
+  failed_.assign(static_cast<std::size_t>(machine_.nodeCount()), 0);
 }
 
 std::optional<Allocation> ResourceManager::allocate(hw::NodeKind kind,
@@ -11,7 +12,9 @@ std::optional<Allocation> ResourceManager::allocate(hw::NodeKind kind,
   std::vector<int> picked;
   for (int id = 0; id < machine_.nodeCount() &&
                    static_cast<int>(picked.size()) < count; ++id) {
-    if (machine_.node(id).kind == kind && owner_[static_cast<std::size_t>(id)] < 0) {
+    if (machine_.node(id).kind == kind &&
+        owner_[static_cast<std::size_t>(id)] < 0 &&
+        failed_[static_cast<std::size_t>(id)] == 0) {
       picked.push_back(id);
     }
   }
@@ -23,7 +26,8 @@ std::optional<Allocation> ResourceManager::allocateNodes(
     const std::vector<int>& nodes) {
   for (const int n : nodes) {
     if (n < 0 || n >= machine_.nodeCount() ||
-        owner_[static_cast<std::size_t>(n)] >= 0) {
+        owner_[static_cast<std::size_t>(n)] >= 0 ||
+        failed_[static_cast<std::size_t>(n)] != 0) {
       return std::nullopt;
     }
   }
@@ -40,16 +44,39 @@ void ResourceManager::release(int allocationId) {
   }
 }
 
+void ResourceManager::markFailed(int nodeId) {
+  failed_.at(static_cast<std::size_t>(nodeId)) = 1;
+}
+
+void ResourceManager::repair(int nodeId) {
+  failed_.at(static_cast<std::size_t>(nodeId)) = 0;
+}
+
+bool ResourceManager::isFailed(int nodeId) const {
+  return failed_.at(static_cast<std::size_t>(nodeId)) != 0;
+}
+
+int ResourceManager::failedCount() const {
+  int n = 0;
+  for (const char f : failed_) n += f != 0 ? 1 : 0;
+  return n;
+}
+
 int ResourceManager::freeCount(hw::NodeKind kind) const {
   int n = 0;
   for (int id = 0; id < machine_.nodeCount(); ++id) {
-    if (machine_.node(id).kind == kind && owner_[static_cast<std::size_t>(id)] < 0) ++n;
+    if (machine_.node(id).kind == kind &&
+        owner_[static_cast<std::size_t>(id)] < 0 &&
+        failed_[static_cast<std::size_t>(id)] == 0) {
+      ++n;
+    }
   }
   return n;
 }
 
 bool ResourceManager::isFree(int nodeId) const {
-  return owner_.at(static_cast<std::size_t>(nodeId)) < 0;
+  return owner_.at(static_cast<std::size_t>(nodeId)) < 0 &&
+         failed_.at(static_cast<std::size_t>(nodeId)) == 0;
 }
 
 int ResourceManager::totalCount(hw::NodeKind kind) const {

@@ -33,13 +33,25 @@ class ResourceManager {
   /// Releases an allocation.  Idempotent for unknown ids.
   void release(int allocationId);
 
+  /// Marks a node failed: it stops counting as free and is skipped by
+  /// every allocation until repair()ed.  A currently-owned node stays with
+  /// its job (the failure injector kills that job separately) but will not
+  /// be handed out again after release — this is what forces relaunches
+  /// onto spare/surviving nodes.  Idempotent.
+  void markFailed(int nodeId);
+  /// Returns a failed node to service (MTTR elapsed).  Idempotent.
+  void repair(int nodeId);
+  [[nodiscard]] bool isFailed(int nodeId) const;
+  [[nodiscard]] int failedCount() const;
+
   [[nodiscard]] int freeCount(hw::NodeKind kind) const;
   [[nodiscard]] bool isFree(int nodeId) const;
   [[nodiscard]] int totalCount(hw::NodeKind kind) const;
 
  private:
   hw::Machine& machine_;
-  std::vector<int> owner_;  ///< per node: allocation id or -1
+  std::vector<int> owner_;   ///< per node: allocation id or -1
+  std::vector<char> failed_; ///< per node: out of service (survives release)
   int nextId_ = 1;
 };
 

@@ -6,41 +6,76 @@
 // A node failure kills every rank of the affected job and destroys the
 // node's NVMe contents — which is precisely the case that separates the
 // checkpoint levels: local checkpoints die with the node, buddy/global/NAM
-// ones survive.
+// ones survive.  When a resource manager is attached the failed node is
+// also pulled from the allocatable pool (and returned after `repairAfter`,
+// the MTTR), which is what forces a supervised relaunch onto a spare or
+// surviving node instead of silently reusing the dead one.
+
+#include <stdexcept>
 
 #include "io/local_store.hpp"
 #include "pmpi/runtime.hpp"
+#include "rm/resource_manager.hpp"
 #include "sim/rng.hpp"
 
 namespace cbsim::scr {
 
 class FailureInjector {
  public:
-  FailureInjector(pmpi::Runtime& rt, io::LocalStore& store)
-      : rt_(rt), store_(store) {}
+  FailureInjector(pmpi::Runtime& rt, io::LocalStore& store,
+                  rm::ResourceManager* rm = nullptr,
+                  sim::SimTime repairAfter = sim::SimTime::zero())
+      : rt_(rt), store_(store), rm_(rm), repairAfter_(repairAfter) {}
 
   /// Schedules a node failure at absolute simulated time `at`: all ranks
   /// of `jobId` are cancelled and `dropNode`'s NVMe contents are lost.
+  /// With an attached resource manager the node also leaves the pool
+  /// (until repaired, when an MTTR was configured).  `at` must not lie in
+  /// the past — a failure cannot rewrite history.
   void scheduleNodeFailure(int jobId, sim::SimTime at, int dropNode) {
+    if (at < rt_.engine().now()) {
+      throw std::invalid_argument(
+          "scr: node-failure time lies in the simulated past");
+    }
     rt_.engine().scheduleAt(at, [this, jobId, dropNode] {
       if (rt_.jobDone(jobId)) return;  // raced with normal completion
       rt_.killJob(jobId);
       store_.dropNode(dropNode);
+      if (rm_ != nullptr) {
+        rm_->markFailed(dropNode);
+        if (repairAfter_ > sim::SimTime::zero()) {
+          rt_.engine().schedule(repairAfter_,
+                                [this, dropNode] { rm_->repair(dropNode); });
+        }
+      }
       ++injected_;
+      lastFailureAt_ = rt_.engine().now();
+      if (obs::Tracer* tr = rt_.engine().tracer()) {
+        tr->metrics().add("scr.failures_injected");
+      }
     });
   }
 
   [[nodiscard]] int injected() const { return injected_; }
+  /// Time of the most recent injected failure (zero until the first one).
+  [[nodiscard]] sim::SimTime lastFailureAt() const { return lastFailureAt_; }
 
   /// Exponentially distributed time-to-failure for a given MTBF.
+  /// The MTBF must be positive — a rate of 1/mtbf is meaningless otherwise.
   static sim::SimTime sampleFailureTime(sim::Rng& rng, sim::SimTime mtbf) {
+    if (mtbf <= sim::SimTime::zero()) {
+      throw std::invalid_argument("scr: MTBF must be positive");
+    }
     return sim::SimTime::seconds(rng.exponential(1.0 / mtbf.toSeconds()));
   }
 
  private:
   pmpi::Runtime& rt_;
   io::LocalStore& store_;
+  rm::ResourceManager* rm_ = nullptr;
+  sim::SimTime repairAfter_;
   int injected_ = 0;
+  sim::SimTime lastFailureAt_;
 };
 
 }  // namespace cbsim::scr

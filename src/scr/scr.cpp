@@ -42,22 +42,35 @@ int Scr::buddyNode(pmpi::Env& env, pmpi::Comm comm) {
 void Scr::checkpoint(pmpi::Env& env, pmpi::Comm comm, int step,
                      pmpi::ConstBytes state) {
   const int rank = env.commRank(comm);
+  // Remember where this rank's NVMe copies physically land: a relaunched
+  // job may run on different nodes, and restore has to look *there*.
+  const auto placeAt = [&](std::vector<int>& v, int node) {
+    if (static_cast<std::size_t>(rank) >= v.size()) {
+      v.resize(static_cast<std::size_t>(env.commSize(comm)), -1);
+    }
+    v[static_cast<std::size_t>(rank)] = node;
+  };
   if (due(cfg_.localEvery, step)) {
     local_.write(env, key(step, rank), state);
-    record_[step].insert(Level::Local);
+    StepRecord& rec = record_[step];
+    rec.levels.insert(Level::Local);
+    placeAt(rec.localNode, env.node().id);
     ++stats_.checkpoints;
     stats_.bytesWritten += static_cast<double>(state.size());
   }
   if (due(cfg_.buddyEvery, step)) {
-    local_.writeTo(env, buddyNode(env, comm), key(step, rank) + "+buddy", state);
-    record_[step].insert(Level::Buddy);
+    const int buddy = buddyNode(env, comm);
+    local_.writeTo(env, buddy, key(step, rank) + "+buddy", state);
+    StepRecord& rec = record_[step];
+    rec.levels.insert(Level::Buddy);
+    placeAt(rec.buddyNode, buddy);
     ++stats_.checkpoints;
     stats_.bytesWritten += static_cast<double>(state.size());
   }
   if (due(cfg_.namEvery, step)) {
     const int dev = machine_.namCount() > 0 ? rank % machine_.namCount() : -1;
     if (dev >= 0 && nam_.put(env, dev, key(step, rank), state)) {
-      record_[step].insert(Level::Nam);
+      record_[step].levels.insert(Level::Nam);
       ++stats_.checkpoints;
       stats_.bytesWritten += static_cast<double>(state.size());
     }
@@ -68,7 +81,7 @@ void Scr::checkpoint(pmpi::Env& env, pmpi::Comm comm, int step,
         state.size());
     sion.write(env, state);
     sion.close(env, comm);
-    record_[step].insert(Level::Global);
+    record_[step].levels.insert(Level::Global);
     ++stats_.checkpoints;
     stats_.bytesWritten += static_cast<double>(state.size());
   }
@@ -99,28 +112,48 @@ bool Scr::tryRestore(pmpi::Env& env, pmpi::Comm comm, int step,
   const int rank = env.commRank(comm);
   const auto recIt = record_.find(step);
   if (recIt == record_.end()) return false;
-  const auto& levels = recIt->second;
+  const StepRecord& rec = recIt->second;
+  const auto& levels = rec.levels;
 
   // Phase 1: the NVMe tier.  Local and buddy copies form one redundancy
   // pair — a rank is covered when EITHER copy survived, and each rank
   // pulls from whatever it still has (local preferred).  This is the core
   // multi-level property: a lost node's ranks recover from their buddies
-  // while everyone else restores locally.
+  // while everyone else restores locally.  Placement is looked up from the
+  // checkpoint-time record, not the current mapping: after a relaunch on
+  // reassigned nodes the copies still sit where the rank ran back then.
+  // A rank outside the recorded range (comm size changed) has no copy.
   const bool pairRecorded =
       levels.count(Level::Local) != 0 || levels.count(Level::Buddy) != 0;
   if (pairRecorded) {
-    const bool haveLocal = local_.has(env.node().id, key(step, rank));
+    const auto recorded = [&](const std::vector<int>& v) {
+      return rank < static_cast<int>(v.size())
+                 ? v[static_cast<std::size_t>(rank)]
+                 : -1;
+    };
+    const int localAt = recorded(rec.localNode);
+    const int buddyAt = recorded(rec.buddyNode);
+    const bool haveLocal = localAt >= 0 && local_.has(localAt, key(step, rank));
     const bool haveBuddy =
-        local_.has(buddyNode(env, comm), key(step, rank) + "+buddy");
+        buddyAt >= 0 && local_.has(buddyAt, key(step, rank) + "+buddy");
     const int have = (haveLocal || haveBuddy) ? 1 : 0;
     if (env.allreduceValue(comm, have, pmpi::Op::Min) == 1) {
       if (probeOnly) return true;
-      if (haveLocal && local_.read(env, key(step, rank), state)) {
-        noteRestoreLevel(Level::Local);
-        return true;
+      if (haveLocal) {
+        const bool onOwnNode = localAt == env.node().id;
+        const bool ok = onOwnNode
+                            ? local_.read(env, key(step, rank), state)
+                            : local_.readFrom(env, localAt, key(step, rank),
+                                              state);
+        if (ok) {
+          // A relaunched rank fetching its "local" copy from its old node
+          // pays a fabric crossing — account it at buddy severity.
+          noteRestoreLevel(onOwnNode ? Level::Local : Level::Buddy);
+          return true;
+        }
       }
-      if (local_.readFrom(env, buddyNode(env, comm), key(step, rank) + "+buddy",
-                          state)) {
+      if (haveBuddy &&
+          local_.readFrom(env, buddyAt, key(step, rank) + "+buddy", state)) {
         noteRestoreLevel(Level::Buddy);
         return true;
       }

@@ -95,8 +95,16 @@ class Scr {
   io::LocalStore& local_;
   io::NamStore& nam_;
   ScrConfig cfg_;
-  /// Steps with at least one completed level instance, and which levels.
-  std::map<int, std::set<Level>> record_;
+  /// What got written at a step, and *where*.  NVMe placement is recorded
+  /// per rank at checkpoint time because a restarted job may land on
+  /// different nodes: the copies live wherever the rank ran back then, not
+  /// wherever it runs now, and a restore must fetch them from there.
+  struct StepRecord {
+    std::set<Level> levels;
+    std::vector<int> localNode;  ///< per rank; -1 = no local copy written
+    std::vector<int> buddyNode;  ///< per rank; -1 = no buddy copy written
+  };
+  std::map<int, StepRecord> record_;
   std::map<int, std::vector<int>> commNodes_;  ///< commId -> rank node ids
   std::optional<Level> lastRestoreLevel_;
   Stats stats_;

@@ -146,6 +146,28 @@ TEST(BackendEquivalence, CampaignReportByteIdentical) {
   EXPECT_EQ(fiber, thread);
 }
 
+TEST(BackendEquivalence, FaultyCampaignReportByteIdentical) {
+  // Fault injection (drops, retransmits, node kills, relaunches) draws on
+  // the engine RNG and reshapes the event schedule heavily; the recovery
+  // report must still be independent of process substrate and worker
+  // count.
+  BackendGuard guard;
+  const campaign::Campaign c = campaign::builtinCampaign("resilience-tiny");
+
+  sim::setDefaultProcessBackend(ProcessBackend::Fiber);
+  const std::string fiber1 =
+      campaign::toJson(campaign::runCampaign(c, {.jobs = 1}));
+  const std::string fiber4 =
+      campaign::toJson(campaign::runCampaign(c, {.jobs = 4}));
+  sim::setDefaultProcessBackend(ProcessBackend::Thread);
+  const std::string thread =
+      campaign::toJson(campaign::runCampaign(c, {.jobs = 2}));
+  EXPECT_EQ(fiber1, fiber4);
+  EXPECT_EQ(fiber1, thread);
+  // The report must show actual fault traffic, or this test proves nothing.
+  EXPECT_NE(fiber1.find("fabric_retransmits"), std::string::npos);
+}
+
 TEST(BackendStress, MassCancelWakeIsDeterministic) {
   // 10k processes on 64 KiB fiber stacks: a third run to completion, a
   // third are woken from suspension, a third are cancelled while parked.

@@ -279,6 +279,38 @@ TEST(Golden, Fig8Scaling) {
   checkOrUpdate("fig8", entries);
 }
 
+// ---- Resilience: degraded fabric + checkpoint-restart recovery --------------
+
+TEST(Golden, ResilienceRecovery) {
+  // Pins the closed recovery loop: every scenario of the fault-injection
+  // campaign must complete despite a mid-run node kill (attempts >= 2),
+  // with the time-to-solution and retransmit traffic frozen in the golden.
+  const campaign::CampaignReport rep = campaign::runCampaign(
+      campaign::builtinCampaign("resilience-tiny"), {.jobs = 0});
+  ASSERT_EQ(rep.failedCount(), 0);
+  std::vector<Entry> entries;
+  double drops = 0, retransmits = 0;
+  for (const auto& s : rep.scenarios) {
+    // "resilience/L1/mtbf0.3s" -> "L1/mtbf0.3s"
+    const std::string base = s.name.substr(s.name.find('/') + 1);
+    EXPECT_EQ(s.values.at("done"), 1.0) << s.name << " did not complete";
+    EXPECT_GE(s.values.at("attempts"), 2.0)
+        << s.name << ": the injected node failure never bit";
+    entries.push_back({base + "/attempts", s.values.at("attempts"), 0.0});
+    entries.push_back(
+        {base + "/scr_restarts", s.values.at("scr_restarts"), 0.0});
+    entries.push_back({base + "/completion_sec", s.values.at("completion_sec")});
+    entries.push_back(
+        {base + "/recovery_tail_sec", s.values.at("recovery_tail_sec")});
+    drops += s.values.at("fabric_drops");
+    retransmits += s.values.at("fabric_retransmits");
+  }
+  EXPECT_GT(retransmits, 0.0) << "fault plan never dropped a frame";
+  entries.push_back({"total_fabric_drops", drops, 0.0});
+  entries.push_back({"total_fabric_retransmits", retransmits, 0.0});
+  checkOrUpdate("resilience", entries);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "pmpi/env.hpp"
 #include "pmpi/runtime.hpp"
 
@@ -831,6 +832,46 @@ TEST(PmpiMatchOrder, PostedQueueMatchesEarliestCompatibleRecv) {
   EXPECT_EQ(b1, 100);
   EXPECT_EQ(b3, 200);
   EXPECT_EQ(b2, 300);
+}
+
+TEST(PmpiMatchOrder, FifoSurvivesRetransmitsOnALossyFabric) {
+  // Drops force retransmits, which arrive out of wire order; the
+  // transport's reorder buffer must still release frames to matching in
+  // send order, so the tag-extraction FIFO semantics are unchanged.
+  pmpi::ProtocolParams params;
+  params.reliable = true;
+  params.retransmitTimeout = SimTime::us(200);
+  World w(hw::MachineConfig::deepEr(4, 4), params);
+  fault::FaultPlan plan;
+  plan.dropProb = 0.25;
+  w.fabric.setFaultPlan(&plan);
+  constexpr int kMsgs = 16;
+  std::vector<std::int64_t> got;
+  w.registry.add("lossy-order", [&](Env& env) {
+    const Comm c = env.world();
+    if (env.rank() == 0) {
+      for (std::int64_t i = 0; i < kMsgs; ++i) {
+        env.send(c, 1, i % 2 == 0 ? 5 : 7, std::as_bytes(std::span(&i, 1)));
+      }
+    } else {
+      env.computeDelay(20_ms);  // let every frame settle (retransmits included)
+      auto recvOne = [&](int tag) {
+        std::int64_t v = -1;
+        env.recv(c, 0, tag, std::as_writable_bytes(std::span(&v, 1)));
+        got.push_back(v);
+      };
+      // Drain all odd payloads via tag 7 first, then the rest wildcard.
+      for (int i = 0; i < kMsgs / 2; ++i) recvOne(7);
+      for (int i = 0; i < kMsgs / 2; ++i) recvOne(AnyTag);
+    }
+  });
+  w.rt.launch("lossy-order", hw::NodeKind::Cluster, 2);
+  w.run();
+  std::vector<std::int64_t> expected;
+  for (std::int64_t i = 1; i < kMsgs; i += 2) expected.push_back(i);
+  for (std::int64_t i = 0; i < kMsgs; i += 2) expected.push_back(i);
+  EXPECT_EQ(got, expected);
+  EXPECT_GT(w.fabric.stats().retransmits, 0u);
 }
 
 TEST(PmpiMatchOrder, ReverseDrainSurvivesQueueCompaction) {

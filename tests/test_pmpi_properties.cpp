@@ -9,6 +9,7 @@
 #include <numeric>
 #include <tuple>
 
+#include "fault/plan.hpp"
 #include "world_fixture.hpp"
 
 namespace {
@@ -261,6 +262,84 @@ TEST(PmpiProperty, ManyToOneWildcardFanInDeliversEverything) {
     for (int m = 0; m < kMsgs; ++m) expected += r * 1000 + m;
   }
   EXPECT_EQ(checksum, expected);
+}
+
+// ---- Reliable transport under a lossy fabric ----------------------------------------------
+
+TEST(ReliableTransport, LossyFabricDeliversExactlyOnceInOrderBitExact) {
+  // With the ack/retransmit transport on and the fault plan dropping 15%
+  // of frames (and corrupting another 5%), a mixed eager/rendezvous
+  // stream must still arrive exactly once, in send order, bit-exact.  A
+  // duplicate or reordered delivery would surface as the wrong payload in
+  // one of the in-order receives.
+  pmpi::ProtocolParams params;
+  params.reliable = true;
+  params.retransmitTimeout = sim::SimTime::us(200);
+  World w(hw::MachineConfig::deepEr(4, 4), params);
+  fault::FaultPlan plan;
+  plan.dropProb = 0.15;
+  plan.corruptProb = 0.05;
+  w.fabric.setFaultPlan(&plan);
+  constexpr int kMsgs = 40;
+  int checked = 0;
+  w.registry.add("lossy", [&](Env& env) {
+    const auto sizeOf = [](int i) -> std::size_t {
+      return i % 2 == 0 ? 64 : 100000;  // straddle the eager boundary
+    };
+    if (env.rank() == 0) {
+      for (int i = 0; i < kMsgs; ++i) {
+        const auto data = pattern(sizeOf(i), 7000u + static_cast<unsigned>(i));
+        env.send(env.world(), 1, 3, std::span<const std::uint8_t>(data));
+      }
+    } else {
+      for (int i = 0; i < kMsgs; ++i) {
+        std::vector<std::uint8_t> got(1u << 20, 0xAA);
+        const auto st =
+            env.recv(env.world(), 0, 3, std::span<std::uint8_t>(got));
+        ASSERT_EQ(st.bytes, sizeOf(i)) << "message " << i;
+        got.resize(st.bytes);
+        ASSERT_EQ(got, pattern(sizeOf(i), 7000u + static_cast<unsigned>(i)))
+            << "message " << i;
+        ++checked;
+      }
+    }
+  });
+  w.rt.launch("lossy", hw::NodeKind::Cluster, 2);
+  w.run();
+  EXPECT_EQ(checked, kMsgs);
+  EXPECT_EQ(w.rt.unreachablePeers(), 0);
+  // The plan must actually have bitten, and every loss been repaired.
+  EXPECT_GT(w.fabric.stats().drops + w.fabric.stats().corrupts, 0u);
+  EXPECT_GT(w.fabric.stats().retransmits, 0u);
+}
+
+TEST(ReliableTransport, PermanentBlackoutKillsJobInsteadOfHanging) {
+  // A peer behind a link that never comes back must exhaust the
+  // retransmit budget and take the job down — a hung simulation here is
+  // exactly the failure mode the error budget exists to prevent.
+  pmpi::ProtocolParams params;
+  params.reliable = true;
+  params.retransmitTimeout = sim::SimTime::us(100);
+  params.retransmitBudget = 4;
+  World w(hw::MachineConfig::deepEr(4, 4), params);
+  fault::FaultPlan plan;
+  plan.flapEndpoint(1, sim::SimTime::zero(), sim::SimTime::seconds(3600));
+  w.fabric.setFaultPlan(&plan);
+  bool delivered = false;
+  w.registry.add("blackhole", [&](Env& env) {
+    if (env.rank() == 0) {
+      env.sendValue(env.world(), 1, 1, 42);
+    } else {
+      (void)env.recvValue<int>(env.world(), 0, 1);
+      delivered = true;  // unreachable: the frame can never cross
+    }
+  });
+  w.rt.launch("blackhole", hw::NodeKind::Cluster, 2);
+  const sim::RunStats st = w.engine.run();
+  EXPECT_FALSE(st.deadlocked());
+  EXPECT_FALSE(delivered);
+  EXPECT_GE(w.rt.unreachablePeers(), 1);
+  EXPECT_GE(w.fabric.stats().drops, 4u);
 }
 
 TEST(PmpiProperty, MixedEagerRendezvousStreamsStayOrderedPerPair) {

@@ -66,4 +66,46 @@ TEST(ResourceManager, ReleaseUnknownIdIsNoop) {
   EXPECT_EQ(f.rm.freeCount(hw::NodeKind::Cluster), 4);
 }
 
+TEST(ResourceManager, FailedNodeLeavesThePool) {
+  RmFixture f;
+  f.rm.markFailed(0);
+  EXPECT_TRUE(f.rm.isFailed(0));
+  EXPECT_FALSE(f.rm.isFree(0));
+  EXPECT_EQ(f.rm.freeCount(hw::NodeKind::Cluster), 3);
+  EXPECT_EQ(f.rm.failedCount(), 1);
+  // Implicit allocation skips it; explicit allocation rejects it.
+  const auto a = f.rm.allocate(hw::NodeKind::Cluster, 3);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->nodes, (std::vector<int>{1, 2, 3}));
+  EXPECT_FALSE(f.rm.allocateNodes({0}).has_value());
+  EXPECT_FALSE(f.rm.allocate(hw::NodeKind::Cluster, 1).has_value());
+}
+
+TEST(ResourceManager, FailureSurvivesReleaseUntilRepair) {
+  // The failure bit is orthogonal to ownership: a node that dies while
+  // allocated must not rejoin the pool when its job's allocation is
+  // released — only repair() brings it back.
+  RmFixture f;
+  const auto a = f.rm.allocate(hw::NodeKind::Cluster, 2);
+  ASSERT_TRUE(a.has_value());
+  f.rm.markFailed(a->nodes[0]);
+  f.rm.release(a->id);
+  EXPECT_EQ(f.rm.freeCount(hw::NodeKind::Cluster), 3);
+  EXPECT_FALSE(f.rm.isFree(a->nodes[0]));
+  f.rm.repair(a->nodes[0]);
+  EXPECT_EQ(f.rm.freeCount(hw::NodeKind::Cluster), 4);
+  EXPECT_FALSE(f.rm.isFailed(a->nodes[0]));
+}
+
+TEST(ResourceManager, MarkFailedAndRepairAreIdempotent) {
+  RmFixture f;
+  f.rm.markFailed(2);
+  f.rm.markFailed(2);
+  EXPECT_EQ(f.rm.failedCount(), 1);
+  f.rm.repair(2);
+  f.rm.repair(2);
+  EXPECT_EQ(f.rm.failedCount(), 0);
+  EXPECT_TRUE(f.rm.isFree(2));
+}
+
 }  // namespace
