@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   bool allIdentical = true;
   for (const int jobs : {1, 2, 4, 8}) {
     const campaign::CampaignReport rep =
-        campaign::runCampaign(c, {.jobs = jobs});
+        campaign::runCampaign(c, campaign::withJobs(jobs));
     const std::string json = campaign::toJson(rep);
     if (jobs == 1) {
       reference = json;

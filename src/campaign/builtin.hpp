@@ -14,37 +14,74 @@
 //     distributed node failures (scr::FailureInjector) until it completes,
 //     and reports attempts, injected failures, completion time and
 //     checkpoint overhead.
+//
+// The grid builders live in grids.cpp; the builtin registry (builtin.cpp)
+// holds nothing but embedded description strings, parsed through the
+// campaign desc bindings — the same path that handles --scenario-file.
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "campaign/scenario.hpp"
+#include "fault/plan.hpp"
+#include "hw/machine.hpp"
+#include "pmpi/types.hpp"
+#include "scr/scr.hpp"
 #include "xpic/config.hpp"
 
 namespace cbsim::campaign {
 
 struct Fig8Params {
   xpic::XpicConfig xpic = xpic::XpicConfig::tableII();
+  hw::MachineConfig machine = hw::MachineConfig::deepEr();
   std::vector<int> nodeCounts = {1, 2, 4, 8};
 };
 
 [[nodiscard]] Campaign fig8Campaign(const Fig8Params& params = {});
+
+/// One SCR cadence under test, e.g. {"L1L2", local every step + buddy
+/// every 2nd}.
+struct CheckpointScheme {
+  std::string label;
+  scr::ScrConfig scr;
+};
+
+/// The default resiliency ladder: L1 only, L1+L2, L1+L2+L3.
+[[nodiscard]] std::vector<CheckpointScheme> defaultCheckpointSchemes();
+
+/// Protocol defaults for the resilience matrix: the reliable transport is
+/// on (the degraded fabric drops and corrupts messages).
+[[nodiscard]] pmpi::ProtocolParams resilienceDefaultProtocol();
 
 struct ResilienceParams {
   /// Simulated node-MTBF sweep, in seconds.  The job itself runs for a
   /// fraction of a simulated second, so these MTBFs probe failure-free
   /// through failure-dominated regimes.
   std::vector<double> mtbfSec = {0.25, 0.5, 1.0, 2.0};
+  /// Checkpoint-level schemes swept against every MTBF.
+  std::vector<CheckpointScheme> schemes = defaultCheckpointSchemes();
   int ranks = 4;
   int steps = 30;
   double stepSec = 0.020;       ///< per-step simulated compute
   std::size_t stateBytes = 256 << 10;  ///< checkpoint payload per rank
   int maxAttempts = 40;         ///< supervisor relaunch budget
 
-  // Degraded-fabric fault injection.  The fabric runs lossy and flaky for
-  // the whole scenario; the reliable pmpi transport has to carry the
-  // checkpoint/restart traffic through it.
-  bool reliableTransport = true;
+  /// pmpi protocol knobs (reliable transport on by default — the fabric
+  /// runs lossy for the whole scenario).
+  pmpi::ProtocolParams protocol = resilienceDefaultProtocol();
+
+  /// Platform override.  When unset each scenario builds the DEEP-ER
+  /// machine with ranks + spare_nodes Cluster nodes and 2 Boosters.
+  std::optional<hw::MachineConfig> machine;
+
+  /// Fault-plan override.  When unset the plan is built from the scalar
+  /// knobs below (loss/corruption everywhere, a bandwidth slump plus a
+  /// brief flap on node 1's endpoint).
+  std::optional<fault::FaultPlan> faultPlan;
+
+  // Degraded-fabric fault injection knobs (used when `faultPlan` is unset).
   double dropProb = 0.0015;     ///< per-message random loss
   double corruptProb = 0.0005;  ///< per-message CRC-failure probability
   double degradeFactor = 0.35;  ///< endpoint bandwidth factor in the window
@@ -66,7 +103,12 @@ struct ResilienceParams {
 
 /// Built-in campaign by name ("fig8", "fig8-tiny", "resilience",
 /// "resilience-tiny"); throws std::invalid_argument for unknown names.
+/// Resolved by parsing the builtin's embedded description string.
 [[nodiscard]] Campaign builtinCampaign(const std::string& name);
 [[nodiscard]] std::vector<std::string> builtinCampaignNames();
+
+/// The embedded description text of a builtin campaign (what --dump
+/// canonicalizes); throws std::invalid_argument for unknown names.
+[[nodiscard]] const char* builtinCampaignText(const std::string& name);
 
 }  // namespace cbsim::campaign

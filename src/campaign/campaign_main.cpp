@@ -2,9 +2,14 @@
 // deterministic report.
 //
 //   cbsim_campaign --campaign fig8 --jobs 8 --out report.json
+//   cbsim_campaign --scenario-file examples/desc/table1-fig8.json
+//   cbsim_campaign --dump resilience > my-sweep.json
 //
-// The report content is byte-identical for any --jobs value; host timing
-// and speedup diagnostics go to stderr only.
+// Campaigns come from one place only: a description (JSON) parsed through
+// the desc bindings.  --campaign resolves a builtin's embedded description
+// string, --scenario-file reads yours from disk — same schema, same code
+// path.  The report content is byte-identical for any --jobs value and
+// either --backend; host timing and speedup diagnostics go to stderr only.
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,8 +19,11 @@
 #include <string>
 
 #include "campaign/builtin.hpp"
+#include "campaign/desc.hpp"
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
+#include "desc/json.hpp"
+#include "desc/schema.hpp"
 #include "sim/process.hpp"
 
 namespace {
@@ -23,19 +31,42 @@ namespace {
 int usage(const char* argv0, int code) {
   std::fprintf(
       code == 0 ? stdout : stderr,
-      "usage: %s --campaign <name> [--jobs N] [--out report.json]\n"
-      "          [--csv report.csv] [--backend fiber|thread] [--list]\n"
+      "usage: %s (--campaign <name> | --scenario-file <path>) [options]\n"
+      "       %s --dump <name> | --validate <path> | --list\n"
       "\n"
-      "  --campaign <name>  built-in campaign to run (see --list)\n"
-      "  --jobs N           worker threads (default 1; 0 = all hardware\n"
-      "                     threads); the report is byte-identical for any N\n"
-      "  --out FILE         write the JSON report to FILE (default: stdout)\n"
-      "  --csv FILE         additionally write a flat CSV report\n"
-      "  --backend B        process backend for scenario engines (fiber |\n"
-      "                     thread; default: fiber where available); the\n"
-      "                     report is byte-identical for either\n"
-      "  --list             list built-in campaigns and exit\n",
-      argv0);
+      "campaign selection (exactly one):\n"
+      "  --campaign <name>      run a built-in campaign (see --list)\n"
+      "  --scenario-file <path> run the campaign described by a JSON file;\n"
+      "                         the schema is exactly what --dump prints\n"
+      "\n"
+      "run options:\n"
+      "  --jobs N|auto          worker threads (default 1; 'auto' = all\n"
+      "                         hardware threads); the report is\n"
+      "                         byte-identical for any value\n"
+      "  --backend B            process backend for scenario engines (fiber\n"
+      "                         | thread; default: fiber where available);\n"
+      "                         the report is byte-identical for either\n"
+      "  --out FILE             write the JSON report to FILE (default:\n"
+      "                         stdout)\n"
+      "  --csv FILE             additionally write a flat CSV report\n"
+      "  --trace-dir DIR        record full simulated-time timelines and\n"
+      "                         write one Chrome trace-event JSON per\n"
+      "                         scenario into DIR (default: metrics only);\n"
+      "                         traces never feed into the report\n"
+      "\n"
+      "description tooling:\n"
+      "  --dump <name>          print a built-in campaign's description in\n"
+      "                         canonical fully-expanded form (presets and\n"
+      "                         defaults materialized) and exit; the output\n"
+      "                         re-parses and re-dumps byte-identically and\n"
+      "                         is a valid --scenario-file\n"
+      "  --validate <path>      parse + schema-check a description file,\n"
+      "                         report the campaign it defines, and exit\n"
+      "                         (0 = valid)\n"
+      "  --list                 list built-in campaigns with one-line\n"
+      "                         summaries and exit\n"
+      "  --help, -h             this text\n",
+      argv0, argv0);
   return code;
 }
 
@@ -43,6 +74,7 @@ int usage(const char* argv0, int code) {
 
 int main(int argc, char** argv) {
   std::string campaignName;
+  std::string scenarioFile;
   std::string outPath;
   std::string csvPath;
   cbsim::campaign::RunnerOptions opts;
@@ -61,25 +93,76 @@ int main(int argc, char** argv) {
     if (arg("--help") || arg("-h")) return usage(argv[0], 0);
     if (arg("--list")) {
       for (const std::string& n : cbsim::campaign::builtinCampaignNames()) {
-        std::printf("%s\n", n.c_str());
+        const cbsim::campaign::CampaignSpec spec =
+            cbsim::campaign::campaignSpecFromDescText(
+                cbsim::campaign::builtinCampaignText(n), "builtin:" + n);
+        std::printf("%-16s %s\n", n.c_str(), spec.description.c_str());
       }
       return 0;
     }
+    if (arg("--dump")) {
+      const char* name = value();
+      try {
+        const cbsim::campaign::CampaignSpec spec =
+            cbsim::campaign::campaignSpecFromDescText(
+                cbsim::campaign::builtinCampaignText(name),
+                std::string("builtin:") + name);
+        std::fputs(cbsim::desc::dump(toDesc(spec)).c_str(), stdout);
+        return 0;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 1;
+      }
+    }
+    if (arg("--validate")) {
+      const char* path = value();
+      try {
+        const cbsim::campaign::CampaignSpec spec =
+            cbsim::campaign::campaignSpecFromDescText(
+                cbsim::desc::readFile(path), path);
+        const cbsim::campaign::Campaign c =
+            cbsim::campaign::buildCampaign(spec);
+        std::printf("%s: ok — campaign \"%s\" (%zu scenarios): %s\n", path,
+                    c.name.c_str(), c.scenarios.size(), c.description.c_str());
+        return 0;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 1;
+      }
+    }
     if (arg("--campaign")) {
       campaignName = value();
+    } else if (arg("--scenario-file")) {
+      scenarioFile = value();
     } else if (arg("--jobs")) {
       const char* v = value();
-      char* end = nullptr;
-      opts.jobs = static_cast<int>(std::strtol(v, &end, 10));
-      if (end == v || *end != '\0' || opts.jobs < 0) {
-        std::fprintf(stderr, "%s: --jobs expects a non-negative integer, got '%s'\n",
-                     argv[0], v);
-        return 2;
+      if (std::strcmp(v, "auto") == 0) {
+        opts.jobs = 0;  // runner: one worker per hardware thread
+      } else {
+        char* end = nullptr;
+        const long n = std::strtol(v, &end, 10);
+        if (end == v || *end != '\0') {
+          std::fprintf(stderr,
+                       "%s: --jobs expects a positive integer or 'auto', "
+                       "got '%s'\n",
+                       argv[0], v);
+          return 2;
+        }
+        if (n < 1) {
+          std::fprintf(stderr,
+                       "%s: --jobs must be >= 1 (or 'auto' for all hardware "
+                       "threads), got '%s'\n",
+                       argv[0], v);
+          return 2;
+        }
+        opts.jobs = static_cast<int>(n);
       }
     } else if (arg("--out")) {
       outPath = value();
     } else if (arg("--csv")) {
       csvPath = value();
+    } else if (arg("--trace-dir")) {
+      opts.traceDir = value();
     } else if (arg("--backend")) {
       const char* v = value();
       if (std::strcmp(v, "fiber") == 0) {
@@ -98,11 +181,19 @@ int main(int argc, char** argv) {
       return usage(argv[0], 2);
     }
   }
-  if (campaignName.empty()) return usage(argv[0], 2);
+  if (campaignName.empty() == scenarioFile.empty()) {
+    std::fprintf(stderr, "%s: exactly one of --campaign or --scenario-file "
+                 "is required\n", argv[0]);
+    return usage(argv[0], 2);
+  }
 
   try {
     const cbsim::campaign::Campaign campaign =
-        cbsim::campaign::builtinCampaign(campaignName);
+        campaignName.empty()
+            ? cbsim::campaign::buildCampaign(
+                  cbsim::campaign::campaignSpecFromDescText(
+                      cbsim::desc::readFile(scenarioFile), scenarioFile))
+            : cbsim::campaign::builtinCampaign(campaignName);
 
     // Open output files before the (potentially minutes-long) run so a bad
     // path fails immediately instead of after the campaign.

@@ -1,0 +1,212 @@
+#include "campaign/desc.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "fault/desc.hpp"
+#include "hw/desc.hpp"
+#include "pmpi/desc.hpp"
+#include "scr/desc.hpp"
+#include "xpic/desc.hpp"
+
+namespace cbsim::campaign {
+
+namespace {
+
+constexpr const char* kFig8Description =
+    "xPic strong scaling (paper Fig. 8): execution mode x nodes per "
+    "solver, one isolated world per cell";
+constexpr const char* kResilienceDescription =
+    "DEEP-ER-style resiliency matrix: node MTBF x SCR checkpoint-level "
+    "scheme under exponential failure injection";
+
+CheckpointScheme checkpointSchemeFromDesc(desc::Reader& r) {
+  CheckpointScheme s;
+  s.label = r.stringAt("label");
+  desc::Reader scr = r.child("scr");
+  s.scr = scr::scrConfigFromDesc(scr);
+  r.finish();
+  if (s.label.empty()) r.fail("label must be non-empty");
+  return s;
+}
+
+desc::Value toDesc(const CheckpointScheme& s) {
+  desc::Value v = desc::Value::object();
+  v.set("label", desc::Value::string(s.label));
+  v.set("scr", scr::toDesc(s.scr));
+  return v;
+}
+
+}  // namespace
+
+Fig8Params fig8ParamsFromDesc(desc::Reader& r) {
+  Fig8Params p;
+  if (auto x = r.tryChild("xpic")) p.xpic = xpic::xpicConfigFromDesc(*x);
+  if (auto m = r.tryChild("machine")) p.machine = hw::machineConfigFromDesc(*m);
+  if (auto nc = r.tryChild("node_counts")) {
+    p.nodeCounts.clear();
+    for (std::size_t i = 0; i < nc->size(); ++i) {
+      p.nodeCounts.push_back(static_cast<int>(nc->item(i).asInt()));
+    }
+    if (p.nodeCounts.empty()) nc->fail("node_counts must be non-empty");
+    for (const int n : p.nodeCounts) {
+      if (n < 1) nc->fail("node counts must be >= 1");
+    }
+  }
+  r.finish();
+  return p;
+}
+
+desc::Value toDesc(const Fig8Params& p) {
+  desc::Value v = desc::Value::object();
+  v.set("xpic", xpic::toDesc(p.xpic));
+  v.set("machine", hw::toDesc(p.machine));
+  desc::Value counts = desc::Value::array();
+  for (const int n : p.nodeCounts) counts.push(desc::Value::integer(n));
+  v.set("node_counts", std::move(counts));
+  return v;
+}
+
+ResilienceParams resilienceParamsFromDesc(desc::Reader& r) {
+  ResilienceParams p;
+  if (auto m = r.tryChild("mtbf_sec")) {
+    p.mtbfSec.clear();
+    for (std::size_t i = 0; i < m->size(); ++i) {
+      p.mtbfSec.push_back(m->item(i).asNumber());
+    }
+    if (p.mtbfSec.empty()) m->fail("mtbf_sec must be non-empty");
+    for (const double s : p.mtbfSec) {
+      if (s <= 0) m->fail("MTBF values must be > 0 seconds");
+    }
+  }
+  if (r.has("schemes")) {
+    p.schemes.clear();
+    r.eachIn("schemes", [&](desc::Reader& el) {
+      p.schemes.push_back(checkpointSchemeFromDesc(el));
+    });
+    if (p.schemes.empty()) r.fail("schemes must be non-empty");
+  }
+  p.ranks = static_cast<int>(r.intAt("ranks", p.ranks));
+  p.steps = static_cast<int>(r.intAt("steps", p.steps));
+  p.stepSec = r.numberAt("step_sec", p.stepSec);
+  p.stateBytes = static_cast<std::size_t>(
+      r.uintAt("state_bytes", static_cast<std::uint64_t>(p.stateBytes)));
+  p.maxAttempts = static_cast<int>(r.intAt("max_attempts", p.maxAttempts));
+  if (auto pr = r.tryChild("protocol")) {
+    p.protocol = pmpi::protocolParamsFromDesc(*pr);
+  }
+  if (auto m = r.tryChild("machine")) p.machine = hw::machineConfigFromDesc(*m);
+  if (auto f = r.tryChild("fault_plan")) p.faultPlan = fault::faultPlanFromDesc(*f);
+  p.dropProb = r.numberAt("drop_prob", p.dropProb);
+  p.corruptProb = r.numberAt("corrupt_prob", p.corruptProb);
+  p.degradeFactor = r.numberAt("degrade_factor", p.degradeFactor);
+  p.degradeFromSec = r.numberAt("degrade_from_sec", p.degradeFromSec);
+  p.degradeUntilSec = r.numberAt("degrade_until_sec", p.degradeUntilSec);
+  p.flapFromSec = r.numberAt("flap_from_sec", p.flapFromSec);
+  p.flapUntilSec = r.numberAt("flap_until_sec", p.flapUntilSec);
+  p.spareNodes = static_cast<int>(r.intAt("spare_nodes", p.spareNodes));
+  p.repairSec = r.numberAt("repair_sec", p.repairSec);
+  p.firstFailureAtSec = r.numberAt("first_failure_at_sec", p.firstFailureAtSec);
+  p.restartDelaySec = r.numberAt("restart_delay_sec", p.restartDelaySec);
+  r.finish();
+  if (p.ranks < 1) r.fail("ranks must be >= 1");
+  if (p.steps < 1) r.fail("steps must be >= 1");
+  if (p.stepSec <= 0) r.fail("step_sec must be > 0");
+  if (p.maxAttempts < 1) r.fail("max_attempts must be >= 1");
+  if (p.spareNodes < 0) r.fail("spare_nodes must be >= 0");
+  if (p.dropProb < 0 || p.dropProb > 1) r.fail("drop_prob must be in [0, 1]");
+  if (p.corruptProb < 0 || p.corruptProb > 1) {
+    r.fail("corrupt_prob must be in [0, 1]");
+  }
+  if (p.degradeFactor < 0 || p.degradeFactor > 1) {
+    r.fail("degrade_factor must be in [0, 1]");
+  }
+  return p;
+}
+
+desc::Value toDesc(const ResilienceParams& p) {
+  desc::Value v = desc::Value::object();
+  desc::Value mtbf = desc::Value::array();
+  for (const double s : p.mtbfSec) mtbf.push(desc::Value::number(s));
+  v.set("mtbf_sec", std::move(mtbf));
+  desc::Value schemes = desc::Value::array();
+  for (const CheckpointScheme& s : p.schemes) schemes.push(toDesc(s));
+  v.set("schemes", std::move(schemes));
+  v.set("ranks", desc::Value::integer(p.ranks));
+  v.set("steps", desc::Value::integer(p.steps));
+  v.set("step_sec", desc::Value::number(p.stepSec));
+  v.set("state_bytes",
+        desc::Value::unsignedInt(static_cast<std::uint64_t>(p.stateBytes)));
+  v.set("max_attempts", desc::Value::integer(p.maxAttempts));
+  v.set("protocol", pmpi::toDesc(p.protocol));
+  if (p.machine) v.set("machine", hw::toDesc(*p.machine));
+  if (p.faultPlan) v.set("fault_plan", fault::toDesc(*p.faultPlan));
+  v.set("drop_prob", desc::Value::number(p.dropProb));
+  v.set("corrupt_prob", desc::Value::number(p.corruptProb));
+  v.set("degrade_factor", desc::Value::number(p.degradeFactor));
+  v.set("degrade_from_sec", desc::Value::number(p.degradeFromSec));
+  v.set("degrade_until_sec", desc::Value::number(p.degradeUntilSec));
+  v.set("flap_from_sec", desc::Value::number(p.flapFromSec));
+  v.set("flap_until_sec", desc::Value::number(p.flapUntilSec));
+  v.set("spare_nodes", desc::Value::integer(p.spareNodes));
+  v.set("repair_sec", desc::Value::number(p.repairSec));
+  v.set("first_failure_at_sec", desc::Value::number(p.firstFailureAtSec));
+  v.set("restart_delay_sec", desc::Value::number(p.restartDelaySec));
+  return v;
+}
+
+CampaignSpec campaignSpecFromDesc(desc::Reader& r) {
+  CampaignSpec spec;
+  spec.kind = r.stringAt("campaign");
+  if (spec.kind != "fig8" && spec.kind != "resilience") {
+    r.fail("unknown campaign kind \"" + spec.kind +
+           "\"; known: fig8, resilience");
+  }
+  const char* defaultDescription =
+      spec.kind == "fig8" ? kFig8Description : kResilienceDescription;
+  spec.name = r.stringAt("name", spec.kind);
+  spec.description = r.stringAt("description", defaultDescription);
+  spec.baseSeed = r.uintAt("base_seed", spec.baseSeed);
+  if (spec.kind == "fig8") {
+    if (auto f = r.tryChild("fig8")) spec.fig8 = fig8ParamsFromDesc(*f);
+  } else {
+    if (auto re = r.tryChild("resilience")) {
+      spec.resilience = resilienceParamsFromDesc(*re);
+    }
+  }
+  r.finish();
+  if (spec.name.empty()) r.fail("name must be non-empty");
+  return spec;
+}
+
+desc::Value toDesc(const CampaignSpec& spec) {
+  desc::Value v = desc::Value::object();
+  v.set("campaign", desc::Value::string(spec.kind));
+  v.set("name", desc::Value::string(spec.name));
+  v.set("description", desc::Value::string(spec.description));
+  v.set("base_seed", desc::Value::unsignedInt(spec.baseSeed));
+  if (spec.kind == "fig8") {
+    v.set("fig8", toDesc(spec.fig8));
+  } else {
+    v.set("resilience", toDesc(spec.resilience));
+  }
+  return v;
+}
+
+CampaignSpec campaignSpecFromDescText(const std::string& text,
+                                      const std::string& origin) {
+  const desc::Value v = desc::parse(text, origin);
+  desc::Reader r(v, "");
+  return campaignSpecFromDesc(r);
+}
+
+Campaign buildCampaign(const CampaignSpec& spec) {
+  Campaign c = spec.kind == "fig8" ? fig8Campaign(spec.fig8)
+                                   : resilienceCampaign(spec.resilience);
+  c.name = spec.name;
+  c.description = spec.description;
+  c.baseSeed = spec.baseSeed;
+  return c;
+}
+
+}  // namespace cbsim::campaign

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -17,8 +20,21 @@ double hostSeconds() {
   return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
 }
 
+/// File-system-safe scenario name: '/' (and anything else exotic) to '_'.
+std::string traceFileName(const std::string& scenario) {
+  std::string out = scenario;
+  for (char& c : out) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '.' || c == '+')) {
+      c = '_';
+    }
+  }
+  return out + ".trace.json";
+}
+
 /// Runs one scenario in its own world; never throws.
-ScenarioResult runOne(const Scenario& s, std::uint64_t baseSeed) {
+ScenarioResult runOne(const Scenario& s, std::uint64_t baseSeed,
+                      const std::string& traceDir) {
   ScenarioResult r;
   r.name = s.name;
   r.seed = scenarioSeed(baseSeed, s.name);
@@ -26,11 +42,18 @@ ScenarioResult runOne(const Scenario& s, std::uint64_t baseSeed) {
   try {
     ScenarioContext ctx;
     ctx.seed = r.seed;
-    ctx.tracer.setMetricsOnly(true);
+    ctx.tracer.setMetricsOnly(traceDir.empty());
     r.values = s.run(ctx);
     for (const auto& [name, e] : ctx.tracer.metrics().entries()) {
       r.metrics[name] = e.value;
       if (e.kind == obs::Metrics::Kind::Gauge) r.metrics[name + ".max"] = e.max;
+    }
+    if (!traceDir.empty()) {
+      const std::filesystem::path path =
+          std::filesystem::path(traceDir) / traceFileName(s.name);
+      std::ofstream os(path, std::ios::binary);
+      if (!os) throw std::runtime_error("cannot write " + path.string());
+      ctx.tracer.writeJson(os);
     }
   } catch (const std::exception& e) {
     r.values.clear();
@@ -105,6 +128,10 @@ CampaignReport runCampaign(const Campaign& campaign,
     return campaign.scenarios[a].costHint > campaign.scenarios[b].costHint;
   });
 
+  if (!opts.traceDir.empty()) {
+    std::filesystem::create_directories(opts.traceDir);
+  }
+
   const double t0 = hostSeconds();
   // Workers pop indices from a shared counter and write only their own
   // result slot; the report's content is therefore interleaving-free.
@@ -114,7 +141,8 @@ CampaignReport runCampaign(const Campaign& campaign,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       const std::size_t k = order[i];
-      rep.scenarios[k] = runOne(campaign.scenarios[k], campaign.baseSeed);
+      rep.scenarios[k] =
+          runOne(campaign.scenarios[k], campaign.baseSeed, opts.traceDir);
     }
   };
   if (jobs == 1) {

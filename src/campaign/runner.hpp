@@ -25,7 +25,20 @@ struct RunnerOptions {
   /// Worker threads; 0 means one per hardware thread.  Clamped to
   /// [1, scenario count].
   int jobs = 1;
+  /// When non-empty, scenarios record full timelines (instead of the
+  /// default metrics-only mode) and each one's Chrome trace JSON is
+  /// written to `<traceDir>/<scenario>.trace.json` ('/' in scenario names
+  /// becomes '_').  Trace files do not feed into the report, so the
+  /// determinism contract is untouched.
+  std::string traceDir;
 };
+
+/// Convenience for the common "just set the worker count" call sites.
+[[nodiscard]] inline RunnerOptions withJobs(int jobs) {
+  RunnerOptions o;
+  o.jobs = jobs;
+  return o;
+}
 
 /// Merged outcome of a campaign run.
 struct CampaignReport {

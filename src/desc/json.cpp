@@ -1,0 +1,519 @@
+#include "desc/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cbsim::desc {
+
+namespace {
+
+constexpr int kMaxDepth = 96;
+
+/// Largest double that still represents every smaller integer exactly.
+constexpr double kExactIntLimit = 9007199254740992.0;  // 2^53
+
+bool isDigit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+// ---- Value ------------------------------------------------------------------
+
+const char* Value::kindName(Kind k) {
+  switch (k) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return "bool";
+    case Kind::Number: return "number";
+    case Kind::String: return "string";
+    case Kind::Array: return "array";
+    case Kind::Object: return "object";
+  }
+  return "?";
+}
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(double d) {
+  if (!std::isfinite(d)) {
+    throw Error("desc: non-finite number cannot be represented in JSON");
+  }
+  Value v;
+  v.kind_ = Kind::Number;
+  v.num_ = d;
+  return v;
+}
+
+Value Value::integer(std::int64_t i) {
+  Value v;
+  v.kind_ = Kind::Number;
+  v.num_ = static_cast<double>(i);
+  v.numText_ = std::to_string(i);
+  return v;
+}
+
+Value Value::unsignedInt(std::uint64_t u) {
+  Value v;
+  v.kind_ = Kind::Number;
+  v.num_ = static_cast<double>(u);
+  v.numText_ = std::to_string(u);
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.kind_ = Kind::String;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.kind_ = Kind::Array;
+  return v;
+}
+
+Value Value::object() {
+  Value v;
+  v.kind_ = Kind::Object;
+  return v;
+}
+
+namespace {
+[[noreturn]] void wrongKind(const char* want, const Value& v) {
+  throw Error(std::string("desc: expected ") + want + ", got " + v.kindName());
+}
+}  // namespace
+
+bool Value::asBool() const {
+  if (kind_ != Kind::Bool) wrongKind("bool", *this);
+  return bool_;
+}
+
+double Value::asNumber() const {
+  if (kind_ != Kind::Number) wrongKind("number", *this);
+  return num_;
+}
+
+const std::string& Value::asString() const {
+  if (kind_ != Kind::String) wrongKind("string", *this);
+  return str_;
+}
+
+const std::vector<Value>& Value::items() const {
+  if (kind_ != Kind::Array) wrongKind("array", *this);
+  return items_;
+}
+
+const std::vector<Value::Member>& Value::members() const {
+  if (kind_ != Kind::Object) wrongKind("object", *this);
+  return members_;
+}
+
+Value& Value::set(std::string key, Value v) {
+  if (kind_ != Kind::Object) wrongKind("object", *this);
+  members_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+Value& Value::push(Value v) {
+  if (kind_ != Kind::Array) wrongKind("array", *this);
+  items_.push_back(std::move(v));
+  return *this;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+// ---- Parser -----------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string_view origin)
+      : text_(text), origin_(origin) {}
+
+  Value run() {
+    skipWs();
+    Value v = parseValue(0);
+    skipWs();
+    if (pos_ < text_.size()) fail("trailing garbage after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::string full = "desc: ";
+    if (!origin_.empty()) {
+      full += origin_;
+      full += ":";
+    }
+    full += std::to_string(line_) + ":" + std::to_string(col_) + ": " + msg;
+    throw ParseError(full, line_, col_);
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  char next() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skipWs() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        next();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void expect(char c, const char* what) {
+    if (eof()) fail(std::string("unexpected end of input, expected ") + what);
+    if (peek() != c) {
+      fail(std::string("expected ") + what + ", got '" + peek() + "'");
+    }
+    next();
+  }
+
+  void literal(const char* word, const char* what) {
+    for (const char* p = word; *p; ++p) {
+      if (eof() || peek() != *p) {
+        fail(std::string("invalid literal, expected ") + what);
+      }
+      next();
+    }
+  }
+
+  Value parseValue(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    if (eof()) fail("unexpected end of input, expected a value");
+    switch (peek()) {
+      case '{': return parseObject(depth);
+      case '[': return parseArray(depth);
+      case '"': return Value::string(parseString());
+      case 't': literal("true", "'true'"); return Value::boolean(true);
+      case 'f': literal("false", "'false'"); return Value::boolean(false);
+      case 'n': literal("null", "'null'"); return Value::null();
+      default: return parseNumber();
+    }
+  }
+
+  Value parseObject(int depth) {
+    next();  // '{'
+    Value v = Value::object();
+    skipWs();
+    if (!eof() && peek() == '}') {
+      next();
+      return v;
+    }
+    for (;;) {
+      skipWs();
+      if (eof() || peek() != '"') fail("expected '\"' to start an object key");
+      std::string key = parseString();
+      if (v.find(key) != nullptr) fail("duplicate object key \"" + key + "\"");
+      skipWs();
+      expect(':', "':' after object key");
+      skipWs();
+      v.set(std::move(key), parseValue(depth + 1));
+      skipWs();
+      if (eof()) fail("unexpected end of input inside object");
+      if (peek() == ',') {
+        next();
+        continue;
+      }
+      expect('}', "',' or '}' in object");
+      return v;
+    }
+  }
+
+  Value parseArray(int depth) {
+    next();  // '['
+    Value v = Value::array();
+    skipWs();
+    if (!eof() && peek() == ']') {
+      next();
+      return v;
+    }
+    for (;;) {
+      skipWs();
+      v.push(parseValue(depth + 1));
+      skipWs();
+      if (eof()) fail("unexpected end of input inside array");
+      if (peek() == ',') {
+        next();
+        continue;
+      }
+      expect(']', "',' or ']' in array");
+      return v;
+    }
+  }
+
+  std::string parseString() {
+    next();  // '"'
+    std::string out;
+    for (;;) {
+      if (eof()) fail("unterminated string");
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string (use \\uXXXX)");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) fail("unterminated escape sequence");
+      const char e = next();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': appendUnicodeEscape(out); break;
+        default: fail(std::string("invalid escape '\\") + e + "'");
+      }
+    }
+  }
+
+  unsigned hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) fail("unterminated \\u escape");
+      const char c = next();
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return v;
+  }
+
+  void appendUnicodeEscape(std::string& out) {
+    unsigned cp = hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need the pair
+      if (eof() || peek() != '\\') fail("unpaired UTF-16 surrogate");
+      next();
+      if (eof() || peek() != 'u') fail("unpaired UTF-16 surrogate");
+      next();
+      const unsigned lo = hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired UTF-16 surrogate");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Value parseNumber() {
+    const std::size_t start = pos_;
+    bool pureInteger = true;
+    if (!eof() && peek() == '-') next();
+    if (eof() || !isDigit(peek())) fail("invalid number");
+    if (peek() == '0') {
+      next();
+      if (!eof() && isDigit(peek())) fail("leading zeros are not allowed");
+    } else {
+      while (!eof() && isDigit(peek())) next();
+    }
+    if (!eof() && peek() == '.') {
+      pureInteger = false;
+      next();
+      if (eof() || !isDigit(peek())) fail("digit required after decimal point");
+      while (!eof() && isDigit(peek())) next();
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      pureInteger = false;
+      next();
+      if (!eof() && (peek() == '+' || peek() == '-')) next();
+      if (eof() || !isDigit(peek())) fail("digit required in exponent");
+      while (!eof() && isDigit(peek())) next();
+    }
+    const std::string text(text_.substr(start, pos_ - start));
+    const double d = std::strtod(text.c_str(), nullptr);
+    if (!std::isfinite(d)) fail("number out of double range");
+    Value v = Value::number(d);
+    // Keep the exact literal for pure integers: values above 2^53 (64-bit
+    // seeds) survive the round-trip through their text, not the double.
+    if (pureInteger) v.numText_ = text;
+    return v;
+  }
+
+  std::string_view text_;
+  std::string origin_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+Value parse(std::string_view text, std::string_view origin) {
+  return Parser(text, origin).run();
+}
+
+// ---- Canonical dump ---------------------------------------------------------
+
+std::string formatNumber(double v) {
+  if (v == 0.0) return std::signbit(v) ? "-0" : "0";
+  if (std::floor(v) == v && std::fabs(v) < kExactIntLimit) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  return buf;  // %.17g always round-trips; unreachable in practice
+}
+
+namespace {
+
+void dumpString(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+bool isScalar(const Value& v) {
+  return !v.isArray() && !v.isObject();
+}
+
+void dumpValue(const Value& v, int indent, std::string& out) {
+  const auto pad = [&](int n) { out.append(static_cast<std::size_t>(n) * 2, ' '); };
+  switch (v.kind()) {
+    case Value::Kind::Null:
+      out += "null";
+      return;
+    case Value::Kind::Bool:
+      out += v.asBool() ? "true" : "false";
+      return;
+    case Value::Kind::Number:
+      out += v.numberLiteral().empty() ? formatNumber(v.asNumber())
+                                       : v.numberLiteral();
+      return;
+    case Value::Kind::String:
+      dumpString(v.asString(), out);
+      return;
+    case Value::Kind::Array: {
+      const auto& items = v.items();
+      if (items.empty()) {
+        out += "[]";
+        return;
+      }
+      bool allScalar = true;
+      for (const Value& e : items) allScalar = allScalar && isScalar(e);
+      if (allScalar) {
+        out += '[';
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          if (i) out += ", ";
+          dumpValue(items[i], indent, out);
+        }
+        out += ']';
+        return;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        pad(indent + 1);
+        dumpValue(items[i], indent + 1, out);
+        if (i + 1 < items.size()) out += ',';
+        out += '\n';
+      }
+      pad(indent);
+      out += ']';
+      return;
+    }
+    case Value::Kind::Object: {
+      const auto& members = v.members();
+      if (members.empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        pad(indent + 1);
+        dumpString(members[i].first, out);
+        out += ": ";
+        dumpValue(members[i].second, indent + 1, out);
+        if (i + 1 < members.size()) out += ',';
+        out += '\n';
+      }
+      pad(indent);
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string dump(const Value& v) {
+  std::string out;
+  dumpValue(v, 0, out);
+  out += '\n';
+  return out;
+}
+
+}  // namespace cbsim::desc

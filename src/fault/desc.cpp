@@ -1,0 +1,84 @@
+#include "fault/desc.hpp"
+
+#include <cmath>
+
+namespace cbsim::fault {
+
+namespace {
+
+sim::SimTime timeFromSec(double s) { return sim::SimTime::seconds(s); }
+
+double secFromTime(sim::SimTime t) {
+  return static_cast<double>(t.picos()) / 1e12;
+}
+
+}  // namespace
+
+FaultPlan faultPlanFromDesc(desc::Reader& r) {
+  FaultPlan p;
+  p.dropProb = r.numberAt("drop_prob", p.dropProb);
+  p.corruptProb = r.numberAt("corrupt_prob", p.corruptProb);
+  if (p.dropProb < 0.0 || p.dropProb > 1.0) {
+    r.fail("drop_prob must be in [0, 1]");
+  }
+  if (p.corruptProb < 0.0 || p.corruptProb > 1.0) {
+    r.fail("corrupt_prob must be in [0, 1]");
+  }
+  if (r.has("endpoint_windows")) {
+    r.eachIn("endpoint_windows", [&](desc::Reader& w) {
+      const int ep = static_cast<int>(w.intAt("endpoint"));
+      const double from = w.numberAt("from_sec");
+      const double until = w.numberAt("until_sec");
+      const double factor = w.numberAt("bw_factor", 0.0);
+      if (until <= from) w.fail("until_sec must be greater than from_sec");
+      if (factor < 0.0 || factor > 1.0) w.fail("bw_factor must be in [0, 1]");
+      p.degradeEndpoint(ep, timeFromSec(from), timeFromSec(until), factor);
+    });
+  }
+  if (r.has("trunk_windows")) {
+    r.eachIn("trunk_windows", [&](desc::Reader& w) {
+      const int trunk = static_cast<int>(w.intAt("trunk"));
+      const double from = w.numberAt("from_sec");
+      const double until = w.numberAt("until_sec");
+      const double factor = w.numberAt("bw_factor", 0.0);
+      if (until <= from) w.fail("until_sec must be greater than from_sec");
+      if (factor < 0.0 || factor > 1.0) w.fail("bw_factor must be in [0, 1]");
+      p.degradeTrunk(trunk, timeFromSec(from), timeFromSec(until), factor);
+    });
+  }
+  r.finish();
+  return p;
+}
+
+desc::Value toDesc(const FaultPlan& p) {
+  desc::Value v = desc::Value::object();
+  v.set("drop_prob", desc::Value::number(p.dropProb));
+  v.set("corrupt_prob", desc::Value::number(p.corruptProb));
+  desc::Value eps = desc::Value::array();
+  for (const auto& [ep, windows] : p.endpointWindows()) {
+    for (const LinkWindow& w : windows) {
+      desc::Value o = desc::Value::object();
+      o.set("endpoint", desc::Value::integer(ep));
+      o.set("from_sec", desc::Value::number(secFromTime(w.from)));
+      o.set("until_sec", desc::Value::number(secFromTime(w.until)));
+      o.set("bw_factor", desc::Value::number(w.bwFactor));
+      eps.push(std::move(o));
+    }
+  }
+  v.set("endpoint_windows", std::move(eps));
+  desc::Value trs = desc::Value::array();
+  for (const auto& [trunk, windows] : p.trunkWindows()) {
+    for (const LinkWindow& w : windows) {
+      desc::Value o = desc::Value::object();
+      o.set("trunk", desc::Value::integer(trunk));
+      o.set("from_sec", desc::Value::number(secFromTime(w.from)));
+      o.set("until_sec", desc::Value::number(secFromTime(w.until)));
+      o.set("bw_factor", desc::Value::number(w.bwFactor));
+      trs.push(std::move(o));
+    }
+  }
+  v.set("trunk_windows", std::move(trs));
+  return v;
+}
+
+}  // namespace cbsim::fault

@@ -1,0 +1,26 @@
+#pragma once
+
+// Description bindings for fault::FaultPlan.
+//
+// Schema (all keys optional; an empty object is the inert plan):
+//   {
+//     "drop_prob": 0.0015,
+//     "corrupt_prob": 0.0005,
+//     "endpoint_windows": [
+//       { "endpoint": 1, "from_sec": 0.05, "until_sec": 0.2, "bw_factor": 0.35 }
+//     ],
+//     "trunk_windows": [
+//       { "trunk": 0, "from_sec": 0.08, "until_sec": 0.082, "bw_factor": 0 }
+//     ]
+//   }
+// A bw_factor of 0 is a link flap (nothing passes during the window).
+
+#include "desc/schema.hpp"
+#include "fault/plan.hpp"
+
+namespace cbsim::fault {
+
+[[nodiscard]] FaultPlan faultPlanFromDesc(desc::Reader& r);
+[[nodiscard]] desc::Value toDesc(const FaultPlan& p);
+
+}  // namespace cbsim::fault

@@ -73,6 +73,15 @@ class FaultPlan {
   [[nodiscard]] bool hasWindows() const {
     return !endpointWindows_.empty() || !trunkWindows_.empty();
   }
+
+  /// Read-only window tables, keyed by endpoint / trunk index; used by the
+  /// description layer to render a plan back to text.
+  [[nodiscard]] const std::map<int, std::vector<LinkWindow>>& endpointWindows() const {
+    return endpointWindows_;
+  }
+  [[nodiscard]] const std::map<int, std::vector<LinkWindow>>& trunkWindows() const {
+    return trunkWindows_;
+  }
   /// True when the plan can affect traffic at all; a default-constructed
   /// plan is inert and costs the fabric one pointer test per message.
   [[nodiscard]] bool active() const {

@@ -1,0 +1,71 @@
+#pragma once
+
+// Description bindings for the hw layer: every spec struct in hw/ can be
+// read from a desc::Reader and rendered back to a desc::Value.  This is
+// the ONLY construction path from text to hw objects — the builtin
+// machine presets (MachineConfig::deepEr() and friends) are themselves
+// embedded description strings parsed through these bindings, so a
+// description file and a preset can never drift apart structurally.
+//
+// Conventions:
+//   * keys are snake_case versions of the struct fields,
+//   * times are numbers in nanoseconds with an `_ns` suffix,
+//   * a CPU / net-class / machine value may be a preset name string
+//     ("xeon-haswell"), a full object, or an object with a "preset" key
+//     whose remaining keys override individual preset fields,
+//   * toDesc() always emits every field fully expanded (no preset
+//     references), so parse(dump(x)) reconstructs x exactly and dumps
+//     are canonical byte-for-byte.
+
+#include <string>
+#include <vector>
+
+#include "desc/schema.hpp"
+#include "hw/machine.hpp"
+
+namespace cbsim::hw {
+
+// ---- Readers (Reader may wrap a preset string or an object) ----------------
+[[nodiscard]] CpuSpec cpuSpecFromDesc(desc::Reader& r);
+[[nodiscard]] NetClassSpec netClassSpecFromDesc(desc::Reader& r);
+[[nodiscard]] NvmeSpec nvmeSpecFromDesc(desc::Reader& r);
+[[nodiscard]] DiskSpec diskSpecFromDesc(desc::Reader& r);
+[[nodiscard]] NamSpec namSpecFromDesc(desc::Reader& r);
+[[nodiscard]] SwitchSpec switchSpecFromDesc(desc::Reader& r);
+[[nodiscard]] TrunkSpec trunkSpecFromDesc(desc::Reader& r);
+[[nodiscard]] NodeGroupSpec nodeGroupSpecFromDesc(desc::Reader& r);
+[[nodiscard]] MachineConfig machineConfigFromDesc(desc::Reader& r);
+
+/// Resizes the first group of `kind`; a count <= 0 removes the group (used
+/// by the preset accessors, whose node counts are C++ parameters).  Throws
+/// desc::SchemaError when the machine has no group of that kind.
+void setGroupCount(MachineConfig& cfg, NodeKind kind, int count);
+
+// ---- Writers ---------------------------------------------------------------
+[[nodiscard]] desc::Value toDesc(const CpuSpec& s);
+[[nodiscard]] desc::Value toDesc(const NetClassSpec& s);
+[[nodiscard]] desc::Value toDesc(const NvmeSpec& s);
+[[nodiscard]] desc::Value toDesc(const DiskSpec& s);
+[[nodiscard]] desc::Value toDesc(const NamSpec& s);
+[[nodiscard]] desc::Value toDesc(const SwitchSpec& s);
+[[nodiscard]] desc::Value toDesc(const TrunkSpec& s);
+[[nodiscard]] desc::Value toDesc(const NodeGroupSpec& s);
+[[nodiscard]] desc::Value toDesc(const MachineConfig& c);
+
+// ---- Preset registries (each preset is an embedded description string) -----
+[[nodiscard]] std::vector<std::string> cpuPresetNames();
+[[nodiscard]] CpuSpec cpuPreset(const std::string& name);
+[[nodiscard]] std::vector<std::string> netPresetNames();
+[[nodiscard]] NetClassSpec netPreset(const std::string& name);
+[[nodiscard]] std::vector<std::string> machinePresetNames();
+[[nodiscard]] MachineConfig machinePreset(const std::string& name);
+
+// ---- NodeKind <-> description key ------------------------------------------
+[[nodiscard]] const char* nodeKindKey(NodeKind k);
+[[nodiscard]] NodeKind nodeKindFromKey(desc::Reader& r);
+
+// ---- SimTime <-> nanosecond numbers ----------------------------------------
+[[nodiscard]] sim::SimTime timeFromNs(double ns);
+[[nodiscard]] double nsFromTime(sim::SimTime t);
+
+}  // namespace cbsim::hw

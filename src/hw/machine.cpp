@@ -2,6 +2,13 @@
 
 #include <stdexcept>
 
+#include "desc/json.hpp"
+
+// The machine presets (deepEr, deepGen1, deepEst, reference CPU specs) live
+// in hw/desc.cpp as embedded description strings; this file holds only the
+// runtime Machine and the structural validation shared by every
+// construction path.
+
 namespace cbsim::hw {
 
 namespace {
@@ -18,223 +25,114 @@ int MachineConfig::totalNodes() const {
   return n;
 }
 
-// ---- Reference CPU specs ---------------------------------------------------
-
-CpuSpec MachineConfig::xeonHaswell() {
-  CpuSpec s;
-  s.model = "Intel Xeon E5-2680 v3";
-  s.microarchitecture = "Haswell";
-  s.sockets = 2;
-  s.cores = 24;  // 12 per socket
-  s.threadsPerCore = 2;
-  s.freqGHz = 2.5;
-  s.flopsPerCyclePerCore = 16.0;  // AVX2: 2 FMA ports x 4 DP lanes
-  s.scalarIpc = 2.2;
-  s.memBwGBs = 120.0;  // 2 sockets x 4ch DDR4-2133, STREAM-sustained
-  s.memGiB = 128.0;
-  s.gatherScatterEff = 0.60;  // OoO cores hide gather latency well
-  return s;
-}
-
-CpuSpec MachineConfig::xeonPhiKnl() {
-  CpuSpec s;
-  s.model = "Intel Xeon Phi 7210";
-  s.microarchitecture = "Knights Landing (KNL)";
-  s.sockets = 1;
-  s.cores = 64;
-  s.threadsPerCore = 4;
-  s.freqGHz = 1.3;
-  s.flopsPerCyclePerCore = 32.0;  // AVX-512: 2 VPUs x 8 DP lanes x FMA
-  s.scalarIpc = 0.7;              // Silvermont-derived core: low sustained IPC
-  s.memBwGBs = 80.0;              // DDR4 6ch
-  s.fastMemBwGBs = 420.0;         // MCDRAM
-  s.fastMemGiB = 16.0;
-  s.memGiB = 96.0;
-  s.gatherScatterEff = 0.15;  // AVX-512 gathers are microcoded & slow on KNL
-  return s;
-}
-
-CpuSpec MachineConfig::xeonSandyBridge() {
-  CpuSpec s;
-  s.model = "Intel Xeon E5-2680";
-  s.microarchitecture = "Sandy Bridge";
-  s.sockets = 2;
-  s.cores = 16;
-  s.threadsPerCore = 2;
-  s.freqGHz = 2.7;
-  s.flopsPerCyclePerCore = 8.0;  // AVX (no FMA)
-  s.scalarIpc = 2.0;
-  s.memBwGBs = 80.0;
-  s.memGiB = 32.0;
-  s.gatherScatterEff = 0.50;
-  return s;
-}
-
-CpuSpec MachineConfig::xeonPhiKnc() {
-  CpuSpec s;
-  s.model = "Intel Xeon Phi 7120 (KNC)";
-  s.microarchitecture = "Knights Corner";
-  s.sockets = 1;
-  s.cores = 61;
-  s.threadsPerCore = 4;
-  s.freqGHz = 1.238;
-  s.flopsPerCyclePerCore = 16.0;  // 512-bit SIMD, FMA, in-order
-  s.scalarIpc = 0.5;              // in-order core, needs SMT to fill pipe
-  s.memBwGBs = 170.0;             // GDDR5
-  s.memGiB = 16.0;
-  s.gatherScatterEff = 0.08;      // in-order: irregular access stalls the pipe
-  return s;
-}
+// ---- Validation -------------------------------------------------------------
 
 namespace {
 
-CpuSpec storageServerCpu() {
-  CpuSpec s;
-  s.model = "Intel Xeon E5-2630 v3";
-  s.microarchitecture = "Haswell";
-  s.sockets = 2;
-  s.cores = 16;
-  s.threadsPerCore = 2;
-  s.freqGHz = 2.4;
-  s.flopsPerCyclePerCore = 16.0;
-  s.scalarIpc = 2.2;
-  s.memBwGBs = 100.0;
-  s.memGiB = 64.0;
-  return s;
+[[noreturn]] void invalid(const MachineConfig& cfg, const std::string& what) {
+  throw std::invalid_argument("hw::MachineConfig \"" + cfg.name + "\": " + what);
 }
 
-NetClassSpec extollTourmalet() {
-  NetClassSpec n;
-  n.name = "EXTOLL Tourmalet A3";
-  n.linkBandwidthGBs = 12.5;  // 100 Gbit/s (Table I)
-  n.protocolEfficiency = 0.80;
-  return n;
-}
-
-NetClassSpec infinibandQdr() {
-  NetClassSpec n;
-  n.name = "InfiniBand QDR";
-  n.linkBandwidthGBs = 4.0;  // 32 Gbit/s data rate
-  n.protocolEfficiency = 0.85;
-  n.switchLatency = sim::SimTime::ns(150);
-  return n;
+std::string at(const char* field, std::size_t i) {
+  return std::string(field) + "[" + std::to_string(i) + "]";
 }
 
 }  // namespace
 
-// ---- Presets ----------------------------------------------------------------
-
-MachineConfig MachineConfig::deepEr(int clusterNodes, int boosterNodes) {
-  MachineConfig cfg;
-  cfg.name = "DEEP-ER prototype (gen 2)";
-  cfg.switches.push_back({"extoll-fabric", extollTourmalet()});
-
-  NodeGroupSpec cn;
-  cn.kind = NodeKind::Cluster;
-  cn.count = clusterNodes;
-  cn.namePrefix = "cn";
-  cn.cpu = xeonHaswell();
-  cn.nvme = NvmeSpec{};
-  cn.switchId = 0;
-  cn.mpiSwOverhead = sim::SimTime::ns(350);
-  cn.activeWatts = 385.0;  // dual-socket Haswell node incl. DDR4 + NIC
-  cfg.groups.push_back(cn);
-
-  NodeGroupSpec bn;
-  bn.kind = NodeKind::Booster;
-  bn.count = boosterNodes;
-  bn.namePrefix = "bn";
-  bn.cpu = xeonPhiKnl();
-  bn.nvme = NvmeSpec{};
-  bn.switchId = 0;
-  bn.mpiSwOverhead = sim::SimTime::ns(750);
-  bn.activeWatts = 275.0;  // KNL 7210 215W TDP + MCDRAM/DDR4 + NIC
-  cfg.groups.push_back(bn);
-
-  NodeGroupSpec st;
-  st.kind = NodeKind::Storage;
-  st.count = 3;  // one metadata + two storage servers
-  st.namePrefix = "st";
-  st.cpu = storageServerCpu();
-  st.disk = DiskSpec{};
-  st.switchId = 0;
-  st.mpiSwOverhead = sim::SimTime::ns(350);
-  cfg.groups.push_back(st);
-
-  cfg.nams.push_back({NamSpec{}, 0});
-  cfg.nams.push_back({NamSpec{}, 0});
-  return cfg;
-}
-
-MachineConfig MachineConfig::deepGen1(int clusterNodes, int boosterNodes,
-                                      int bridgeNodes) {
-  MachineConfig cfg;
-  cfg.name = "DEEP prototype (gen 1)";
-  cfg.switches.push_back({"cluster-infiniband", infinibandQdr()});
-  cfg.switches.push_back({"booster-extoll", extollTourmalet()});
-  cfg.bridgeBetweenSwitches = true;  // KNC cannot run the fabric stand-alone
-
-  NodeGroupSpec cn;
-  cn.kind = NodeKind::Cluster;
-  cn.count = clusterNodes;
-  cn.namePrefix = "cn";
-  cn.cpu = xeonSandyBridge();
-  cn.switchId = 0;
-  cn.mpiSwOverhead = sim::SimTime::ns(400);
-  cfg.groups.push_back(cn);
-
-  NodeGroupSpec bn;
-  bn.kind = NodeKind::Booster;
-  bn.count = boosterNodes;
-  bn.namePrefix = "bn";
-  bn.cpu = xeonPhiKnc();
-  bn.switchId = 1;
-  bn.mpiSwOverhead = sim::SimTime::ns(1400);  // in-order KNC protocol path
-  cfg.groups.push_back(bn);
-
-  NodeGroupSpec br;
-  br.kind = NodeKind::Bridge;
-  br.count = bridgeNodes;
-  br.namePrefix = "bi";
-  br.cpu = xeonSandyBridge();
-  br.switchId = 0;  // bridge NIC A on IB; NIC B on EXTOLL handled by routing
-  br.mpiSwOverhead = sim::SimTime::ns(400);
-  cfg.groups.push_back(br);
-  return cfg;
-}
-
-MachineConfig MachineConfig::deepEst(int clusterNodes, int boosterNodes,
-                                     int analyticsNodes) {
-  MachineConfig cfg = deepEr(clusterNodes, boosterNodes);
-  cfg.name = "DEEP-EST modular system";
-
-  NodeGroupSpec da;
-  da.kind = NodeKind::Analytics;
-  da.count = analyticsNodes;
-  da.namePrefix = "dn";
-  CpuSpec cpu = xeonHaswell();
-  cpu.model = "Intel Xeon (large-memory data analytics)";
-  cpu.memGiB = 512.0;
-  cpu.memBwGBs = 160.0;
-  da.cpu = cpu;
-  da.nvme = NvmeSpec{};
-  da.switchId = 0;
-  da.mpiSwOverhead = sim::SimTime::ns(350);
-  cfg.groups.push_back(da);
-  return cfg;
+void MachineConfig::validate() const {
+  const int nSwitches = static_cast<int>(switches.size());
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    const SwitchSpec& sw = switches[i];
+    if (!(sw.net.linkBandwidthGBs > 0.0)) {
+      invalid(*this, at("switches", i) + " (\"" + sw.name +
+                         "\"): net.link_bandwidth_gbs must be positive (got " +
+                         desc::formatNumber(sw.net.linkBandwidthGBs) + ")");
+    }
+    if (!(sw.net.protocolEfficiency > 0.0 && sw.net.protocolEfficiency <= 1.0)) {
+      invalid(*this, at("switches", i) + " (\"" + sw.name +
+                         "\"): net.protocol_efficiency must be in (0, 1] (got " +
+                         desc::formatNumber(sw.net.protocolEfficiency) + ")");
+    }
+  }
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const NodeGroupSpec& g = groups[i];
+    const std::string where = at("groups", i) + " (\"" + g.namePrefix + "\")";
+    if (g.count <= 0) {
+      invalid(*this, where + ": count must be positive (got " +
+                         std::to_string(g.count) + ")");
+    }
+    if (g.switchId < 0 || g.switchId >= nSwitches) {
+      invalid(*this, where + ": switch_id " + std::to_string(g.switchId) +
+                         " references a nonexistent switch (machine has " +
+                         std::to_string(nSwitches) + ")");
+    }
+    if (g.cpu.sockets < 1 || g.cpu.cores < 1 || g.cpu.threadsPerCore < 1) {
+      invalid(*this, where + ": cpu sockets/cores/threads_per_core must be >= 1");
+    }
+    if (!(g.cpu.freqGHz > 0.0)) {
+      invalid(*this, where + ": cpu.freq_ghz must be positive (got " +
+                         desc::formatNumber(g.cpu.freqGHz) + ")");
+    }
+    if (!(g.cpu.memBwGBs > 0.0)) {
+      invalid(*this, where + ": cpu.mem_bw_gbs must be positive (got " +
+                         desc::formatNumber(g.cpu.memBwGBs) + ")");
+    }
+    if (g.nvme && !(g.nvme->readBwGBs > 0.0 && g.nvme->writeBwGBs > 0.0)) {
+      invalid(*this, where + ": nvme read/write bandwidth must be positive");
+    }
+    if (g.disk && !(g.disk->readBwGBs > 0.0 && g.disk->writeBwGBs > 0.0)) {
+      invalid(*this, where + ": disk read/write bandwidth must be positive");
+    }
+  }
+  for (std::size_t i = 0; i < trunks.size(); ++i) {
+    const TrunkSpec& t = trunks[i];
+    if (t.switchA < 0 || t.switchA >= nSwitches) {
+      invalid(*this, at("trunks", i) + ".switch_a = " +
+                         std::to_string(t.switchA) +
+                         " references a nonexistent switch (machine has " +
+                         std::to_string(nSwitches) + ")");
+    }
+    if (t.switchB < 0 || t.switchB >= nSwitches) {
+      invalid(*this, at("trunks", i) + ".switch_b = " +
+                         std::to_string(t.switchB) +
+                         " references a nonexistent switch (machine has " +
+                         std::to_string(nSwitches) + ")");
+    }
+    if (t.switchA == t.switchB) {
+      invalid(*this, at("trunks", i) + " connects switch " +
+                         std::to_string(t.switchA) + " to itself");
+    }
+    if (!(t.bandwidthGBs > 0.0)) {
+      invalid(*this, at("trunks", i) + ".bandwidth_gbs must be positive (got " +
+                         desc::formatNumber(t.bandwidthGBs) + ")");
+    }
+    if (t.latency < sim::SimTime::zero()) {
+      invalid(*this, at("trunks", i) + ".latency_ns must be non-negative");
+    }
+  }
+  for (std::size_t i = 0; i < nams.size(); ++i) {
+    const NamAttachment& na = nams[i];
+    if (na.switchId < 0 || na.switchId >= nSwitches) {
+      invalid(*this, at("nams", i) + ".switch_id " +
+                         std::to_string(na.switchId) +
+                         " references a nonexistent switch (machine has " +
+                         std::to_string(nSwitches) + ")");
+    }
+    if (!(na.spec.bandwidthGBs > 0.0)) {
+      invalid(*this, at("nams", i) + ".bandwidth_gbs must be positive (got " +
+                         desc::formatNumber(na.spec.bandwidthGBs) + ")");
+    }
+  }
 }
 
 // ---- Machine ----------------------------------------------------------------
 
 Machine::Machine(sim::Engine& engine, MachineConfig config)
     : engine_(engine), config_(std::move(config)) {
+  config_.validate();
   int id = 0;
   for (std::size_t g = 0; g < config_.groups.size(); ++g) {
     const NodeGroupSpec& grp = config_.groups[g];
-    if (grp.switchId < 0 ||
-        grp.switchId >= static_cast<int>(config_.switches.size())) {
-      throw std::invalid_argument("node group attached to unknown switch");
-    }
     for (int i = 0; i < grp.count; ++i, ++id) {
       Node n;
       n.id = id;
@@ -255,10 +153,6 @@ Machine::Machine(sim::Engine& engine, MachineConfig config)
     }
   }
   for (const auto& na : config_.nams) {
-    if (na.switchId < 0 ||
-        na.switchId >= static_cast<int>(config_.switches.size())) {
-      throw std::invalid_argument("NAM attached to unknown switch");
-    }
     nams_.push_back(std::make_unique<NamDevice>(na.spec));
     namSwitches_.push_back(na.switchId);
   }

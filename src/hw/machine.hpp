@@ -72,7 +72,17 @@ struct MachineConfig {
 
   [[nodiscard]] int totalNodes() const;
 
+  /// Structural validation: every trunk/group/NAM must reference an
+  /// existing switch, node groups must be non-empty, bandwidths and
+  /// efficiencies must be positive.  Throws std::invalid_argument with a
+  /// message naming the offending field ("trunks[0].switch_b ...").
+  /// Machine's constructor and the description bindings both call this,
+  /// so every construction path is checked the same way.
+  void validate() const;
+
   // ---- Presets -----------------------------------------------------------
+  // Defined in hw/desc.cpp: each preset is an embedded description string
+  // parsed through the desc bindings (the single construction path).
 
   /// Second-generation (DEEP-ER) prototype, paper Table I:
   /// 16 Haswell Cluster nodes + 8 KNL Booster nodes, uniform EXTOLL

@@ -1,0 +1,14 @@
+#pragma once
+
+// Description bindings for pmpi::ProtocolParams (eager/rendezvous tuning
+// and the reliable-transport knobs).  Times are microseconds (`_us`).
+
+#include "desc/schema.hpp"
+#include "pmpi/types.hpp"
+
+namespace cbsim::pmpi {
+
+[[nodiscard]] ProtocolParams protocolParamsFromDesc(desc::Reader& r);
+[[nodiscard]] desc::Value toDesc(const ProtocolParams& p);
+
+}  // namespace cbsim::pmpi

@@ -1,0 +1,30 @@
+#include "scr/desc.hpp"
+
+namespace cbsim::scr {
+
+ScrConfig scrConfigFromDesc(desc::Reader& r) {
+  ScrConfig c;
+  c.localEvery = static_cast<int>(r.intAt("local_every", c.localEvery));
+  c.buddyEvery = static_cast<int>(r.intAt("buddy_every", c.buddyEvery));
+  c.globalEvery = static_cast<int>(r.intAt("global_every", c.globalEvery));
+  c.namEvery = static_cast<int>(r.intAt("nam_every", c.namEvery));
+  c.prefix = r.stringAt("prefix", c.prefix);
+  r.finish();
+  if (c.localEvery < 0 || c.buddyEvery < 0 || c.globalEvery < 0 ||
+      c.namEvery < 0) {
+    r.fail("checkpoint cadences must be >= 0 (0 disables a level)");
+  }
+  return c;
+}
+
+desc::Value toDesc(const ScrConfig& c) {
+  desc::Value v = desc::Value::object();
+  v.set("local_every", desc::Value::integer(c.localEvery));
+  v.set("buddy_every", desc::Value::integer(c.buddyEvery));
+  v.set("global_every", desc::Value::integer(c.globalEvery));
+  v.set("nam_every", desc::Value::integer(c.namEvery));
+  v.set("prefix", desc::Value::string(c.prefix));
+  return v;
+}
+
+}  // namespace cbsim::scr

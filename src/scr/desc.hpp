@@ -1,0 +1,13 @@
+#pragma once
+
+// Description bindings for scr::ScrConfig (multi-level checkpoint cadences).
+
+#include "desc/schema.hpp"
+#include "scr/scr.hpp"
+
+namespace cbsim::scr {
+
+[[nodiscard]] ScrConfig scrConfigFromDesc(desc::Reader& r);
+[[nodiscard]] desc::Value toDesc(const ScrConfig& c);
+
+}  // namespace cbsim::scr

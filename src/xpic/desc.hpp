@@ -1,0 +1,22 @@
+#pragma once
+
+// Description bindings for xpic::XpicConfig.  A config value may be a
+// preset name string ("table-ii", "tiny"), a full object, or an object
+// with a "preset" key plus field overrides — the same convention as the
+// hw bindings.
+
+#include <string>
+#include <vector>
+
+#include "desc/schema.hpp"
+#include "xpic/config.hpp"
+
+namespace cbsim::xpic {
+
+[[nodiscard]] XpicConfig xpicConfigFromDesc(desc::Reader& r);
+[[nodiscard]] desc::Value toDesc(const XpicConfig& c);
+
+[[nodiscard]] std::vector<std::string> xpicPresetNames();
+[[nodiscard]] XpicConfig xpicPreset(const std::string& name);
+
+}  // namespace cbsim::xpic

@@ -139,10 +139,10 @@ TEST(BackendEquivalence, CampaignReportByteIdentical) {
 
   sim::setDefaultProcessBackend(ProcessBackend::Fiber);
   const std::string fiber =
-      campaign::toJson(campaign::runCampaign(c, {.jobs = 2}));
+      campaign::toJson(campaign::runCampaign(c, campaign::withJobs(2)));
   sim::setDefaultProcessBackend(ProcessBackend::Thread);
   const std::string thread =
-      campaign::toJson(campaign::runCampaign(c, {.jobs = 2}));
+      campaign::toJson(campaign::runCampaign(c, campaign::withJobs(2)));
   EXPECT_EQ(fiber, thread);
 }
 
@@ -156,12 +156,12 @@ TEST(BackendEquivalence, FaultyCampaignReportByteIdentical) {
 
   sim::setDefaultProcessBackend(ProcessBackend::Fiber);
   const std::string fiber1 =
-      campaign::toJson(campaign::runCampaign(c, {.jobs = 1}));
+      campaign::toJson(campaign::runCampaign(c, campaign::withJobs(1)));
   const std::string fiber4 =
-      campaign::toJson(campaign::runCampaign(c, {.jobs = 4}));
+      campaign::toJson(campaign::runCampaign(c, campaign::withJobs(4)));
   sim::setDefaultProcessBackend(ProcessBackend::Thread);
   const std::string thread =
-      campaign::toJson(campaign::runCampaign(c, {.jobs = 2}));
+      campaign::toJson(campaign::runCampaign(c, campaign::withJobs(2)));
   EXPECT_EQ(fiber1, fiber4);
   EXPECT_EQ(fiber1, thread);
   // The report must show actual fault traffic, or this test proves nothing.

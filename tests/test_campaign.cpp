@@ -41,7 +41,7 @@ TEST(Runner, ResultsStayInDefinitionOrderDespiteLptScheduling) {
     s.run = [i](ScenarioContext&) { return Values{{"i", double(i)}}; };
     c.scenarios.push_back(std::move(s));
   }
-  const CampaignReport rep = campaign::runCampaign(c, {.jobs = 3});
+  const CampaignReport rep = campaign::runCampaign(c, campaign::withJobs(3));
   ASSERT_EQ(rep.scenarios.size(), 6u);
   for (int i = 0; i < 6; ++i) {
     EXPECT_EQ(rep.scenarios[size_t(i)].name, "s" + std::to_string(i));
@@ -67,7 +67,7 @@ TEST(Runner, ScenarioErrorsAreCapturedPerScenario) {
                          }});
   c.scenarios.push_back(
       {"good", 1.0, [](ScenarioContext&) { return Values{{"ok", 1.0}}; }});
-  const CampaignReport rep = campaign::runCampaign(c, {.jobs = 2});
+  const CampaignReport rep = campaign::runCampaign(c, campaign::withJobs(2));
   EXPECT_EQ(rep.failedCount(), 1);
   EXPECT_EQ(rep.scenarios[0].error, "boom");
   EXPECT_TRUE(rep.scenarios[0].values.empty());
@@ -82,7 +82,7 @@ TEST(Runner, JobsZeroMeansHardwareConcurrency) {
   c.name = "jobs0";
   c.scenarios.push_back(
       {"one", 1.0, [](ScenarioContext&) { return Values{}; }});
-  const CampaignReport rep = campaign::runCampaign(c, {.jobs = 0});
+  const CampaignReport rep = campaign::runCampaign(c, campaign::withJobs(0));
   EXPECT_GE(rep.jobsUsed, 1);  // clamped to scenario count
 }
 
@@ -117,8 +117,8 @@ TEST(Runner, MetricsSnapshotCarriesPerWorldRegistries) {
 // as a TSan report under CBSIM_SANITIZE=thread).
 TEST(Determinism, Fig8TinyReportIdenticalAcrossJobCounts) {
   const Campaign c = campaign::builtinCampaign("fig8-tiny");
-  const CampaignReport r1 = campaign::runCampaign(c, {.jobs = 1});
-  const CampaignReport r8 = campaign::runCampaign(c, {.jobs = 8});
+  const CampaignReport r1 = campaign::runCampaign(c, campaign::withJobs(1));
+  const CampaignReport r8 = campaign::runCampaign(c, campaign::withJobs(8));
   EXPECT_EQ(campaign::toJson(r1), campaign::toJson(r8));
   EXPECT_EQ(campaign::toCsv(r1), campaign::toCsv(r8));
   EXPECT_EQ(r8.jobsUsed, 8);
@@ -133,8 +133,8 @@ TEST(Determinism, ResilienceReportIdenticalAcrossJobCounts) {
   p.steps = 10;
   p.maxAttempts = 20;
   const Campaign c = campaign::resilienceCampaign(p);
-  const CampaignReport r1 = campaign::runCampaign(c, {.jobs = 1});
-  const CampaignReport r6 = campaign::runCampaign(c, {.jobs = 6});
+  const CampaignReport r1 = campaign::runCampaign(c, campaign::withJobs(1));
+  const CampaignReport r6 = campaign::runCampaign(c, campaign::withJobs(6));
   EXPECT_EQ(campaign::toJson(r1), campaign::toJson(r6));
   EXPECT_EQ(campaign::toCsv(r1), campaign::toCsv(r6));
   for (const auto& s : r1.scenarios) {

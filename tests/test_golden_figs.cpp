@@ -118,7 +118,7 @@ void checkOrUpdate(const std::string& fig, const std::vector<Entry>& entries) {
 /// run it once and share across tests (this binary is one ctest entry).
 const campaign::CampaignReport& fig8Report() {
   static const campaign::CampaignReport rep =
-      campaign::runCampaign(campaign::builtinCampaign("fig8"), {.jobs = 0});
+      campaign::runCampaign(campaign::builtinCampaign("fig8"), campaign::withJobs(0));
   return rep;
 }
 
@@ -286,7 +286,7 @@ TEST(Golden, ResilienceRecovery) {
   // campaign must complete despite a mid-run node kill (attempts >= 2),
   // with the time-to-solution and retransmit traffic frozen in the golden.
   const campaign::CampaignReport rep = campaign::runCampaign(
-      campaign::builtinCampaign("resilience-tiny"), {.jobs = 0});
+      campaign::builtinCampaign("resilience-tiny"), campaign::withJobs(0));
   ASSERT_EQ(rep.failedCount(), 0);
   std::vector<Entry> entries;
   double drops = 0, retransmits = 0;
