@@ -225,6 +225,16 @@ int main(int argc, char** argv) {
       cbsim::campaign::writeCsv(rep, csvOut);
     }
 
+    // Trace-write failures do not fail scenarios (the simulated results
+    // are valid); surface them here so nobody discovers a missing trace
+    // file days later.
+    for (const cbsim::campaign::ScenarioResult& s : rep.scenarios) {
+      if (!s.traceWarning.empty()) {
+        std::fprintf(stderr, "warning: scenario '%s': trace not written: %s\n",
+                     s.name.c_str(), s.traceWarning.c_str());
+      }
+    }
+
     const double serial = rep.hostScenarioSecSum();
     std::fprintf(stderr,
                  "campaign %-12s %3zu scenarios  jobs=%d  backend=%s  "

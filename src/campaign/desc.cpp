@@ -1,8 +1,10 @@
 #include "campaign/desc.hpp"
 
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
+#include "desc/cache.hpp"
 #include "fault/desc.hpp"
 #include "hw/desc.hpp"
 #include "pmpi/desc.hpp"
@@ -195,8 +197,11 @@ desc::Value toDesc(const CampaignSpec& spec) {
 
 CampaignSpec campaignSpecFromDescText(const std::string& text,
                                       const std::string& origin) {
-  const desc::Value v = desc::parse(text, origin);
-  desc::Reader r(v, "");
+  // Cached parse: builtins and repeatedly-run scenario files are parsed
+  // once per process; the schema bind below re-runs per call (it is cheap
+  // next to the parse and keeps error reporting per-origin).
+  const std::shared_ptr<const desc::Value> v = desc::parseCached(text, origin);
+  desc::Reader r(*v, "");
   return campaignSpecFromDesc(r);
 }
 

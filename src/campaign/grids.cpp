@@ -337,14 +337,23 @@ Campaign resilienceCampaign(const ResilienceParams& params) {
   c.description =
       "DEEP-ER-style resiliency matrix: node MTBF x SCR checkpoint-level "
       "scheme under exponential failure injection";
-  for (const CheckpointScheme& scheme : params.schemes) {
-    for (const double mtbf : params.mtbfSec) {
+  // Resolve the platform once per campaign: without this every scenario
+  // re-derived the DEEP-ER preset inside its own world construction (the
+  // per-world construction cost ROADMAP item 2 calls out).  The config is
+  // still copied into each closure, so worlds remain isolated.
+  ResilienceParams resolved = params;
+  if (!resolved.machine) {
+    resolved.machine =
+        hw::MachineConfig::deepEr(resolved.ranks + resolved.spareNodes, 2);
+  }
+  for (const CheckpointScheme& scheme : resolved.schemes) {
+    for (const double mtbf : resolved.mtbfSec) {
       Scenario s;
       s.name = std::string("resilience/") + scheme.label + "/mtbf" +
                fmt("%gs", mtbf);
       // Shorter MTBF -> more failures, retries and restart traffic.
       s.costHint = 1.0 / mtbf;
-      const ResilienceParams p = params;
+      const ResilienceParams p = resolved;
       const CheckpointScheme sch = scheme;
       s.run = [p, sch, mtbf](ScenarioContext& ctx) {
         return runResilienceScenario(p, sch, mtbf, ctx);

@@ -4,24 +4,34 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <numeric>
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 
 namespace cbsim::campaign {
 
 namespace {
 
-double hostSeconds() {
+// Monotonic timestamp in seconds.  steady_clock's epoch is arbitrary
+// (typically boot time), so the absolute value means nothing — only
+// differences do.  Every consumer in this file (and the hostSec /
+// hostElapsedSec fields it feeds) is a difference of two of these; none
+// may ever be compared against system_clock or rendered as a date.
+double monotonicSeconds() {
   using clock = std::chrono::steady_clock;
+  static_assert(clock::is_steady,
+                "monotonicSeconds() must never observe wall-clock jumps");
   return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
 }
 
-/// File-system-safe scenario name: '/' (and anything else exotic) to '_'.
-std::string traceFileName(const std::string& scenario) {
+/// File-system-safe trace-file stem: '/' (and anything else exotic) to '_'.
+std::string sanitizedStem(const std::string& scenario) {
   std::string out = scenario;
   for (char& c : out) {
     if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
@@ -29,16 +39,65 @@ std::string traceFileName(const std::string& scenario) {
       c = '_';
     }
   }
-  return out + ".trace.json";
+  return out;
 }
 
-/// Runs one scenario in its own world; never throws.
+std::string fnv1aHex(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+/// Trace file name per scenario (campaign definition order).  Sanitizing
+/// is lossy — "a/b" and "a_b" share the stem "a_b" — so scenarios whose
+/// stem collides get a short hash of their *original* name appended,
+/// deterministically, before any worker starts.  Without this, colliding
+/// scenarios silently overwrote each other's trace file.
+std::vector<std::string> traceFileNames(const Campaign& campaign) {
+  const std::size_t n = campaign.scenarios.size();
+  std::vector<std::string> stems(n);
+  std::unordered_map<std::string, int> uses;
+  for (std::size_t i = 0; i < n; ++i) {
+    stems[i] = sanitizedStem(campaign.scenarios[i].name);
+    ++uses[stems[i]];
+  }
+  std::vector<std::string> files(n);
+  std::set<std::string> taken;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string stem = stems[i];
+    if (uses[stem] > 1) {
+      stem += "-" + fnv1aHex(campaign.scenarios[i].name).substr(0, 8);
+    }
+    files[i] = stem + ".trace.json";
+    if (!taken.insert(files[i]).second) {
+      // A disambiguated name landing on another scenario's file would
+      // reintroduce the silent overwrite; names are campaign authoring
+      // errors, so fail loudly up front.
+      throw std::invalid_argument(
+          "campaign '" + campaign.name + "': trace file name '" + files[i] +
+          "' collides for scenario '" + campaign.scenarios[i].name + "'");
+    }
+  }
+  return files;
+}
+
+/// Runs one scenario in its own world; never throws.  A failure while
+/// *writing the trace file* after a completed run keeps the scenario's
+/// values/metrics and records a warning instead — the simulation result
+/// is valid regardless of what the host filesystem did afterwards.
 ScenarioResult runOne(const Scenario& s, std::uint64_t baseSeed,
-                      const std::string& traceDir) {
+                      const std::string& traceDir,
+                      const std::string& traceFile) {
   ScenarioResult r;
   r.name = s.name;
   r.seed = scenarioSeed(baseSeed, s.name);
-  const double t0 = hostSeconds();
+  const double t0 = monotonicSeconds();
   try {
     ScenarioContext ctx;
     ctx.seed = r.seed;
@@ -49,11 +108,19 @@ ScenarioResult runOne(const Scenario& s, std::uint64_t baseSeed,
       if (e.kind == obs::Metrics::Kind::Gauge) r.metrics[name + ".max"] = e.max;
     }
     if (!traceDir.empty()) {
-      const std::filesystem::path path =
-          std::filesystem::path(traceDir) / traceFileName(s.name);
-      std::ofstream os(path, std::ios::binary);
-      if (!os) throw std::runtime_error("cannot write " + path.string());
-      ctx.tracer.writeJson(os);
+      try {
+        const std::filesystem::path path =
+            std::filesystem::path(traceDir) / traceFile;
+        std::ofstream os(path, std::ios::binary);
+        if (!os) throw std::runtime_error("cannot write " + path.string());
+        ctx.tracer.writeJson(os);
+        os.flush();
+        if (!os) throw std::runtime_error("short write to " + path.string());
+      } catch (const std::exception& e) {
+        r.traceWarning = e.what();
+      } catch (...) {
+        r.traceWarning = "unknown exception writing trace";
+      }
     }
   } catch (const std::exception& e) {
     r.values.clear();
@@ -64,8 +131,43 @@ ScenarioResult runOne(const Scenario& s, std::uint64_t baseSeed,
     r.metrics.clear();
     r.error = "unknown exception";
   }
-  r.hostSec = hostSeconds() - t0;
+  r.hostSec = monotonicSeconds() - t0;
   return r;
+}
+
+/// Splits the LPT order into cost-aware dispatch batches.  One shared-
+/// counter fetch per *batch* instead of per scenario: with hundreds of
+/// tiny scenarios the counter cache line and the worker wakeups stop
+/// being the bottleneck, while expensive scenarios still ship alone so
+/// LPT balancing is preserved.  Batch count stays >= kBatchesPerJob per
+/// worker (when there are enough scenarios) so the pool drains evenly.
+std::vector<std::vector<std::size_t>> makeBatches(
+    const Campaign& campaign, const std::vector<std::size_t>& order,
+    int jobs) {
+  constexpr double kBatchesPerJob = 4.0;
+  // Cost floor: zero/negative hints still occupy dispatch budget, else a
+  // campaign of all-zero hints would collapse into one giant batch.
+  const auto costOf = [&](std::size_t k) {
+    return std::max(campaign.scenarios[k].costHint, 0.0) + 1.0;
+  };
+  double total = 0;
+  for (const std::size_t k : order) total += costOf(k);
+  const double target = total / (static_cast<double>(jobs) * kBatchesPerJob);
+
+  std::vector<std::vector<std::size_t>> batches;
+  std::vector<std::size_t> cur;
+  double acc = 0;
+  for (const std::size_t k : order) {
+    cur.push_back(k);
+    acc += costOf(k);
+    if (acc >= target) {
+      batches.push_back(std::move(cur));
+      cur.clear();
+      acc = 0;
+    }
+  }
+  if (!cur.empty()) batches.push_back(std::move(cur));
+  return batches;
 }
 
 }  // namespace
@@ -95,6 +197,12 @@ int CampaignReport::failedCount() const {
   return static_cast<int>(std::count_if(
       scenarios.begin(), scenarios.end(),
       [](const ScenarioResult& r) { return !r.error.empty(); }));
+}
+
+int CampaignReport::traceWarningCount() const {
+  return static_cast<int>(std::count_if(
+      scenarios.begin(), scenarios.end(),
+      [](const ScenarioResult& r) { return !r.traceWarning.empty(); }));
 }
 
 CampaignReport runCampaign(const Campaign& campaign,
@@ -128,32 +236,56 @@ CampaignReport runCampaign(const Campaign& campaign,
     return campaign.scenarios[a].costHint > campaign.scenarios[b].costHint;
   });
 
+  std::vector<std::string> traceFiles;
   if (!opts.traceDir.empty()) {
+    traceFiles = traceFileNames(campaign);  // collision check up front
     std::filesystem::create_directories(opts.traceDir);
   }
+  const auto traceFileOf = [&](std::size_t k) -> const std::string& {
+    static const std::string kNone;
+    return traceFiles.empty() ? kNone : traceFiles[k];
+  };
 
-  const double t0 = hostSeconds();
-  // Workers pop indices from a shared counter and write only their own
-  // result slot; the report's content is therefore interleaving-free.
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
+  const double t0 = monotonicSeconds();
+  // Workers claim cost-aware batches of the LPT order from one shared
+  // counter and collect results into their own buffer; the buffers are
+  // merged by scenario index after the join.  Each index is produced by
+  // exactly one worker, so the merged report — like the old write-your-
+  // own-slot scheme — is interleaving-free, but tiny scenarios no longer
+  // pay one counter fetch + potential wakeup each.
+  const std::vector<std::vector<std::size_t>> batches =
+      makeBatches(campaign, order, jobs);
+  std::atomic<std::size_t> nextBatch{0};
+  using IndexedResult = std::pair<std::size_t, ScenarioResult>;
+  std::vector<std::vector<IndexedResult>> buffers(
+      static_cast<std::size_t>(jobs));
+  const auto worker = [&](std::size_t w) {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      const std::size_t k = order[i];
-      rep.scenarios[k] =
-          runOne(campaign.scenarios[k], campaign.baseSeed, opts.traceDir);
+      const std::size_t b = nextBatch.fetch_add(1, std::memory_order_relaxed);
+      if (b >= batches.size()) return;
+      for (const std::size_t k : batches[b]) {
+        buffers[w].emplace_back(
+            k, runOne(campaign.scenarios[k], campaign.baseSeed, opts.traceDir,
+                      traceFileOf(k)));
+      }
     }
   };
   if (jobs == 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(jobs));
-    for (int j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (int j = 0; j < jobs; ++j) {
+      pool.emplace_back(worker, static_cast<std::size_t>(j));
+    }
     for (std::thread& t : pool) t.join();
   }
-  rep.hostElapsedSec = hostSeconds() - t0;
+  for (std::vector<IndexedResult>& buf : buffers) {
+    for (IndexedResult& ir : buf) {
+      rep.scenarios[ir.first] = std::move(ir.second);
+    }
+  }
+  rep.hostElapsedSec = monotonicSeconds() - t0;
 
   if (campaign.derive) rep.derived = campaign.derive(rep.scenarios);
   return rep;

@@ -5,14 +5,23 @@
 // whose content — and hence every serialization of it — is independent of
 // the worker count and of thread interleaving.
 //
+// Dispatch: scenarios are sorted expensive-first (LPT) and split into
+// cost-aware batches; workers claim whole batches from one shared counter
+// (one fetch + one potential wakeup per batch, not per scenario — the
+// difference between positive and negative scaling when scenarios are
+// tiny) and collect results into per-worker buffers.
+//
 // Determinism contract:
-//   * results live in a pre-sized vector indexed by scenario definition
-//     order; workers only ever write their own slot,
+//   * each scenario index is executed by exactly one worker; the
+//     per-worker buffers are merged into the definition-order result
+//     vector by scenario index after the join,
 //   * per-scenario seeds derive from (baseSeed, name), not from scheduling,
-//   * host wall-clock is recorded for diagnostics but excluded from the
-//     report writers (report.hpp).
+//   * host timing is recorded for diagnostics only — it is a difference of
+//     monotonic (steady_clock) readings, never wall-clock time — and is
+//     excluded from the report writers (report.hpp).
 // Under this contract `--jobs 1` and `--jobs N` produce byte-identical
-// reports (regression-tested, including under TSan).
+// reports (regression-tested, including under TSan and with the desc
+// construction cache on or off).
 
 #include <cstdint>
 #include <vector>
@@ -28,8 +37,11 @@ struct RunnerOptions {
   /// When non-empty, scenarios record full timelines (instead of the
   /// default metrics-only mode) and each one's Chrome trace JSON is
   /// written to `<traceDir>/<scenario>.trace.json` ('/' in scenario names
-  /// becomes '_').  Trace files do not feed into the report, so the
-  /// determinism contract is untouched.
+  /// becomes '_'; scenarios whose sanitized names collide — "a/b" vs
+  /// "a_b" — get a short name-hash suffix, checked before any scenario
+  /// runs).  Trace files do not feed into the report, so the determinism
+  /// contract is untouched; a failed trace write keeps the scenario's
+  /// results and sets ScenarioResult::traceWarning.
   std::string traceDir;
 };
 
@@ -48,7 +60,8 @@ struct CampaignReport {
   std::vector<ScenarioResult> scenarios;
   /// Cross-scenario derivations (Campaign::derive), if any.
   Values derived;
-  /// Host seconds for the whole run (diagnostic; not serialized).
+  /// Host seconds for the whole run — a monotonic-clock difference
+  /// (diagnostic; not serialized, not wall-clock time).
   double hostElapsedSec = 0;
   /// Worker threads actually used (diagnostic; not serialized).
   int jobsUsed = 1;
@@ -57,6 +70,8 @@ struct CampaignReport {
   /// CLI reports speedup against.
   [[nodiscard]] double hostScenarioSecSum() const;
   [[nodiscard]] int failedCount() const;
+  /// Scenarios that completed but could not write their trace file.
+  [[nodiscard]] int traceWarningCount() const;
 };
 
 /// Runs every scenario (expensive ones first), merges, derives.

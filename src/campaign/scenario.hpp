@@ -61,7 +61,14 @@ struct ScenarioResult {
   Values metrics;
   /// Non-empty when the scenario threw; values/metrics are then empty.
   std::string error;
-  /// Host wall-clock seconds (diagnostic only; never written to reports).
+  /// Non-empty when the scenario completed but its post-run trace-file
+  /// write failed; values/metrics are KEPT (the simulation result is valid
+  /// regardless of the host filesystem).  Host-environment dependent, so
+  /// never serialized into reports — the CLI surfaces it on stderr.
+  std::string traceWarning;
+  /// Host seconds spent on this scenario — a *difference* of two
+  /// monotonic-clock readings (diagnostic only; never written to reports,
+  /// never comparable to wall-clock time).
   double hostSec = 0;
 };
 

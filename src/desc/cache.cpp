@@ -1,0 +1,62 @@
+#include "desc/cache.hpp"
+
+#include <atomic>
+
+#include "desc/json.hpp"
+
+namespace cbsim::desc {
+
+namespace {
+
+std::atomic<bool> gCacheEnabled{true};
+
+// The registry outlives every cache: caches are function-local statics,
+// and this mutex/vector pair is created before the first cache registers
+// (construct-on-first-use) and intentionally leaked, so clear/info calls
+// during static destruction never touch a dead object.
+std::mutex& registryMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+std::vector<CacheBase*>& registry() {
+  static std::vector<CacheBase*>* r = new std::vector<CacheBase*>;
+  return *r;
+}
+
+}  // namespace
+
+bool constructionCacheEnabled() {
+  return gCacheEnabled.load(std::memory_order_relaxed);
+}
+
+void setConstructionCacheEnabled(bool on) {
+  gCacheEnabled.store(on, std::memory_order_relaxed);
+}
+
+void clearConstructionCaches() {
+  const std::lock_guard<std::mutex> lock(registryMutex());
+  for (CacheBase* c : registry()) c->clear();
+}
+
+std::vector<CacheInfo> constructionCacheInfo() {
+  const std::lock_guard<std::mutex> lock(registryMutex());
+  std::vector<CacheInfo> out;
+  out.reserve(registry().size());
+  for (const CacheBase* c : registry()) out.push_back({c->name(), c->stats()});
+  return out;
+}
+
+CacheBase::CacheBase(std::string name) : name_(std::move(name)) {
+  const std::lock_guard<std::mutex> lock(registryMutex());
+  registry().push_back(this);
+}
+
+std::shared_ptr<const Value> parseCached(std::string_view text,
+                                         std::string_view origin) {
+  static MemoCache<Value>& cache = *new MemoCache<Value>("desc.parse");
+  return cache.get(std::string(text),
+                   [&]() -> Value { return parse(text, origin); });
+}
+
+}  // namespace cbsim::desc
