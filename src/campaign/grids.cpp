@@ -18,6 +18,7 @@
 #include "io/beegfs.hpp"
 #include "io/local_store.hpp"
 #include "io/nam_store.hpp"
+#include "mc/choice.hpp"
 #include "pmpi/env.hpp"
 #include "pmpi/runtime.hpp"
 #include "rm/resource_manager.hpp"
@@ -210,7 +211,12 @@ Values runResilienceScenario(const ResilienceParams& p,
 
   rm::ResourceManager resources(machine);
   pmpi::AppRegistry registry;
+  // The production stack runs with the default chooser attached — the
+  // campaign goldens thereby lock in that routing match/retransmit
+  // nondeterminism through mc choice points left this path byte-identical.
+  mc::DeterministicChooser defaultChooser;
   pmpi::Runtime rt(machine, fabric, resources, registry, p.protocol);
+  rt.setChooser(&defaultChooser);
   io::BeeGfs fs(machine, fabric);
   io::LocalStore local(machine, fabric);
   io::NamStore nam(machine, fabric);

@@ -1,0 +1,87 @@
+#pragma once
+
+// The choice-point protocol: every source of scheduling nondeterminism in
+// the simulator is funneled through one narrow interface so a model
+// checker (mc/explorer.hpp) can enumerate schedules and a replayer can
+// force a specific one.
+//
+// A ChoicePoint is an *assignment* site, not a context switch: the caller
+// has already enumerated its legal alternatives (eligible match heads,
+// retransmit slots, fault instants) in a deterministic order, and the
+// attached Chooser picks one by index.  Index 0 is always "what the
+// simulator did before choice points existed", so DeterministicChooser —
+// the only chooser the production stack ever attaches — reproduces the
+// historical byte-identical behavior, and a detached chooser (nullptr)
+// costs nothing at all.
+//
+// This header is intentionally dependency-free (no sim/, no pmpi/): the
+// layers that *host* choice points include it without creating a cycle
+// with the mc library that *drives* them.
+
+#include <cstdint>
+#include <span>
+
+namespace cbsim::mc {
+
+/// What kind of nondeterminism a choice point exposes.  The site is part
+/// of a decision's identity: replay validates it and the independence
+/// relation used for pruning is defined over it.
+enum class Site : std::uint8_t {
+  /// A wildcard (MPI_ANY_SOURCE) receive found eligible messages from
+  /// more than one source.  Alternatives are the per-source FIFO heads —
+  /// choosing any of them preserves MPI's non-overtaking rule.
+  /// locus = destination proc index; key = source proc index.
+  PmpiMatch = 0,
+  /// A reliable-transport frame timed out and will be retransmitted.
+  /// Alternatives: send the frame now (0) or after a one-event jitter (1),
+  /// which lets retransmissions reorder against same-time traffic.
+  /// locus = (srcProc << 32) | dstProc; key = the slot index.
+  Retransmit = 1,
+  /// A fault-injection instant, quantized to event-boundary slots.
+  /// Alternatives are successive offsets of one quantum each.
+  /// locus = victim node id; key = the slot index.
+  FaultInstant = 2,
+};
+
+[[nodiscard]] constexpr const char* toString(Site s) {
+  switch (s) {
+    case Site::PmpiMatch: return "pmpi-match";
+    case Site::Retransmit: return "retransmit";
+    case Site::FaultInstant: return "fault-instant";
+  }
+  return "?";
+}
+
+/// One consultation of a Chooser.  `altKeys` names each alternative with a
+/// stable identity (source proc index, time slot, ...) — the explorer
+/// records keys rather than raw indices so equivalent schedules can be
+/// recognized even when enumeration order shifts between runs.
+struct ChoicePoint {
+  Site site;
+  std::uint64_t locus = 0;
+  std::span<const std::uint64_t> altKeys;
+
+  [[nodiscard]] int alternatives() const {
+    return static_cast<int>(altKeys.size());
+  }
+};
+
+/// Picks one alternative of a choice point.  Implementations must return a
+/// value in [0, cp.alternatives()); callers only consult the chooser when
+/// there are at least two alternatives.
+class Chooser {
+ public:
+  virtual ~Chooser() = default;
+  virtual int choose(const ChoicePoint& cp) = 0;
+};
+
+/// The production default: always alternative 0, i.e. exactly the behavior
+/// the simulator had before nondeterminism became a first-class input.
+/// Attaching it (or no chooser at all) keeps every run byte-identical to
+/// the historical goldens.
+class DeterministicChooser final : public Chooser {
+ public:
+  int choose(const ChoicePoint&) override { return 0; }
+};
+
+}  // namespace cbsim::mc

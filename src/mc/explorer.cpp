@@ -1,0 +1,168 @@
+#include "mc/explorer.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_set>
+#include <utility>
+
+namespace cbsim::mc {
+
+int RecordingChooser::choose(const ChoicePoint& cp) {
+  const int n = cp.alternatives();
+  int pick = 0;
+  if (trace_.size() < forced_.size()) {
+    pick = forced_[trace_.size()];
+    if (pick < 0 || pick >= n) {
+      diverged_ = true;
+      pick = 0;
+    }
+  }
+  Decision d;
+  d.site = cp.site;
+  d.locus = cp.locus;
+  d.chosen = pick;
+  d.alternatives = n;
+  d.key = cp.altKeys[static_cast<std::size_t>(pick)];
+  trace_.push_back(d);
+  return pick;
+}
+
+bool dependent(const Decision& a, const Decision& b) {
+  // A fault instant kills ranks and drops NVMe state — it does not
+  // commute with anything.
+  if (a.site == Site::FaultInstant || b.site == Site::FaultInstant) {
+    return true;
+  }
+  // Same site at the same locus: obviously ordered.
+  if (a.site == b.site && a.locus == b.locus) return true;
+
+  const auto matchProc = [](const Decision& d) { return d.locus; };
+  const auto chanSrc = [](const Decision& d) { return d.locus >> 32; };
+  const auto chanDst = [](const Decision& d) { return d.locus & 0xffffffffu; };
+
+  // A retransmit on channel s->d perturbs traffic seen by both endpoint
+  // procs; a match decision at either endpoint depends on it.
+  if (a.site == Site::Retransmit && b.site == Site::PmpiMatch) {
+    return matchProc(b) == chanSrc(a) || matchProc(b) == chanDst(a);
+  }
+  if (b.site == Site::Retransmit && a.site == Site::PmpiMatch) {
+    return matchProc(a) == chanSrc(b) || matchProc(a) == chanDst(b);
+  }
+  // Two retransmit channels sharing an endpoint contend for its link.
+  if (a.site == Site::Retransmit && b.site == Site::Retransmit) {
+    return chanSrc(a) == chanSrc(b) || chanSrc(a) == chanDst(b) ||
+           chanDst(a) == chanSrc(b) || chanDst(a) == chanDst(b);
+  }
+  // Match decisions at different procs commute.
+  return false;
+}
+
+namespace {
+
+/// Total order used to canonicalize commutable runs of decisions.
+std::tuple<int, std::uint64_t, std::uint64_t> orderKey(const Decision& d) {
+  return {static_cast<int>(d.site), d.locus, d.key};
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::vector<int> choicesOf(const std::vector<Decision>& trace) {
+  std::vector<int> out;
+  out.reserve(trace.size());
+  for (const Decision& d : trace) out.push_back(d.chosen);
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t canonicalHash(std::vector<Decision> trace) {
+  // Bubble adjacent independent decisions into sorted order.  Each swap
+  // strictly reduces the number of orderKey inversions, so this
+  // terminates; only independent pairs move, so the relative order of
+  // dependent decisions — the part that carries meaning — is preserved.
+  bool swapped = true;
+  while (swapped) {
+    swapped = false;
+    for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+      if (!dependent(trace[i], trace[i + 1]) &&
+          orderKey(trace[i + 1]) < orderKey(trace[i])) {
+        std::swap(trace[i], trace[i + 1]);
+        swapped = true;
+      }
+    }
+  }
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const Decision& d : trace) {
+    h = fnv1a(h, static_cast<std::uint64_t>(d.site));
+    h = fnv1a(h, d.locus);
+    h = fnv1a(h, static_cast<std::uint64_t>(d.alternatives));
+    // A retransmit choice is pure timing jitter: when both slots lead to
+    // the same downstream decisions, the runs are behaviorally identical
+    // and should collapse — so its picked value is masked out.
+    h = fnv1a(h, d.site == Site::Retransmit ? 0 : d.key);
+  }
+  return h;
+}
+
+ExploreResult explore(const RunFn& run, const ExploreOptions& opt) {
+  ExploreResult res;
+  std::vector<std::vector<int>> stack;
+  stack.push_back({});
+  std::unordered_set<std::uint64_t> expanded;
+
+  while (!stack.empty()) {
+    if (res.schedulesRun >= opt.maxSchedules) {
+      res.deferredBranches += static_cast<long>(stack.size());
+      break;
+    }
+    const std::vector<int> prefix = std::move(stack.back());
+    stack.pop_back();
+
+    RecordingChooser chooser(prefix);
+    std::string msg = run(chooser);
+    ++res.schedulesRun;
+    const std::vector<Decision>& trace = chooser.trace();
+
+    if (!msg.empty()) {
+      res.violation = true;
+      res.message = std::move(msg);
+      res.badSchedule = choicesOf(trace);
+      res.badTrace = trace;
+      break;
+    }
+    if (opt.sleepSets && !expanded.insert(canonicalHash(trace)).second) {
+      ++res.equivalentPruned;
+      continue;
+    }
+    // Branch on every decision past the forced prefix.  Shallow deviations
+    // are pushed first so the stack top — explored next — is the deepest
+    // one: classic DFS order, bounded frontier.
+    const std::vector<int> executed = choicesOf(trace);
+    for (std::size_t i = prefix.size(); i < trace.size(); ++i) {
+      if (i >= static_cast<std::size_t>(opt.maxDepth)) {
+        ++res.deferredBranches;
+        break;
+      }
+      for (int alt = 1; alt < trace[i].alternatives; ++alt) {
+        std::vector<int> next(executed.begin(),
+                              executed.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+        next[i] = alt;
+        stack.push_back(std::move(next));
+      }
+    }
+  }
+  return res;
+}
+
+std::string replay(const RunFn& run, const std::vector<int>& schedule) {
+  RecordingChooser chooser(schedule);
+  return run(chooser);
+}
+
+}  // namespace cbsim::mc

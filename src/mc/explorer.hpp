@@ -1,0 +1,116 @@
+#pragma once
+
+// Depth-first schedule exploration over choice points (mc/choice.hpp).
+//
+// The model under test is a *deterministic function of its choices*: a
+// scenario closure builds a fresh world, runs it to completion with a
+// chooser attached, checks its invariants and returns a violation message
+// (empty = clean).  Re-running with the same forced choices reproduces the
+// same schedule bit-for-bit, which is what makes a dumped trace a one-flag
+// deterministic repro.
+//
+// The explorer enumerates schedules DFS-style: run once, then for every
+// decision past the forced prefix push a deviation (same prefix, next
+// alternative) onto an explicit stack.  Pruning ("sleep sets" in
+// DPOR-lite spirit) collapses runs whose decision sequences are equal up
+// to (a) commuting adjacent independent decisions and (b) the value of
+// pure timing-jitter choices — see canonicalHash() for the exact relation
+// and DESIGN.md section 9 for its (approximate) soundness argument.
+// --no-sleep-sets turns the pruning off for a ground-truth enumeration.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mc/choice.hpp"
+
+namespace cbsim::mc {
+
+/// One recorded Chooser consultation.
+struct Decision {
+  Site site = Site::PmpiMatch;
+  std::uint64_t locus = 0;
+  int chosen = 0;        ///< index picked (the replay format)
+  int alternatives = 0;  ///< how many were legal at this point
+  std::uint64_t key = 0; ///< altKeys[chosen] — stable identity of the pick
+};
+
+/// Chooser that forces a prefix of decisions and records everything.
+/// Past the end of the prefix it behaves like DeterministicChooser
+/// (alternative 0), which makes every forced prefix a complete schedule.
+class RecordingChooser final : public Chooser {
+ public:
+  RecordingChooser() = default;
+  explicit RecordingChooser(std::vector<int> forced)
+      : forced_(std::move(forced)) {}
+
+  int choose(const ChoicePoint& cp) override;
+
+  [[nodiscard]] const std::vector<Decision>& trace() const { return trace_; }
+  /// True when a forced index was out of range for its choice point (the
+  /// trace no longer matches the binary / scenario it was recorded on).
+  /// The chooser falls back to alternative 0 and keeps going.
+  [[nodiscard]] bool diverged() const { return diverged_; }
+
+ private:
+  std::vector<int> forced_;
+  std::vector<Decision> trace_;
+  bool diverged_ = false;
+};
+
+/// A scenario run: fresh world, chooser attached, invariants checked.
+/// Returns "" when every invariant held, else a violation message.
+using RunFn = std::function<std::string(Chooser&)>;
+
+struct ExploreOptions {
+  /// Hard budget on executed schedules; exploration stops (reported as
+  /// incomplete) when it is exhausted.
+  long maxSchedules = 2000;
+  /// Decisions beyond this depth are executed but not branched on.
+  int maxDepth = 512;
+  /// Equivalence pruning of commutative independent choices.
+  bool sleepSets = true;
+};
+
+struct ExploreResult {
+  long schedulesRun = 0;
+  /// Runs recognized as equivalent to an already-expanded schedule; their
+  /// invariants were still checked, only their deviations were skipped.
+  long equivalentPruned = 0;
+  /// Branch points dropped because of maxSchedules / maxDepth.
+  long deferredBranches = 0;
+  bool violation = false;
+  std::string message;            ///< first violation message
+  std::vector<int> badSchedule;   ///< forced-choice list reproducing it
+  std::vector<Decision> badTrace; ///< full decision record of that run
+
+  /// True when the explored state space was covered exhaustively (modulo
+  /// pruning) without hitting a budget.
+  [[nodiscard]] bool complete() const {
+    return !violation && deferredBranches == 0;
+  }
+};
+
+/// DFS schedule enumeration.  Stops at the first violation.
+[[nodiscard]] ExploreResult explore(const RunFn& run,
+                                    const ExploreOptions& opt = {});
+
+/// Re-runs one schedule with all choices forced; returns the violation
+/// message ("" = the schedule is clean on this binary).
+[[nodiscard]] std::string replay(const RunFn& run,
+                                 const std::vector<int>& schedule);
+
+/// Approximate dependence relation between two decisions (see DESIGN.md
+/// section 9).  Independent decisions may commute without changing the
+/// behavior they describe; anything involving a fault instant is treated
+/// as dependent on everything.
+[[nodiscard]] bool dependent(const Decision& a, const Decision& b);
+
+/// Canonical fingerprint of a decision sequence: adjacent independent
+/// decisions are bubble-sorted into a fixed order and pure timing-jitter
+/// values (Retransmit keys) are masked, then the result is hashed.  Two
+/// schedules with equal hashes explored the same protocol-level behavior.
+[[nodiscard]] std::uint64_t canonicalHash(std::vector<Decision> trace);
+
+}  // namespace cbsim::mc

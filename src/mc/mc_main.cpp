@@ -1,0 +1,170 @@
+// cbsim_mc — schedule-exploration model checker for the reliable-transport
+// and checkpoint-restart machinery.
+//
+//   cbsim_mc --scenario-file examples/mc/drop-retransmit-race.json
+//   cbsim_mc --scenario-file f.json --replay f.trace.json
+//
+// Exit codes: 0 = explored clean (or replay clean), 1 = invariant
+// violation (a repro trace is written), 2 = usage or input error.
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <optional>
+#include <string>
+
+#include "desc/json.hpp"
+#include "desc/schema.hpp"
+#include "mc/desc.hpp"
+#include "mc/scenarios.hpp"
+#include "mc/trace.hpp"
+
+namespace {
+
+using namespace cbsim;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --scenario-file FILE [options]\n"
+      "\n"
+      "  --scenario-file FILE   exploration target (desc JSON, see "
+      "examples/mc/)\n"
+      "  --validate             parse + validate the scenario, then exit\n"
+      "  --dump                 print the canonical scenario form, then exit\n"
+      "  --max-schedules N      override the scenario's schedule budget\n"
+      "  --max-depth N          override the scenario's branching depth\n"
+      "  --no-sleep-sets        exhaustive enumeration (no equivalence "
+      "pruning)\n"
+      "  --break-dedup          enable the seeded transport defect "
+      "(test-only)\n"
+      "  --trace-out PATH       where to write a violating trace\n"
+      "                         (default: <scenario-name>.trace.json)\n"
+      "  --replay PATH          re-run one schedule from a trace file "
+      "instead of exploring\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenarioFile;
+  std::string traceOut;
+  std::string replayFile;
+  bool validateOnly = false;
+  bool dumpOnly = false;
+  bool noSleepSets = false;
+  bool breakDedup = false;
+  std::optional<long> maxSchedules;
+  std::optional<int> maxDepth;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto needValue = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenario-file") {
+      scenarioFile = needValue();
+    } else if (arg == "--validate") {
+      validateOnly = true;
+    } else if (arg == "--dump") {
+      dumpOnly = true;
+    } else if (arg == "--max-schedules") {
+      maxSchedules = std::strtol(needValue(), nullptr, 10);
+    } else if (arg == "--max-depth") {
+      maxDepth = static_cast<int>(std::strtol(needValue(), nullptr, 10));
+    } else if (arg == "--no-sleep-sets") {
+      noSleepSets = true;
+    } else if (arg == "--break-dedup") {
+      breakDedup = true;
+    } else if (arg == "--trace-out") {
+      traceOut = needValue();
+    } else if (arg == "--replay") {
+      replayFile = needValue();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument %s\n", argv[0], arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (scenarioFile.empty()) return usage(argv[0]);
+
+  try {
+    const desc::Value doc =
+        desc::parse(desc::readFile(scenarioFile), scenarioFile);
+    mc::McScenario scenario = mc::scenarioFromDoc(doc, scenarioFile);
+    scenario.breakDedup = breakDedup;
+    if (maxSchedules) scenario.budget.maxSchedules = *maxSchedules;
+    if (maxDepth) scenario.budget.maxDepth = *maxDepth;
+    if (noSleepSets) scenario.budget.sleepSets = false;
+
+    if (dumpOnly) {
+      std::fputs(mc::dumpScenario(scenario).c_str(), stdout);
+      return 0;
+    }
+    if (validateOnly) {
+      // makeRun validates the family-specific parameters too.
+      (void)mc::makeRun(scenario);
+      std::printf("%s: ok (%s, family %s)\n", scenarioFile.c_str(),
+                  scenario.name.c_str(), scenario.family.c_str());
+      return 0;
+    }
+
+    if (!replayFile.empty()) {
+      const mc::Trace trace = mc::readTraceFile(replayFile);
+      if (trace.scenario != scenario.name) {
+        std::fprintf(stderr,
+                     "%s: trace was recorded for scenario \"%s\", file "
+                     "describes \"%s\"\n",
+                     argv[0], trace.scenario.c_str(), scenario.name.c_str());
+        return 2;
+      }
+      const std::string msg =
+          mc::replay(mc::makeRun(scenario), trace.choices);
+      if (msg.empty()) {
+        std::printf("replay %s: schedule is clean on this binary\n",
+                    scenario.name.c_str());
+        return 0;
+      }
+      std::printf("replay %s: VIOLATION: %s\n", scenario.name.c_str(),
+                  msg.c_str());
+      return 1;
+    }
+
+    const mc::ExploreResult res = mc::exploreScenario(scenario);
+    if (!res.violation) {
+      std::printf(
+          "mc %s: %ld schedule(s) explored clean (%ld pruned as "
+          "equivalent, %ld deferred on budget)%s\n",
+          scenario.name.c_str(), res.schedulesRun, res.equivalentPruned,
+          res.deferredBranches,
+          res.complete() ? "" : " — INCOMPLETE, raise the budget");
+      return 0;
+    }
+    mc::Trace trace;
+    trace.scenario = scenario.name;
+    trace.message = res.message;
+    trace.choices = res.badSchedule;
+    trace.decisions = res.badTrace;
+    const std::string out =
+        traceOut.empty() ? scenario.name + ".trace.json" : traceOut;
+    mc::writeTraceFile(out, trace);
+    std::printf("mc %s: VIOLATION after %ld schedule(s): %s\n",
+                scenario.name.c_str(), res.schedulesRun, res.message.c_str());
+    std::printf("trace written to %s\n", out.c_str());
+    std::printf("repro: %s --scenario-file %s%s --replay %s\n", argv[0],
+                scenarioFile.c_str(), breakDedup ? " --break-dedup" : "",
+                out.c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 2;
+  }
+}

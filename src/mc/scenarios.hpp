@@ -1,0 +1,90 @@
+#pragma once
+
+// Exploration scenarios: small, fully-specified worlds whose every
+// scheduling decision flows through mc choice points, paired with the
+// invariants the reliable transport and the recovery loop promise.
+//
+// Two families:
+//
+//   message-race        S senders stream M tagged messages each into one
+//                       wildcard receiver over the reliable transport,
+//                       optionally through a flapping/dropping fabric.
+//                       Invariants: exactly-once, in-order per source pair,
+//                       nothing lost, bounded-time drain.
+//
+//   checkpoint-restart  R ranks step a deterministic state forward under
+//                       multi-level SCR checkpointing; one node failure
+//                       (instant chosen by the explorer) forces a
+//                       supervised relaunch onto a spare.  Invariants:
+//                       restored state bit-equal to the checkpointed
+//                       bytes, run completes, bounded-time drain.
+//
+// A scenario is compiled into an mc::RunFn: each invocation builds a fresh
+// isolated world (same seed, same configuration), attaches the chooser and
+// returns "" or a violation message — the deterministic-replay contract
+// the explorer needs.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fault/plan.hpp"
+#include "mc/explorer.hpp"
+#include "pmpi/types.hpp"
+#include "scr/scr.hpp"
+
+namespace cbsim::mc {
+
+struct McBudget {
+  long maxSchedules = 2000;
+  int maxDepth = 512;
+  bool sleepSets = true;
+};
+
+struct McScenario {
+  std::string name = "unnamed";
+  std::string family = "message-race";
+  std::uint64_t seed = 0xcb51742a5ce1ull;
+  /// Simulated-seconds bound for the bounded-drain invariant: a clean
+  /// schedule must fully finish within it.
+  double drainSec = 30.0;
+  /// Enables the seeded transport defect (ProtocolParams::
+  /// brokenDedupForTest); never settable from a description file.
+  bool breakDedup = false;
+  pmpi::ProtocolParams protocol;  ///< reliable=true forced by makeRun
+  std::optional<fault::FaultPlan> fault;
+  McBudget budget;
+
+  // ---- message-race ---------------------------------------------------------
+  int senders = 2;
+  int messages = 2;
+  /// Receiver-side timing: a warmup before the first recv and per-message
+  /// processing after each one.  Both let frames pile up in the unexpected
+  /// queue, which is where wildcard match freedom (and thus choice points)
+  /// lives — a receiver that always keeps up never faces a choice.
+  double recvWarmupUs = 0.0;
+  double recvWorkUs = 0.0;
+
+  // ---- checkpoint-restart ---------------------------------------------------
+  int ranks = 2;
+  int steps = 6;
+  double stepSec = 0.004;
+  std::size_t stateBytes = 4096;
+  int spareNodes = 1;
+  double repairSec = 0.05;
+  /// Base failure instant; the chooser shifts it by 0-2 quanta.
+  double failAtSec = 0.008;
+  double faultQuantumSec = 0.002;
+  int maxAttempts = 8;
+  double restartDelaySec = 0.001;
+  scr::ScrConfig scr;
+};
+
+/// Compiles the scenario into a replayable run function.  Throws
+/// std::invalid_argument on an unknown family or nonsensical parameters.
+[[nodiscard]] RunFn makeRun(const McScenario& s);
+
+/// explore() with the scenario's own budget.
+[[nodiscard]] ExploreResult exploreScenario(const McScenario& s);
+
+}  // namespace cbsim::mc

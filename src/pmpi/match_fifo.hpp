@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -40,6 +41,36 @@ class MatchFifo {
       return out;
     }
     return std::nullopt;
+  }
+
+  /// Calls `fn(slot, value)` for every live element `pred` accepts, in
+  /// insertion order.  The slot indices remain valid until the next
+  /// mutating call and may be handed to extractAt() — the hook the mc
+  /// choice point uses to enumerate eligible match candidates before
+  /// committing to one.
+  template <typename Pred, typename Fn>
+  void forEachMatch(Pred&& pred, Fn&& fn) const {
+    for (std::size_t i = head_; i < slots_.size(); ++i) {
+      if (slots_[i].live && pred(static_cast<const T&>(slots_[i].value))) {
+        fn(i, static_cast<const T&>(slots_[i].value));
+      }
+    }
+  }
+
+  /// Removes and returns the element at `slot` (obtained from
+  /// forEachMatch since the last mutation).  Extracting any candidate
+  /// keeps the remaining elements in insertion order — per-source FIFO is
+  /// a property of what the *caller* enumerates, not of this container.
+  T extractAt(std::size_t slot) {
+    if (slot >= slots_.size() || !slots_[slot].live) {
+      throw std::logic_error("MatchFifo::extractAt: stale slot index");
+    }
+    Slot& s = slots_[slot];
+    T out = std::move(s.value);
+    s.live = false;
+    --live_;
+    afterErase();
+    return out;
   }
 
   /// First element (in insertion order) that `pred` accepts, or nullptr.

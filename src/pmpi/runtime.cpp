@@ -185,8 +185,37 @@ Request Runtime::postRecv(Proc& dst, Comm c, int srcRank, int tag, Bytes buf) {
   req->tagFilter = tag;
   req->recvBuf = buf;
 
-  if (std::optional<Proc::UnexpectedMsg> hit = dst.unexpected.extractFirst(
-          [&](const Proc::UnexpectedMsg& m) { return matches(*req, m); })) {
+  const auto pred = [&](const Proc::UnexpectedMsg& m) {
+    return matches(*req, m);
+  };
+  std::optional<Proc::UnexpectedMsg> hit;
+  if (chooser_ == nullptr) {
+    hit = dst.unexpected.extractFirst(pred);
+  } else {
+    // Choice point: enumerate the per-source FIFO heads among the eligible
+    // messages.  MPI's non-overtaking rule fixes the order *within* each
+    // source, so the only legitimate freedom is which source a wildcard
+    // receive drains first; alternative 0 is the overall-first eligible
+    // message, i.e. exactly what extractFirst would have taken.
+    std::vector<std::size_t> slots;
+    std::vector<std::uint64_t> keys;
+    dst.unexpected.forEachMatch(
+        pred, [&](std::size_t slot, const Proc::UnexpectedMsg& m) {
+          const auto key = static_cast<std::uint64_t>(m.srcProcIdx);
+          if (std::find(keys.begin(), keys.end(), key) != keys.end()) return;
+          slots.push_back(slot);
+          keys.push_back(key);
+        });
+    if (!slots.empty()) {
+      std::size_t pick = 0;
+      if (slots.size() > 1) {
+        pick = static_cast<std::size_t>(chooser_->choose(
+            {mc::Site::PmpiMatch, static_cast<std::uint64_t>(dst.idx), keys}));
+      }
+      hit = dst.unexpected.extractAt(slots[pick]);
+    }
+  }
+  if (hit) {
     Proc::UnexpectedMsg msg = std::move(*hit);
     if (obs::Tracer* tr = engine().tracer()) {
       traceQueueDepth(engine(), *tr, "pmpi.unexpected.depth", -1.0);
@@ -389,6 +418,19 @@ void Runtime::onFrameArrive(int srcIdx, int dstIdx, std::uint32_t seq) {
   fabric_.send(dstEp, srcEp, params_.ackBytes, [this, srcIdx, dstIdx, seq] {
     onFrameAck(srcIdx, dstIdx, seq);
   });
+  if (params_.brokenDedupForTest) {
+    // TEST-ONLY seeded defect (mc acceptance criterion): the dedup and
+    // reorder guards are bypassed and every arrival — spurious retransmits
+    // and gap-jumping later frames alike — goes straight to matching.  The
+    // exploration corpus must flag this as an exactly-once / in-order
+    // violation; never set outside the model checker's own tests.
+    const auto bit = ch.inflight.find(seq);
+    if (bit != ch.inflight.end() && bit->second.deliver) {
+      const std::function<void()> dup = bit->second.deliver;  // stays armed
+      dup();
+    }
+    return;
+  }
   if (seq < ch.nextDeliverSeq || ch.reorder.count(seq) != 0) {
     // Spurious retransmit of a frame already handed over (or queued).
     if (obs::Tracer* tr = engine().tracer()) {
@@ -438,6 +480,21 @@ void Runtime::onFrameTimeout(int srcIdx, int dstIdx, std::uint32_t seq) {
   fabric_.noteRetransmit();
   if (obs::Tracer* tr = engine().tracer()) {
     tr->metrics().add("pmpi.transport.retransmits");
+  }
+  if (chooser_ != nullptr) {
+    // Choice point: a retransmission may go out immediately (slot 0, the
+    // historical behavior) or after a one-microsecond jitter (slot 1),
+    // which lets it reorder against other traffic queued at this instant.
+    static constexpr std::uint64_t kSlots[2] = {0, 1};
+    const std::uint64_t locus =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(srcIdx)) << 32) |
+        static_cast<std::uint32_t>(dstIdx);
+    if (chooser_->choose({mc::Site::Retransmit, locus, kSlots}) == 1) {
+      engine().schedule(SimTime::us(1), [this, srcIdx, dstIdx, seq] {
+        transmitFrame(srcIdx, dstIdx, seq);
+      });
+      return;
+    }
   }
   transmitFrame(srcIdx, dstIdx, seq);
 }

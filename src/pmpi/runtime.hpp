@@ -18,6 +18,7 @@
 
 #include "extoll/fabric.hpp"
 #include "hw/machine.hpp"
+#include "mc/choice.hpp"
 #include "pmpi/match_fifo.hpp"
 #include "pmpi/registry.hpp"
 #include "pmpi/types.hpp"
@@ -163,6 +164,14 @@ class Runtime {
   /// retransmit budget ran out (each one tore down the involved jobs).
   [[nodiscard]] int unreachablePeers() const { return unreachablePeers_; }
 
+  /// Attaches a scheduling chooser (mc/choice.hpp); nullptr detaches.
+  /// With a chooser attached, wildcard receive matching and retransmit
+  /// ordering consult it; without one (or with DeterministicChooser) the
+  /// runtime behaves byte-identically to the historical default.  The
+  /// chooser must outlive the runtime or be detached first.
+  void setChooser(mc::Chooser* chooser) { chooser_ = chooser; }
+  [[nodiscard]] mc::Chooser* chooser() const { return chooser_; }
+
   [[nodiscard]] hw::Machine& machine() const { return machine_; }
   [[nodiscard]] extoll::Fabric& fabric() const { return fabric_; }
   [[nodiscard]] sim::Engine& engine() const { return machine_.engine(); }
@@ -285,6 +294,7 @@ class Runtime {
   std::map<std::uint64_t, TransportChannel> channels_;
   std::function<void(int)> drainHook_;
   int unreachablePeers_ = 0;
+  mc::Chooser* chooser_ = nullptr;
 };
 
 }  // namespace cbsim::pmpi

@@ -67,6 +67,12 @@ struct ProtocolParams {
   /// Retries before the peer is declared unreachable and the affected
   /// job(s) are torn down like a node failure (no silent hangs).
   int retransmitBudget = 12;
+
+  /// TEST-ONLY: disables the receive-side dedup/reorder guard so duplicate
+  /// and out-of-order frames reach the matching engine.  Exists purely as
+  /// the seeded defect the mc explorer must find (tests/test_mc.cpp);
+  /// never exposed through the description layer.
+  bool brokenDedupForTest = false;
 };
 
 /// Completion handle for nonblocking operations (MPI_Request analogue).

@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "io/local_store.hpp"
+#include "mc/choice.hpp"
 #include "pmpi/runtime.hpp"
 #include "rm/resource_manager.hpp"
 #include "sim/rng.hpp"
@@ -27,15 +28,37 @@ class FailureInjector {
                   sim::SimTime repairAfter = sim::SimTime::zero())
       : rt_(rt), store_(store), rm_(rm), repairAfter_(repairAfter) {}
 
+  /// Attaches a scheduling chooser (mc/choice.hpp): each scheduled
+  /// failure instant is then quantized into three slots — the requested
+  /// time plus 0, 1 or 2 quanta — and the chooser picks one, letting the
+  /// explorer race the fault against event boundaries.  Slot 0 keeps the
+  /// requested instant, so DeterministicChooser changes nothing.
+  void setChooser(mc::Chooser* chooser, sim::SimTime quantum) {
+    chooser_ = chooser;
+    quantum_ = quantum;
+  }
+
   /// Schedules a node failure at absolute simulated time `at`: all ranks
   /// of `jobId` are cancelled and `dropNode`'s NVMe contents are lost.
   /// With an attached resource manager the node also leaves the pool
   /// (until repaired, when an MTTR was configured).  `at` must not lie in
   /// the past — a failure cannot rewrite history.
+  ///
+  /// Tie-break: the failure event is scheduled *urgent*, so when it lands
+  /// exactly on another event's timestamp the fault fires first — the
+  /// defined semantics ("the node was already dead when the message would
+  /// have been delivered") instead of queue-insertion-order luck.
   void scheduleNodeFailure(int jobId, sim::SimTime at, int dropNode) {
     if (at < rt_.engine().now()) {
       throw std::invalid_argument(
           "scr: node-failure time lies in the simulated past");
+    }
+    if (chooser_ != nullptr && quantum_ > sim::SimTime::zero()) {
+      static constexpr std::uint64_t kSlots[3] = {0, 1, 2};
+      const int slot = chooser_->choose(
+          {mc::Site::FaultInstant, static_cast<std::uint64_t>(dropNode),
+           kSlots});
+      at += slot * quantum_;
     }
     rt_.engine().scheduleAt(at, [this, jobId, dropNode] {
       if (rt_.jobDone(jobId)) return;  // raced with normal completion
@@ -53,7 +76,7 @@ class FailureInjector {
       if (obs::Tracer* tr = rt_.engine().tracer()) {
         tr->metrics().add("scr.failures_injected");
       }
-    });
+    }, /*urgent=*/true);
   }
 
   [[nodiscard]] int injected() const { return injected_; }
@@ -74,6 +97,8 @@ class FailureInjector {
   io::LocalStore& store_;
   rm::ResourceManager* rm_ = nullptr;
   sim::SimTime repairAfter_;
+  mc::Chooser* chooser_ = nullptr;
+  sim::SimTime quantum_;
   int injected_ = 0;
   sim::SimTime lastFailureAt_;
 };

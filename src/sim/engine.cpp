@@ -29,9 +29,9 @@ Engine::Event Engine::popEvent() {
   return ev;
 }
 
-void Engine::scheduleAt(SimTime when, EventFn fn) {
+void Engine::scheduleAt(SimTime when, EventFn fn, bool urgent) {
   if (when < now_) throw std::logic_error("Engine::scheduleAt: time in the past");
-  pushEvent(Event{when, seq_++, std::move(fn), nullptr});
+  pushEvent(Event{when, seq_++, std::move(fn), nullptr, urgent});
 }
 
 Process& Engine::spawn(std::string name, std::function<void(Context&)> fn) {

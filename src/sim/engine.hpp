@@ -2,8 +2,11 @@
 
 // Deterministic discrete-event engine.
 //
-// Events are ordered by (time, insertion sequence); ties therefore resolve
-// in schedule order, making every run bit-reproducible.  The engine is not
+// Events are ordered by (time, urgency, insertion sequence); ties therefore
+// resolve in schedule order, making every run bit-reproducible.  Urgent
+// events (failure injection) run before regular events carrying the same
+// timestamp regardless of insertion order — a defined semantic tie-break
+// instead of an accident of queue history.  The engine is not
 // thread-safe in the conventional sense: it relies on the cooperative
 // process handshake (see process.hpp) guaranteeing that only one thread
 // touches engine state at a time.
@@ -60,7 +63,10 @@ class Engine {
   /// Schedules `fn` to run `delay` after the current simulated time.
   void schedule(SimTime delay, EventFn fn);
   /// Schedules `fn` at the absolute simulated time `when` (>= now()).
-  void scheduleAt(SimTime when, EventFn fn);
+  /// An urgent event runs before every non-urgent event scheduled at the
+  /// same simulated time, regardless of insertion order — the tie-break
+  /// used by failure injection so "fault at t" beats "delivery at t".
+  void scheduleAt(SimTime when, EventFn fn, bool urgent = false);
 
   /// Creates a process and schedules its first run at the current time.
   Process& spawn(std::string name, std::function<void(Context&)> fn);
@@ -116,10 +122,12 @@ class Engine {
     std::uint64_t seq;
     EventFn fn;               // empty when proc != nullptr
     Process* proc = nullptr;  // process to resume
+    bool urgent = false;      // runs before same-time non-urgent events
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
       if (a.when != b.when) return a.when > b.when;
+      if (a.urgent != b.urgent) return b.urgent;
       return a.seq > b.seq;
     }
   };

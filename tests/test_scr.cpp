@@ -248,6 +248,64 @@ TEST(Failure, CheckpointRestartResumesAcrossFailure) {
 
 // ---- FailureInjector properties ---------------------------------------------------
 
+TEST(Failure, SameInstantFailureBeatsMessageDelivery) {
+  // A node death and a message delivery at the same simulated instant: the
+  // death must win, or a failure instant quantized onto an event boundary
+  // (as the mc explorer does) would leak one last delivery out of a dead
+  // node.  First learn the exact receive-completion instant from a clean,
+  // deterministic run.
+  sim::SimTime tRecv = sim::SimTime::zero();
+  {
+    ScrStack probe;
+    probe.w.registry.add("probe", [&](Env& env) {
+      if (env.rank() == 0) {
+        env.sendValue(env.world(), 1, 1, 7);
+      } else {
+        (void)env.recvValue<int>(env.world(), 0, 1);
+        tRecv = env.ctx().now();
+      }
+    });
+    probe.w.rt.launch("probe", hw::NodeKind::Cluster, 2);
+    probe.w.run();
+    ASSERT_GT(tRecv.picos(), 0);
+  }
+
+  // Bit-identical rerun, except the receiver's node dies at exactly tRecv.
+  // The failure is armed only shortly before the tie, when the delivery
+  // is already in flight — insertion order must not matter.
+  const auto runWithFailureAt = [](sim::SimTime failAt,
+                                   int expectInjected) -> bool {
+    ScrStack s;
+    bool delivered = false;
+    std::vector<int> nodes(2, -1);
+    s.w.registry.add("probe", [&](Env& env) {
+      nodes[static_cast<std::size_t>(env.rank())] = env.node().id;
+      if (env.rank() == 0) {
+        env.sendValue(env.world(), 1, 1, 7);
+      } else {
+        (void)env.recvValue<int>(env.world(), 0, 1);
+        delivered = true;
+      }
+    });
+    const auto& job = s.w.rt.launch("probe", hw::NodeKind::Cluster, 2);
+    scr::FailureInjector inj(s.w.rt, s.local);
+    s.w.engine.scheduleAt(failAt - sim::SimTime::ns(100), [&] {
+      inj.scheduleNodeFailure(job.id, failAt, nodes[1]);
+    });
+    s.w.engine.run();
+    EXPECT_EQ(inj.injected(), expectInjected);
+    EXPECT_TRUE(s.w.rt.jobDone(job.id));
+    return delivered;
+  };
+
+  EXPECT_FALSE(runWithFailureAt(tRecv, /*expectInjected=*/1))
+      << "delivery leaked out of the tie";
+  // One pico later the delivery legitimately precedes the death — and by
+  // then the job has drained, so the armed kill correctly no-ops.
+  EXPECT_TRUE(runWithFailureAt(tRecv + sim::SimTime::ps(1),
+                               /*expectInjected=*/0));
+}
+
 TEST(Failure, AfterJobCompletionIsNoOp) {
   ScrStack s;
   std::vector<int> nodes(2, -1);

@@ -123,6 +123,40 @@ TEST(Engine, TiesResolveInScheduleOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
+TEST(Engine, UrgentEventBeatsSameTimeEventsRegardlessOfInsertionOrder) {
+  Engine e;
+  std::vector<std::string> order;
+  // Non-urgent events inserted first; the urgent one still runs first at
+  // the shared timestamp.  This is the fault-injection tie-break: a node
+  // death at t must win against a message delivery at t.
+  e.scheduleAt(1_us, [&] { order.push_back("delivery-a"); });
+  e.scheduleAt(1_us, [&] { order.push_back("delivery-b"); });
+  e.scheduleAt(1_us, [&] { order.push_back("failure"); }, /*urgent=*/true);
+  e.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"failure", "delivery-a",
+                                             "delivery-b"}));
+}
+
+TEST(Engine, UrgentTiesStillResolveInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.scheduleAt(1_us, [&] { order.push_back(10); }, /*urgent=*/true);
+  e.scheduleAt(1_us, [&] { order.push_back(11); }, /*urgent=*/true);
+  e.scheduleAt(1_us, [&] { order.push_back(99); });
+  e.scheduleAt(1_us, [&] { order.push_back(12); }, /*urgent=*/true);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 12, 99}));
+}
+
+TEST(Engine, UrgencyDoesNotCrossTimestamps) {
+  Engine e;
+  std::vector<int> order;
+  e.scheduleAt(1_us, [&] { order.push_back(1); });
+  e.scheduleAt(2_us, [&] { order.push_back(2); }, /*urgent=*/true);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));  // time outranks urgency
+}
+
 TEST(Engine, NestedSchedulingAdvancesClock) {
   Engine e;
   SimTime seen = SimTime::zero();
