@@ -159,7 +159,8 @@ int main(int argc, char** argv) {
       .str("process_backend",
            sim::toString(sim::defaultProcessBackend()))
       .boolean("all_reports_identical", allIdentical)
-      .raw("runs", bench::jsonArray(rows, 0));
+      .raw("runs", bench::jsonArray(rows, 0))
+      .num("peak_rss_mb", bench::peakRssBytes() / (1024.0 * 1024.0));
   bench::writeFile(outPath, root.render());
   std::printf("\nwrote %s\n", outPath.c_str());
   if (hostThreads < 2) {

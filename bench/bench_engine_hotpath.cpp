@@ -217,7 +217,8 @@ int main(int argc, char** argv) {
       .num("scale", scale)
       .raw("backends", backendsJson.render(0))
       .raw("event_chain", renderRates(chain, false))
-      .raw("ratios", ratios.render(0));
+      .raw("ratios", ratios.render(0))
+      .num("peak_rss_mb", cbsim::bench::peakRssBytes() / (1024.0 * 1024.0));
   cbsim::bench::writeFile(outPath, root.render());
   std::printf("wrote %s\n", outPath.c_str());
   return 0;

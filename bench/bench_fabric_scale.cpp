@@ -1,0 +1,307 @@
+// Scale-out fabric bench: a 2D periodic halo-exchange sweep on generated
+// fat-tree machines at 1k/4k/16k ranks, reporting simulator throughput
+// (events/s) and peak RSS per rank.  This is the bench behind
+// BENCH_topology.json and the CI scale-smoke budget gate.
+//
+// Each scale runs in a forked child so wait4()'s ru_maxrss is that
+// scale's own high-water mark — measuring 16k after 1k in one process
+// would only ever report the biggest run.  The child writes its numbers
+// over a pipe; the parent attaches the rusage.
+//
+// Budgets (--max-wall-sec, --max-rss-per-rank-kb) apply to every scale
+// run and turn the bench into a regression gate: exceeding either makes
+// the process exit non-zero after still writing the JSON.
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "extoll/fabric.hpp"
+#include "hw/machine.hpp"
+#include "hw/topology.hpp"
+#include "mc/choice.hpp"
+#include "pmpi/env.hpp"
+#include "pmpi/runtime.hpp"
+#include "rm/resource_manager.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace cbsim;
+
+struct Options {
+  std::vector<int> scales = {1024, 4096, 16384};
+  int steps = 5;
+  std::size_t haloBytes = 8 << 10;
+  int allreduceEvery = 5;
+  bool flow = false;
+  double maxWallSec = 0.0;       ///< per-scale budget; 0 = no gate
+  double maxRssPerRankKb = 0.0;  ///< per-scale budget; 0 = no gate
+  std::string out = "BENCH_topology.json";
+};
+
+/// Smallest generated fat-tree with >= n nodes: pods = ceil(sqrt(n))
+/// rounded up to even (spines = pods / 2), nodes_per_pod = ceil(n / pods).
+hw::TopologySpec fatTreeFor(int n) {
+  int pods = 2;
+  while (pods * pods < n) pods += 2;
+  const int perPod = (n + pods - 1) / pods;
+  return hw::TopologySpec::fatTreeSpec(pods, pods / 2, perPod);
+}
+
+struct ChildResult {
+  double events = 0.0;
+  double simSec = 0.0;
+  double hostSec = 0.0;
+  double messages = 0.0;
+};
+
+/// Runs the halo sweep at `ranks` in-process (called inside the fork).
+ChildResult runSweep(const Options& opt, int ranks) {
+  sim::Engine engine(0x5eedULL + static_cast<std::uint64_t>(ranks));
+  const hw::TopologySpec topo = fatTreeFor(ranks);
+  hw::Machine machine(engine, topo.materialize());
+  extoll::FabricOptions fo;
+  if (opt.flow) fo.model = extoll::CongestionModel::Flow;
+  extoll::Fabric fabric(machine, fo);
+  rm::ResourceManager resources(machine);
+  pmpi::AppRegistry registry;
+  mc::DeterministicChooser chooser;
+  pmpi::Runtime rt(machine, fabric, resources, registry, {});
+  rt.setChooser(&chooser);
+
+  int px = 1;
+  for (int d = 1; static_cast<long long>(d) * d <= ranks; ++d) {
+    if (ranks % d == 0) px = d;
+  }
+  const int py = ranks / px;
+  double simSec = 0.0;
+  registry.add("halo", [&](pmpi::Env& env) {
+    const int r = env.rank();
+    const int x = r % px;
+    const int y = r / px;
+    const auto at = [&](int xx, int yy) {
+      return ((yy + py) % py) * px + ((xx + px) % px);
+    };
+    const std::array<int, 4> nb = {at(x - 1, y), at(x + 1, y), at(x, y - 1),
+                                   at(x, y + 1)};
+    std::vector<std::byte> sendBuf(opt.haloBytes, std::byte{0});
+    std::array<std::vector<std::byte>, 4> recvBuf;
+    for (auto& b : recvBuf) b.assign(opt.haloBytes, std::byte{0});
+    for (int step = 0; step < opt.steps; ++step) {
+      std::array<pmpi::Request, 8> reqs;
+      for (int d = 0; d < 4; ++d) {
+        reqs[static_cast<std::size_t>(d)] =
+            env.irecv(env.world(), nb[static_cast<std::size_t>(d ^ 1)], d,
+                      pmpi::Bytes(recvBuf[static_cast<std::size_t>(d)]));
+      }
+      for (int d = 0; d < 4; ++d) {
+        reqs[static_cast<std::size_t>(4 + d)] =
+            env.isend(env.world(), nb[static_cast<std::size_t>(d)], d,
+                      pmpi::ConstBytes(sendBuf));
+      }
+      env.computeDelay(sim::SimTime::us(200));
+      env.waitAll(reqs);
+      if (opt.allreduceEvery > 0 && (step + 1) % opt.allreduceEvery == 0) {
+        env.allreduceValue(env.world(), static_cast<double>(step),
+                           pmpi::Op::Max);
+      }
+    }
+    if (env.rank() == 0) simSec = env.wtime();
+  });
+
+  rt.launch("halo", hw::NodeKind::Cluster, ranks);
+  ChildResult res;
+  sim::RunStats st;
+  res.hostSec = bench::wallSeconds([&] { st = engine.run(); });
+  if (st.deadlocked()) {
+    std::fprintf(stderr, "fabric_scale: %d-rank sweep deadlocked\n", ranks);
+    std::exit(3);
+  }
+  res.events = static_cast<double>(st.eventsProcessed);
+  res.simSec = simSec;
+  res.messages = static_cast<double>(fabric.stats().messages);
+  return res;
+}
+
+struct ScaleRow {
+  int ranks = 0;
+  ChildResult r;
+  double rssKb = 0.0;  ///< child's ru_maxrss (KiB on Linux)
+  bool ok = false;
+};
+
+/// Fork, run the sweep in the child, and collect its rusage via wait4.
+ScaleRow runScale(const Options& opt, int ranks) {
+  ScaleRow row;
+  row.ranks = ranks;
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::perror("fabric_scale: pipe");
+    return row;
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fabric_scale: fork");
+    return row;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const ChildResult r = runSweep(opt, ranks);
+    char buf[256];
+    const int n = std::snprintf(buf, sizeof buf, "%.17g %.17g %.17g %.17g",
+                                r.events, r.simSec, r.hostSec, r.messages);
+    const auto written = write(fds[1], buf, static_cast<std::size_t>(n));
+    _exit(written == n ? 0 : 4);
+  }
+  close(fds[1]);
+  char buf[256] = {};
+  std::size_t got = 0;
+  while (got + 1 < sizeof buf) {
+    const auto n = read(fds[0], buf + got, sizeof buf - 1 - got);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  close(fds[0]);
+  int status = 0;
+  struct rusage ru {};
+  if (wait4(pid, &status, 0, &ru) != pid) {
+    std::perror("fabric_scale: wait4");
+    return row;
+  }
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "fabric_scale: %d-rank child failed (status %d)\n",
+                 ranks, status);
+    return row;
+  }
+  if (std::sscanf(buf, "%lg %lg %lg %lg", &row.r.events, &row.r.simSec,
+                  &row.r.hostSec, &row.r.messages) != 4) {
+    std::fprintf(stderr, "fabric_scale: bad child output \"%s\"\n", buf);
+    return row;
+  }
+  row.rssKb = static_cast<double>(ru.ru_maxrss);
+  row.ok = true;
+  return row;
+}
+
+std::vector<int> parseScales(const char* arg) {
+  std::vector<int> scales;
+  std::string s(arg);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok =
+        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    scales.push_back(std::stoi(tok));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return scales;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--scales") {
+      opt.scales = parseScales(next());
+    } else if (a == "--steps") {
+      opt.steps = std::atoi(next());
+    } else if (a == "--halo-bytes") {
+      opt.haloBytes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (a == "--allreduce-every") {
+      opt.allreduceEvery = std::atoi(next());
+    } else if (a == "--flow") {
+      opt.flow = true;
+    } else if (a == "--max-wall-sec") {
+      opt.maxWallSec = std::atof(next());
+    } else if (a == "--max-rss-per-rank-kb") {
+      opt.maxRssPerRankKb = std::atof(next());
+    } else if (a == "--out") {
+      opt.out = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scales N,N,...] [--steps N] [--halo-bytes N] "
+                   "[--allreduce-every N] [--flow] [--max-wall-sec S] "
+                   "[--max-rss-per-rank-kb K] [--out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  bool withinBudget = true;
+  std::vector<std::string> rows;
+  for (const int ranks : opt.scales) {
+    const ScaleRow row = runScale(opt, ranks);
+    if (!row.ok) return 1;
+    const hw::TopologySpec topo = fatTreeFor(ranks);
+    const double rssPerRankKb = row.rssKb / ranks;
+    const double eventsPerSec =
+        row.r.hostSec > 0 ? row.r.events / row.r.hostSec : 0.0;
+    std::printf(
+        "ranks %6d  fat-tree(%d,%d,%d)  events %10.0f  wall %6.2fs  "
+        "%8.0f ev/s  rss %7.1f MB (%.1f KB/rank)\n",
+        ranks, topo.pods, topo.spines, topo.nodesPerPod, row.r.events,
+        row.r.hostSec, eventsPerSec, row.rssKb / 1024.0, rssPerRankKb);
+    bool scaleOk = true;
+    if (opt.maxWallSec > 0 && row.r.hostSec > opt.maxWallSec) scaleOk = false;
+    if (opt.maxRssPerRankKb > 0 && rssPerRankKb > opt.maxRssPerRankKb) {
+      scaleOk = false;
+    }
+    if (!scaleOk) withinBudget = false;
+    cbsim::bench::JsonObject r;
+    r.integer("ranks", ranks)
+        .str("machine", "fat-tree(pods=" + std::to_string(topo.pods) +
+                            ", spines=" + std::to_string(topo.spines) +
+                            ", nodes_per_pod=" +
+                            std::to_string(topo.nodesPerPod) + ")")
+        .integer("switches", topo.switchCount())
+        .integer("trunks", topo.trunkCount())
+        .num("events", row.r.events)
+        .num("fabric_messages", row.r.messages)
+        .num("sim_sec", row.r.simSec)
+        .num("wall_sec", row.r.hostSec)
+        .num("events_per_sec", eventsPerSec)
+        .num("peak_rss_mb", row.rssKb / 1024.0)
+        .num("rss_per_rank_kb", rssPerRankKb)
+        .boolean("within_budget", scaleOk);
+    rows.push_back(r.render(2));
+  }
+
+  cbsim::bench::JsonObject budget;
+  budget.num("max_wall_sec", opt.maxWallSec)
+      .num("max_rss_per_rank_kb", opt.maxRssPerRankKb);
+
+  cbsim::bench::JsonObject root;
+  root.str("bench", "fabric_scale")
+      .str("workload", "2D periodic halo exchange, 4-neighbour nonblocking")
+      .str("congestion_model", opt.flow ? "flow" : "packet")
+      .str("routing", "structural")
+      .integer("steps", opt.steps)
+      .integer("halo_bytes", static_cast<long long>(opt.haloBytes))
+      .integer("allreduce_every", opt.allreduceEvery)
+      .raw("budget", budget.render(0))
+      .boolean("within_budget", withinBudget)
+      .raw("scales", cbsim::bench::jsonArray(rows, 0))
+      .num("peak_rss_mb", cbsim::bench::peakRssBytes() / (1024.0 * 1024.0));
+  cbsim::bench::writeFile(opt.out, root.render());
+  std::printf("wrote %s\n", opt.out.c_str());
+  return withinBudget ? 0 : 1;
+}

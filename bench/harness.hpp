@@ -14,7 +14,28 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace cbsim::bench {
+
+/// Peak resident set size of this process in bytes (0 where unsupported).
+/// getrusage reports the high-water mark, so call it after the workload;
+/// every BENCH_*.json carries it as `peak_rss_mb`.
+inline double peakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss);  // bytes on Darwin
+#else
+  return static_cast<double>(ru.ru_maxrss) * 1024.0;  // KiB on Linux
+#endif
+#else
+  return 0.0;
+#endif
+}
 
 /// Wall-clock seconds consumed by `fn()`.
 template <typename Fn>

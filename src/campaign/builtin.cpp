@@ -59,11 +59,38 @@ constexpr const char* kResilienceTinyText = R"json({
   }
 })json";
 
+constexpr const char* kHaloText = R"json({
+  "campaign": "halo"
+})json";
+
+constexpr const char* kHaloTinyText = R"json({
+  "campaign": "halo",
+  "name": "halo-tiny",
+  "description": "2D halo-exchange stencil swept over rank counts on a generated fabric; routing mode and congestion model are parameters (tiny smoke grid)",
+  "halo": {
+    "machine": {
+      "name": "halo-tiny-fat-tree",
+      "topology": {
+        "kind": "fat-tree",
+        "pods": 4,
+        "spines": 2,
+        "nodes_per_pod": 4,
+        "cpu": "xeon-haswell"
+      }
+    },
+    "rank_counts": [4, 8],
+    "steps": 4,
+    "allreduce_every": 2
+  }
+})json";
+
 constexpr BuiltinEntry kBuiltins[] = {
     {"fig8", kFig8Text},
     {"fig8-tiny", kFig8TinyText},
     {"resilience", kResilienceText},
     {"resilience-tiny", kResilienceTinyText},
+    {"halo", kHaloText},
+    {"halo-tiny", kHaloTinyText},
 };
 
 }  // namespace

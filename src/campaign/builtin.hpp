@@ -15,6 +15,13 @@
 //     and reports attempts, injected failures, completion time and
 //     checkpoint overhead.
 //
+// haloCampaign — scale-out fabric sweep: a 2D periodic halo-exchange
+//     stencil (4-neighbour nonblocking exchange + periodic allreduce) run
+//     at increasing rank counts on a generated fat-tree or dragonfly
+//     machine.  The fabric's routing mode and congestion model are
+//     scenario parameters, which is what the structural-vs-enumerated
+//     equivalence tests and the 10k+-rank benches drive.
+//
 // The grid builders live in grids.cpp; the builtin registry (builtin.cpp)
 // holds nothing but embedded description strings, parsed through the
 // campaign desc bindings — the same path that handles --scenario-file.
@@ -25,6 +32,7 @@
 #include <vector>
 
 #include "campaign/scenario.hpp"
+#include "extoll/fabric.hpp"
 #include "fault/plan.hpp"
 #include "hw/machine.hpp"
 #include "pmpi/types.hpp"
@@ -101,8 +109,31 @@ struct ResilienceParams {
 
 [[nodiscard]] Campaign resilienceCampaign(const ResilienceParams& params = {});
 
+/// Default halo platform: a generated 64-node fat-tree (8 leaves x 4
+/// spines, 8 nodes per leaf).
+[[nodiscard]] hw::MachineConfig defaultHaloMachine();
+
+struct HaloParams {
+  /// Platform under test; any machine works, generated topologies are the
+  /// point (structural routing engages automatically on them).
+  hw::MachineConfig machine = defaultHaloMachine();
+  /// Fabric routing mode and congestion model for every scenario.
+  extoll::FabricOptions fabric;
+  /// Rank counts swept (one rank per Cluster node; every count must fit
+  /// the machine).
+  std::vector<int> rankCounts = {16, 64};
+  int steps = 10;
+  std::size_t haloBytes = 4 << 10;  ///< per-neighbour halo payload per step
+  double computeSec = 200e-6;       ///< per-step interior compute
+  int allreduceEvery = 5;           ///< residual allreduce cadence; 0 = never
+  pmpi::ProtocolParams protocol;
+};
+
+[[nodiscard]] Campaign haloCampaign(const HaloParams& params = {});
+
 /// Built-in campaign by name ("fig8", "fig8-tiny", "resilience",
-/// "resilience-tiny"); throws std::invalid_argument for unknown names.
+/// "resilience-tiny", "halo", "halo-tiny"); throws std::invalid_argument
+/// for unknown names.
 /// Resolved by parsing the builtin's embedded description string.
 [[nodiscard]] Campaign builtinCampaign(const std::string& name);
 [[nodiscard]] std::vector<std::string> builtinCampaignNames();

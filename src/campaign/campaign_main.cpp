@@ -60,6 +60,9 @@ int usage(const char* argv0, int code) {
       "                         defaults materialized) and exit; the output\n"
       "                         re-parses and re-dumps byte-identically and\n"
       "                         is a valid --scenario-file\n"
+      "  --dump-file <path>     same, for a description file: print its\n"
+      "                         canonical expansion and exit (CI keeps\n"
+      "                         canonical-form examples diffable this way)\n"
       "  --validate <path>      parse + schema-check a description file,\n"
       "                         report the campaign it defines, and exit\n"
       "                         (0 = valid)\n"
@@ -107,6 +110,19 @@ int main(int argc, char** argv) {
             cbsim::campaign::campaignSpecFromDescText(
                 cbsim::campaign::builtinCampaignText(name),
                 std::string("builtin:") + name);
+        std::fputs(cbsim::desc::dump(toDesc(spec)).c_str(), stdout);
+        return 0;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 1;
+      }
+    }
+    if (arg("--dump-file")) {
+      const char* path = value();
+      try {
+        const cbsim::campaign::CampaignSpec spec =
+            cbsim::campaign::campaignSpecFromDescText(
+                cbsim::desc::readFile(path), path);
         std::fputs(cbsim::desc::dump(toDesc(spec)).c_str(), stdout);
         return 0;
       } catch (const std::exception& e) {

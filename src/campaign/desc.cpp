@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "desc/cache.hpp"
+#include "extoll/desc.hpp"
 #include "fault/desc.hpp"
 #include "hw/desc.hpp"
 #include "pmpi/desc.hpp"
@@ -21,6 +22,9 @@ constexpr const char* kFig8Description =
 constexpr const char* kResilienceDescription =
     "DEEP-ER-style resiliency matrix: node MTBF x SCR checkpoint-level "
     "scheme under exponential failure injection";
+constexpr const char* kHaloDescription =
+    "2D halo-exchange stencil swept over rank counts on a generated "
+    "fabric; routing mode and congestion model are parameters";
 
 CheckpointScheme checkpointSchemeFromDesc(desc::Reader& r) {
   CheckpointScheme s;
@@ -157,20 +161,74 @@ desc::Value toDesc(const ResilienceParams& p) {
   return v;
 }
 
+HaloParams haloParamsFromDesc(desc::Reader& r) {
+  HaloParams p;
+  if (auto m = r.tryChild("machine")) p.machine = hw::machineConfigFromDesc(*m);
+  if (auto f = r.tryChild("fabric")) {
+    p.fabric = extoll::fabricOptionsFromDesc(*f);
+  }
+  if (auto rc = r.tryChild("rank_counts")) {
+    p.rankCounts.clear();
+    for (std::size_t i = 0; i < rc->size(); ++i) {
+      p.rankCounts.push_back(static_cast<int>(rc->item(i).asInt()));
+    }
+    if (p.rankCounts.empty()) rc->fail("rank_counts must be non-empty");
+    for (const int n : p.rankCounts) {
+      if (n < 1) rc->fail("rank counts must be >= 1");
+    }
+  }
+  p.steps = static_cast<int>(r.intAt("steps", p.steps));
+  p.haloBytes = static_cast<std::size_t>(
+      r.uintAt("halo_bytes", static_cast<std::uint64_t>(p.haloBytes)));
+  p.computeSec = r.numberAt("compute_sec", p.computeSec);
+  p.allreduceEvery =
+      static_cast<int>(r.intAt("allreduce_every", p.allreduceEvery));
+  if (auto pr = r.tryChild("protocol")) {
+    p.protocol = pmpi::protocolParamsFromDesc(*pr);
+  }
+  r.finish();
+  if (p.steps < 1) r.fail("steps must be >= 1");
+  if (p.haloBytes < 1) r.fail("halo_bytes must be >= 1");
+  if (p.computeSec < 0) r.fail("compute_sec must be >= 0");
+  if (p.allreduceEvery < 0) r.fail("allreduce_every must be >= 0");
+  return p;
+}
+
+desc::Value toDesc(const HaloParams& p) {
+  desc::Value v = desc::Value::object();
+  v.set("machine", hw::toDesc(p.machine));
+  v.set("fabric", extoll::toDesc(p.fabric));
+  desc::Value counts = desc::Value::array();
+  for (const int n : p.rankCounts) counts.push(desc::Value::integer(n));
+  v.set("rank_counts", std::move(counts));
+  v.set("steps", desc::Value::integer(p.steps));
+  v.set("halo_bytes",
+        desc::Value::unsignedInt(static_cast<std::uint64_t>(p.haloBytes)));
+  v.set("compute_sec", desc::Value::number(p.computeSec));
+  v.set("allreduce_every", desc::Value::integer(p.allreduceEvery));
+  v.set("protocol", pmpi::toDesc(p.protocol));
+  return v;
+}
+
 CampaignSpec campaignSpecFromDesc(desc::Reader& r) {
   CampaignSpec spec;
   spec.kind = r.stringAt("campaign");
-  if (spec.kind != "fig8" && spec.kind != "resilience") {
+  if (spec.kind != "fig8" && spec.kind != "resilience" &&
+      spec.kind != "halo") {
     r.fail("unknown campaign kind \"" + spec.kind +
-           "\"; known: fig8, resilience");
+           "\"; known: fig8, resilience, halo");
   }
-  const char* defaultDescription =
-      spec.kind == "fig8" ? kFig8Description : kResilienceDescription;
+  const char* defaultDescription = spec.kind == "fig8" ? kFig8Description
+                                   : spec.kind == "halo"
+                                       ? kHaloDescription
+                                       : kResilienceDescription;
   spec.name = r.stringAt("name", spec.kind);
   spec.description = r.stringAt("description", defaultDescription);
   spec.baseSeed = r.uintAt("base_seed", spec.baseSeed);
   if (spec.kind == "fig8") {
     if (auto f = r.tryChild("fig8")) spec.fig8 = fig8ParamsFromDesc(*f);
+  } else if (spec.kind == "halo") {
+    if (auto h = r.tryChild("halo")) spec.halo = haloParamsFromDesc(*h);
   } else {
     if (auto re = r.tryChild("resilience")) {
       spec.resilience = resilienceParamsFromDesc(*re);
@@ -189,6 +247,8 @@ desc::Value toDesc(const CampaignSpec& spec) {
   v.set("base_seed", desc::Value::unsignedInt(spec.baseSeed));
   if (spec.kind == "fig8") {
     v.set("fig8", toDesc(spec.fig8));
+  } else if (spec.kind == "halo") {
+    v.set("halo", toDesc(spec.halo));
   } else {
     v.set("resilience", toDesc(spec.resilience));
   }
@@ -206,8 +266,9 @@ CampaignSpec campaignSpecFromDescText(const std::string& text,
 }
 
 Campaign buildCampaign(const CampaignSpec& spec) {
-  Campaign c = spec.kind == "fig8" ? fig8Campaign(spec.fig8)
-                                   : resilienceCampaign(spec.resilience);
+  Campaign c = spec.kind == "fig8"   ? fig8Campaign(spec.fig8)
+               : spec.kind == "halo" ? haloCampaign(spec.halo)
+                                     : resilienceCampaign(spec.resilience);
   c.name = spec.name;
   c.description = spec.description;
   c.baseSeed = spec.baseSeed;

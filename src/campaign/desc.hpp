@@ -12,12 +12,12 @@
 //
 // Top-level schema:
 //   {
-//     "campaign": "fig8" | "resilience",
+//     "campaign": "fig8" | "resilience" | "halo",
 //     "name": "fig8",                // optional; defaults per family
 //     "description": "...",         // optional; defaults per family
 //     "base_seed": 11400714819323198485,   // optional
 //     "fig8": { ... }               // params object matching "campaign"
-//     // or "resilience": { ... }
+//     // or "resilience": { ... } or "halo": { ... }
 //   }
 //
 // toDesc(spec) emits everything fully expanded (presets resolved, all
@@ -34,12 +34,13 @@
 namespace cbsim::campaign {
 
 struct CampaignSpec {
-  std::string kind;         ///< "fig8" or "resilience"
+  std::string kind;         ///< "fig8", "resilience" or "halo"
   std::string name;         ///< resolved campaign name
   std::string description;  ///< resolved one-line description
   std::uint64_t baseSeed = 0x9e3779b97f4a7c15ULL;
   Fig8Params fig8;               ///< used when kind == "fig8"
   ResilienceParams resilience;   ///< used when kind == "resilience"
+  HaloParams halo;               ///< used when kind == "halo"
 };
 
 [[nodiscard]] CampaignSpec campaignSpecFromDesc(desc::Reader& r);
@@ -58,5 +59,7 @@ struct CampaignSpec {
 [[nodiscard]] desc::Value toDesc(const Fig8Params& p);
 [[nodiscard]] ResilienceParams resilienceParamsFromDesc(desc::Reader& r);
 [[nodiscard]] desc::Value toDesc(const ResilienceParams& p);
+[[nodiscard]] HaloParams haloParamsFromDesc(desc::Reader& r);
+[[nodiscard]] desc::Value toDesc(const HaloParams& p);
 
 }  // namespace cbsim::campaign

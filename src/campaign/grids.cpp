@@ -15,6 +15,8 @@
 #include "campaign/builtin.hpp"
 #include "extoll/fabric.hpp"
 #include "fault/plan.hpp"
+#include "hw/desc.hpp"
+#include "hw/topology.hpp"
 #include "io/beegfs.hpp"
 #include "io/local_store.hpp"
 #include "io/nam_store.hpp"
@@ -335,7 +337,131 @@ Values runResilienceScenario(const ResilienceParams& p,
   return v;
 }
 
+// ---- Halo: rank-count sweep on a generated fabric ---------------------------
+
+Values runHaloScenario(const HaloParams& p, int ranks, ScenarioContext& ctx) {
+  sim::Engine engine(ctx.seed);
+  engine.setTracer(&ctx.tracer);
+  hw::Machine machine(engine, p.machine);
+  extoll::Fabric fabric(machine, p.fabric);
+  rm::ResourceManager resources(machine);
+  pmpi::AppRegistry registry;
+  mc::DeterministicChooser defaultChooser;
+  pmpi::Runtime rt(machine, fabric, resources, registry, p.protocol);
+  rt.setChooser(&defaultChooser);
+
+  const int avail =
+      static_cast<int>(machine.nodesOfKind(hw::NodeKind::Cluster).size());
+  if (ranks > avail) {
+    throw std::runtime_error("halo: " + std::to_string(ranks) +
+                             " ranks need as many Cluster nodes, machine has " +
+                             std::to_string(avail));
+  }
+
+  // 2D periodic decomposition, px x py with px the largest divisor <=
+  // sqrt(ranks) (prime counts degrade to a 1 x n ring, which still works).
+  int px = 1;
+  for (int d = 1; static_cast<long long>(d) * d <= ranks; ++d) {
+    if (ranks % d == 0) px = d;
+  }
+  const int py = ranks / px;
+
+  double wallSec = 0.0;
+  double commSec = 0.0;
+  registry.add("halo", [&](pmpi::Env& env) {
+    const int r = env.rank();
+    const int x = r % px;
+    const int y = r / px;
+    const auto at = [&](int xx, int yy) {
+      return ((yy + py) % py) * px + ((xx + px) % px);
+    };
+    // Direction d of a send is also its tag; the matching receive comes
+    // from the opposite neighbour (d ^ 1), so matching stays unambiguous
+    // even when the grid degenerates and neighbours coincide (or are self).
+    const std::array<int, 4> nb = {at(x - 1, y), at(x + 1, y), at(x, y - 1),
+                                   at(x, y + 1)};
+    std::vector<std::byte> sendBuf(p.haloBytes, std::byte{0});
+    std::array<std::vector<std::byte>, 4> recvBuf;
+    for (auto& b : recvBuf) b.assign(p.haloBytes, std::byte{0});
+    for (int step = 0; step < p.steps; ++step) {
+      std::array<pmpi::Request, 8> reqs;
+      for (int d = 0; d < 4; ++d) {
+        reqs[static_cast<std::size_t>(d)] =
+            env.irecv(env.world(), nb[static_cast<std::size_t>(d ^ 1)], d,
+                      pmpi::Bytes(recvBuf[static_cast<std::size_t>(d)]));
+      }
+      for (int d = 0; d < 4; ++d) {
+        reqs[static_cast<std::size_t>(4 + d)] =
+            env.isend(env.world(), nb[static_cast<std::size_t>(d)], d,
+                      pmpi::ConstBytes(sendBuf));
+      }
+      env.computeDelay(sim::SimTime::seconds(p.computeSec));
+      env.waitAll(reqs);
+      if (p.allreduceEvery > 0 && (step + 1) % p.allreduceEvery == 0) {
+        env.allreduceValue(env.world(), static_cast<double>(step),
+                           pmpi::Op::Max);
+      }
+    }
+    wallSec = std::max(wallSec, env.wtime());
+    commSec += env.commSec();
+  });
+
+  rt.launch("halo", hw::NodeKind::Cluster, ranks);
+  const sim::RunStats st = engine.run();
+  if (st.deadlocked()) throw std::runtime_error("halo scenario deadlocked");
+
+  const extoll::Fabric::Stats& fab = fabric.stats();
+  Values v;
+  v["wall_sec"] = wallSec;
+  v["comm_sec"] = commSec;
+  v["events"] = static_cast<double>(st.eventsProcessed);
+  v["fabric_messages"] = static_cast<double>(fab.messages);
+  v["fabric_bytes"] = fab.bytes;
+  v["route_cache_entries"] = static_cast<double>(fabric.routeCacheSize());
+  v["route_cache_hits"] = static_cast<double>(fabric.routeCacheHits());
+  return v;
+}
+
 }  // namespace
+
+hw::MachineConfig defaultHaloMachine() {
+  hw::TopologySpec t = hw::TopologySpec::fatTreeSpec(8, 4, 8);
+  t.cpu = hw::cpuPreset("xeon-haswell");
+  return t.materialize("halo-fat-tree");
+}
+
+Campaign haloCampaign(const HaloParams& params) {
+  Campaign c;
+  c.name = "halo";
+  c.description =
+      "2D halo-exchange stencil swept over rank counts on a generated "
+      "fabric; routing mode and congestion model are parameters";
+  for (const int n : params.rankCounts) {
+    Scenario s;
+    s.name = "halo/r" + std::to_string(n);
+    s.costHint = static_cast<double>(n);
+    const HaloParams p = params;
+    s.run = [p, n](ScenarioContext& ctx) { return runHaloScenario(p, n, ctx); };
+    c.scenarios.push_back(std::move(s));
+  }
+  const std::vector<int> rankCounts = params.rankCounts;
+  c.derive = [rankCounts](const std::vector<ScenarioResult>& rs) {
+    Values d;
+    // Weak-scaling view: per-step halo volume is fixed per rank, so the
+    // simulated wall time ratio to the smallest sweep point is the
+    // fabric-contention signal.
+    const auto base =
+        valueOf(rs, "halo/r" + std::to_string(rankCounts.front()), "wall_sec");
+    for (const int n : rankCounts) {
+      const auto wn = valueOf(rs, "halo/r" + std::to_string(n), "wall_sec");
+      if (base && wn && *base > 0) {
+        d["slowdown/r" + std::to_string(n)] = *wn / *base;
+      }
+    }
+    return d;
+  };
+  return c;
+}
 
 Campaign resilienceCampaign(const ResilienceParams& params) {
   Campaign c;

@@ -4,14 +4,24 @@
 #include <stdexcept>
 #include <utility>
 
+#include "hw/topology.hpp"
 #include "obs/tracer.hpp"
 
 namespace cbsim::extoll {
 
 using sim::SimTime;
 
-Fabric::Fabric(hw::Machine& machine)
-    : machine_(machine), engine_(machine.engine()) {
+namespace {
+
+[[nodiscard]] std::uint64_t pairKey(int a, int b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+}  // namespace
+
+Fabric::Fabric(hw::Machine& machine, FabricOptions options)
+    : machine_(machine), engine_(machine.engine()), options_(options) {
   const auto& cfg = machine_.config();
   const int eps = machine_.endpointCount();
   const int nLinks = 2 * eps + 2 * static_cast<int>(cfg.trunks.size());
@@ -37,6 +47,24 @@ Fabric::Fabric(hw::Machine& machine)
   for (int id : machine_.nodesOfKind(hw::NodeKind::Bridge)) {
     bridgeNodes_.push_back(id);
   }
+  // Switch adjacency in trunk-index order (trunks iterate ascending, so
+  // each per-switch edge list comes out sorted — the property the
+  // lexicographic path enumeration depends on).
+  switchAdj_.resize(cfg.switches.size());
+  for (std::size_t t = 0; t < cfg.trunks.size(); ++t) {
+    const auto& tr = cfg.trunks[t];
+    switchAdj_[static_cast<std::size_t>(tr.switchA)].push_back(
+        {static_cast<int>(t), tr.switchB, true});
+    switchAdj_[static_cast<std::size_t>(tr.switchB)].push_back(
+        {static_cast<int>(t), tr.switchA, false});
+  }
+  routing_ = options_.routing;
+  if (routing_ == RoutingMode::Auto) {
+    routing_ = cfg.topology ? RoutingMode::Structural : RoutingMode::Enumerated;
+  }
+  if (options_.model == CongestionModel::Flow) {
+    linkFlows_.resize(static_cast<std::size_t>(nLinks));
+  }
 }
 
 int Fabric::effectiveSwitch(int ep, int peerSwitch) const {
@@ -47,41 +75,178 @@ int Fabric::effectiveSwitch(int ep, int peerSwitch) const {
   return machine_.endpointSwitch(ep);
 }
 
-Fabric::Path Fabric::route(int srcEp, int dstEp) const {
-  const auto& cfg = machine_.config();
-  const int s1 = effectiveSwitch(srcEp, machine_.endpointSwitch(dstEp));
-  const int s2 = effectiveSwitch(dstEp, s1);
-  Path p;
-  if (s1 == s2) {
-    const auto& net = cfg.switches.at(static_cast<std::size_t>(s1)).net;
-    p.links = {upLink(srcEp), downLink(dstEp)};
-    p.latency = 2 * net.nicLatency + 2 * net.wireLatency + net.switchLatency;
-  } else {
-    for (std::size_t t = 0; t < cfg.trunks.size(); ++t) {
-      const auto& tr = cfg.trunks[t];
-      const bool fwd = tr.switchA == s1 && tr.switchB == s2;
-      const bool rev = tr.switchA == s2 && tr.switchB == s1;
-      if (fwd || rev) {
-        const auto& netA = cfg.switches.at(static_cast<std::size_t>(s1)).net;
-        const auto& netB = cfg.switches.at(static_cast<std::size_t>(s2)).net;
-        p.links = {upLink(srcEp), trunkLink(static_cast<int>(t), fwd),
-                   downLink(dstEp)};
-        p.latency = netA.nicLatency + netA.wireLatency + netA.switchLatency +
-                    tr.latency + netB.switchLatency + netB.wireLatency +
-                    netB.nicLatency;
-        break;
-      }
-    }
-    if (p.links.empty()) {
-      if (cfg.bridgeBetweenSwitches && !bridgeNodes_.empty()) {
-        // Peek only: the round-robin advances when traffic actually takes
-        // the bridge (deliverLeg), so this query stays side-effect-free.
-        p.bridgeNode = bridgeNodes_[nextBridge_ % bridgeNodes_.size()];
-        return p;
-      }
-      throw std::runtime_error("fabric: no route between switches");
+// ---- Routing ----------------------------------------------------------------
+
+const std::vector<std::vector<Fabric::Hop>>& Fabric::switchPaths(
+    int s1, int s2) const {
+  const std::uint64_t key = pairKey(s1, s2);
+  const auto it = switchPathsCache_.find(key);
+  if (it != switchPathsCache_.end()) return it->second;
+
+  // BFS from the destination gives hop distances; a DFS from the source
+  // that only follows distance-decreasing edges (in trunk-index order)
+  // then yields every equal-cost shortest path, lexicographically.
+  const int n = static_cast<int>(switchAdj_.size());
+  std::vector<int> dist(static_cast<std::size_t>(n), -1);
+  std::vector<int> queue;
+  queue.reserve(static_cast<std::size_t>(n));
+  dist[static_cast<std::size_t>(s2)] = 0;
+  queue.push_back(s2);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int cur = queue[head];
+    for (const Edge& e : switchAdj_[static_cast<std::size_t>(cur)]) {
+      if (dist[static_cast<std::size_t>(e.to)] >= 0) continue;
+      dist[static_cast<std::size_t>(e.to)] =
+          dist[static_cast<std::size_t>(cur)] + 1;
+      queue.push_back(e.to);
     }
   }
+  std::vector<std::vector<Hop>> paths;
+  if (dist[static_cast<std::size_t>(s1)] >= 0) {
+    std::vector<Hop> stack;
+    const std::function<void(int)> walk = [&](int cur) {
+      if (cur == s2) {
+        paths.push_back(stack);
+        return;
+      }
+      for (const Edge& e : switchAdj_[static_cast<std::size_t>(cur)]) {
+        if (dist[static_cast<std::size_t>(e.to)] !=
+            dist[static_cast<std::size_t>(cur)] - 1) {
+          continue;
+        }
+        stack.push_back({e.trunk, e.forward});
+        walk(e.to);
+        stack.pop_back();
+      }
+    };
+    walk(s1);
+  }
+  return switchPathsCache_.emplace(key, std::move(paths)).first->second;
+}
+
+bool Fabric::structuralPath(int s1, int s2, int selector,
+                            std::vector<Hop>& hops) const {
+  const hw::TopologySpec* topo = machine_.config().topology.get();
+  if (topo == nullptr) return false;
+  hops.clear();
+  if (topo->kind == hw::TopologySpec::Kind::FatTree) {
+    const hw::FatTreeLayout ft = topo->fatTree();
+    if (!ft.isLeaf(s1) || !ft.isLeaf(s2)) return false;
+    // `spines` equal-cost up/down paths; the tie-break below matches the
+    // enumerated order because trunk(l, s) indices are spine-minor.
+    const int k = selector % topo->spines;
+    hops.push_back({ft.trunk(s1, k), true});
+    hops.push_back({ft.trunk(s2, k), false});
+    return true;
+  }
+  const hw::DragonflyLayout d = topo->dragonfly();
+  const auto localHop = [&](int group, int ra, int rb) -> Hop {
+    return {d.localTrunk(group, std::min(ra, rb), std::max(ra, rb)), ra < rb};
+  };
+  const auto globalHop = [&](int ga, int gb) -> Hop {
+    return {d.globalTrunk(ga, gb), ga < gb};
+  };
+  const auto gw = [&](int group, int peer) {
+    return d.gatewayRouter(group, peer);
+  };
+  const int g1 = d.groupOf(s1);
+  const int r1 = d.routerOf(s1);
+  const int g2 = d.groupOf(s2);
+  const int r2 = d.routerOf(s2);
+  if (g1 == g2) {
+    hops.push_back(localHop(g1, r1, r2));  // full in-group mesh: one hop
+    return true;
+  }
+  // The canonical minimal route is local -> the (unique) global channel ->
+  // local, but when gateway routers happen to line up, a detour through
+  // one or two intermediate groups crosses the same number of trunks — and
+  // the enumerated reference collects *every* shortest trunk sequence.  The
+  // direct route bounds the distance at 3, which leaves exactly three path
+  // shapes to enumerate (longer group sequences cross >= 4 trunks):
+  //   k=1  [local] global12 [local]                   length 1..3
+  //   k=2  [local] global13 [local] global32 [local]  length 2 + number of
+  //        non-degenerate locals; competitive at length 2 and 3
+  //   k=3  global13 global34 global42                 length 3; needs all
+  //        four gateway alignments
+  std::vector<Hop> direct;
+  {
+    const int a = gw(g1, g2);
+    const int b = gw(g2, g1);
+    if (r1 != a) direct.push_back(localHop(g1, r1, a));
+    direct.push_back(globalHop(g1, g2));
+    if (b != r2) direct.push_back(localHop(g2, b, r2));
+  }
+  const int g = d.groups();
+  std::size_t best = direct.size();
+  for (int g3 = 0; g3 < g && best > 2; ++g3) {
+    if (g3 == g1 || g3 == g2) continue;
+    const std::size_t len = 2 +
+                            static_cast<std::size_t>(r1 != gw(g1, g3)) +
+                            static_cast<std::size_t>(gw(g3, g1) != gw(g3, g2)) +
+                            static_cast<std::size_t>(gw(g2, g3) != r2);
+    best = std::min(best, len);
+  }
+  std::vector<std::vector<Hop>> cands;
+  if (direct.size() == best) cands.push_back(std::move(direct));
+  for (int g3 = 0; g3 < g; ++g3) {
+    if (g3 == g1 || g3 == g2) continue;
+    std::vector<Hop> h;
+    if (r1 != gw(g1, g3)) h.push_back(localHop(g1, r1, gw(g1, g3)));
+    h.push_back(globalHop(g1, g3));
+    if (gw(g3, g1) != gw(g3, g2)) {
+      h.push_back(localHop(g3, gw(g3, g1), gw(g3, g2)));
+    }
+    h.push_back(globalHop(g3, g2));
+    if (gw(g2, g3) != r2) h.push_back(localHop(g2, gw(g2, g3), r2));
+    if (h.size() == best) cands.push_back(std::move(h));
+  }
+  if (best == 3) {
+    // Three pure global hops tie with the 3-trunk direct route only when
+    // every gateway lines up; O(g^2) checks, paid once per cached pair.
+    for (int g3 = 0; g3 < g; ++g3) {
+      if (g3 == g1 || g3 == g2 || r1 != gw(g1, g3)) continue;
+      for (int g4 = 0; g4 < g; ++g4) {
+        if (g4 == g1 || g4 == g2 || g4 == g3) continue;
+        if (gw(g3, g1) != gw(g3, g4) || gw(g4, g3) != gw(g4, g2) ||
+            gw(g2, g4) != r2) {
+          continue;
+        }
+        cands.push_back({globalHop(g1, g3), globalHop(g3, g4),
+                         globalHop(g4, g2)});
+      }
+    }
+  }
+  // The enumerated DFS explores edges in ascending trunk order, so its
+  // candidate list is lexicographic in the trunk-index sequence; sort to
+  // match before applying the shared tie-break.
+  std::sort(cands.begin(), cands.end(),
+            [](const std::vector<Hop>& x, const std::vector<Hop>& y) {
+              return std::lexicographical_compare(
+                  x.begin(), x.end(), y.begin(), y.end(),
+                  [](const Hop& a, const Hop& b) { return a.trunk < b.trunk; });
+            });
+  hops = cands[static_cast<std::size_t>(selector) % cands.size()];
+  return true;
+}
+
+Fabric::Path Fabric::assemblePath(int srcEp, int s1, int dstEp, int s2,
+                                  const std::vector<Hop>& hops) const {
+  const auto& cfg = machine_.config();
+  Path p;
+  p.links.reserve(hops.size() + 2);
+  const auto& netS = cfg.switches[static_cast<std::size_t>(s1)].net;
+  const auto& netD = cfg.switches[static_cast<std::size_t>(s2)].net;
+  p.links.push_back(upLink(srcEp));
+  p.latency = netS.nicLatency + netS.wireLatency + netS.switchLatency;
+  for (const Hop& h : hops) {
+    const hw::TrunkSpec& t = cfg.trunks[static_cast<std::size_t>(h.trunk)];
+    p.links.push_back(trunkLink(h.trunk, h.forward));
+    const int next = h.forward ? t.switchB : t.switchA;
+    p.latency +=
+        t.latency + cfg.switches[static_cast<std::size_t>(next)].net.switchLatency;
+  }
+  p.links.push_back(downLink(dstEp));
+  p.latency += netD.wireLatency + netD.nicLatency;
   p.bwGBs = 1e18;
   for (const int l : p.links) {
     p.bwGBs = std::min(p.bwGBs, linkBwGBs_[static_cast<std::size_t>(l)] *
@@ -89,6 +254,65 @@ Fabric::Path Fabric::route(int srcEp, int dstEp) const {
   }
   return p;
 }
+
+Fabric::Path Fabric::computePath(int srcEp, int dstEp) const {
+  const int s1 = effectiveSwitch(srcEp, machine_.endpointSwitch(dstEp));
+  const int s2 = effectiveSwitch(dstEp, s1);
+  if (s1 == s2) return assemblePath(srcEp, s1, dstEp, s2, {});
+  // Equal-cost tie-break: (srcEp + dstEp) % candidates.  Both routers use
+  // it, and the structural one evaluates it without enumerating anything.
+  const int selector = srcEp + dstEp;
+  std::vector<Hop> hops;
+  bool have = routing_ == RoutingMode::Structural &&
+              structuralPath(s1, s2, selector, hops);
+  if (!have) {
+    const auto& candidates = switchPaths(s1, s2);
+    if (!candidates.empty()) {
+      hops = candidates[static_cast<std::size_t>(selector) %
+                        candidates.size()];
+      have = true;
+    }
+  }
+  if (!have) {
+    if (machine_.config().bridgeBetweenSwitches && !bridgeNodes_.empty()) {
+      // Peek only: the round-robin advances when traffic actually takes
+      // the bridge (deliverLeg), so this query stays side-effect-free.
+      Path p;
+      p.latency = SimTime::zero();
+      p.bwGBs = 0.0;
+      p.bridgeNode = bridgeNodes_[nextBridge_ % bridgeNodes_.size()];
+      return p;
+    }
+    throw std::runtime_error("fabric: no route between switches");
+  }
+  return assemblePath(srcEp, s1, dstEp, s2, hops);
+}
+
+const Fabric::Path& Fabric::route(int srcEp, int dstEp) const {
+  const std::uint64_t key = pairKey(srcEp, dstEp);
+  const auto it = pathCache_.find(key);
+  if (it != pathCache_.end()) {
+    ++cacheHits_;
+    return it->second;
+  }
+  Path p = computePath(srcEp, dstEp);
+  if (p.bridgeNode >= 0) {
+    // Bridged paths carry the *next* round-robin pick — a mutable
+    // decision that must be re-peeked per query, so they never enter the
+    // cache.
+    bridgeScratch_ = std::move(p);
+    return bridgeScratch_;
+  }
+  if (pathCache_.size() >= kPathCacheCap) pathCache_.clear();
+  return pathCache_.emplace(key, std::move(p)).first->second;
+}
+
+Fabric::RouteInfo Fabric::routeInfo(int srcEp, int dstEp) const {
+  const Path& p = route(srcEp, dstEp);
+  return {p.links, p.latency, p.bwGBs, p.bridgeNode};
+}
+
+// ---- Packet/occupancy congestion model --------------------------------------
 
 SimTime Fabric::occupy(const Path& path, double bytes, double bwFactor) {
   SimTime t0 = engine_.now();
@@ -115,14 +339,15 @@ SimTime Fabric::occupy(const Path& path, double bytes, double bwFactor) {
 
 void Fabric::deliverLeg(int srcEp, int dstEp, double bytes,
                         std::function<void()> onArrive) {
-  const Path p = route(srcEp, dstEp);
+  const Path& p = route(srcEp, dstEp);
   if (p.bridgeNode >= 0) {
+    const int bridgeNode = p.bridgeNode;
     nextBridge_ = (nextBridge_ + 1) % bridgeNodes_.size();
     ++stats_.bridgeHops;
     if (obs::Tracer* tr = engine_.tracer()) {
       tr->metrics().add("fabric.bridge_hops");
     }
-    deliverViaBridge(p.bridgeNode, srcEp, dstEp, bytes, std::move(onArrive));
+    deliverViaBridge(bridgeNode, srcEp, dstEp, bytes, std::move(onArrive));
     return;
   }
   double bwFactor = 1.0;
@@ -157,6 +382,10 @@ void Fabric::deliverLeg(int srcEp, int dstEp, double bytes,
       bwFactor = std::min(bwFactor, f);
     }
   }
+  if (options_.model == CongestionModel::Flow) {
+    flowStart(p, bytes, bwFactor, std::move(onArrive));
+    return;
+  }
   const SimTime arrival = occupy(p, bytes, bwFactor);
   engine_.scheduleAt(arrival, std::move(onArrive));
 }
@@ -178,6 +407,115 @@ void Fabric::deliverViaBridge(int bridgeNode, int srcEp, int dstEp,
                });
              });
 }
+
+// ---- Flow-level congestion model --------------------------------------------
+
+std::vector<std::uint64_t> Fabric::flowsOnLinks(
+    const std::vector<int>& links) const {
+  std::vector<std::uint64_t> ids;
+  for (const int l : links) {
+    const auto& on = linkFlows_[static_cast<std::size_t>(l)];
+    ids.insert(ids.end(), on.begin(), on.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+double Fabric::flowFairRateBps(const Flow& f) const {
+  double rate = 1e30;
+  for (const int l : f.links) {
+    const double cap = linkBwGBs_[static_cast<std::size_t>(l)] *
+                       linkEff_[static_cast<std::size_t>(l)] * 1e9;
+    const auto n = linkFlows_[static_cast<std::size_t>(l)].size();
+    rate = std::min(rate, cap / static_cast<double>(n));
+  }
+  return rate * f.bwFactor;
+}
+
+void Fabric::flowsReshare(std::vector<std::uint64_t> ids) {
+  const SimTime now = engine_.now();
+  for (const std::uint64_t id : ids) {
+    const auto it = flows_.find(id);
+    if (it == flows_.end()) continue;
+    Flow& f = it->second;
+    const double elapsed = (now - f.lastUpdate).toSeconds();
+    f.bytesLeft = std::max(0.0, f.bytesLeft - f.rateBps * elapsed);
+    f.lastUpdate = now;
+    f.rateBps = flowFairRateBps(f);
+    const std::uint64_t gen = ++f.gen;  // supersedes the old completion event
+    // The event fires when the last byte leaves the source (transmission
+    // end): links free and survivors reshare immediately; the fixed path
+    // latency is added on top when flowComplete delivers the arrival.
+    engine_.schedule(SimTime::seconds(f.bytesLeft / f.rateBps),
+                     [this, id, gen] { flowComplete(id, gen); });
+  }
+}
+
+void Fabric::flowStart(const Path& path, double bytes, double bwFactor,
+                       std::function<void()> onArrive) {
+  const std::uint64_t id = nextFlowId_++;
+  Flow f;
+  f.dstEp = path.links.back() / 2;
+  f.bytesLeft = f.bytesTotal = bytes;
+  f.bwFactor = bwFactor;
+  f.lastUpdate = f.start = engine_.now();
+  f.latency = path.latency;
+  f.links = path.links;
+  f.onArrive = std::move(onArrive);
+  for (const int l : f.links) {
+    linkFlows_[static_cast<std::size_t>(l)].push_back(id);
+  }
+  if (obs::Tracer* tr = engine_.tracer()) {
+    obs::Metrics& m = tr->metrics();
+    for (const int l : f.links) {
+      m.add("fabric.link[" + linkName(l) + "].bytes", bytes);
+    }
+  }
+  const std::vector<int> links = f.links;
+  flows_.emplace(id, std::move(f));
+  // The new flow squeezes everything it shares a link with (itself
+  // included); rates settle and completion events reschedule.
+  flowsReshare(flowsOnLinks(links));
+}
+
+void Fabric::flowComplete(std::uint64_t id, std::uint64_t gen) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end() || it->second.gen != gen) return;  // superseded
+  Flow& f = it->second;
+  const SimTime now = engine_.now();
+  const double elapsed = (now - f.lastUpdate).toSeconds();
+  f.bytesLeft = std::max(0.0, f.bytesLeft - f.rateBps * elapsed);
+  f.lastUpdate = now;
+  if (f.bytesLeft > 0.5) {
+    // Floating-point remainder left over after a rate change; drain it.
+    const std::uint64_t g = ++f.gen;
+    engine_.schedule(SimTime::seconds(f.bytesLeft / f.rateBps),
+                     [this, id, g] { flowComplete(id, g); });
+    return;
+  }
+  if (obs::Tracer* tr = engine_.tracer()) {
+    obs::Metrics& m = tr->metrics();
+    for (const int l : f.links) {
+      traceLinkSpan(*tr, l, f.start, now, f.bytesTotal);
+      m.add("fabric.link[" + linkName(l) + "].busy_sec",
+            (now - f.start).toSeconds());
+    }
+  }
+  for (const int l : f.links) {
+    auto& on = linkFlows_[static_cast<std::size_t>(l)];
+    on.erase(std::find(on.begin(), on.end(), id));
+  }
+  const std::vector<int> links = std::move(f.links);
+  const SimTime latency = f.latency;
+  std::function<void()> cb = std::move(f.onArrive);
+  flows_.erase(it);
+  flowsReshare(flowsOnLinks(links));  // survivors speed back up immediately
+  // Transmission just ended; the last byte still has to propagate.
+  engine_.schedule(latency, std::move(cb));
+}
+
+// ---- Fault handling ---------------------------------------------------------
 
 double Fabric::linkFaultFactor(int link, sim::SimTime t) const {
   if (faultPlan_ == nullptr) return 1.0;
@@ -299,11 +637,12 @@ double Fabric::loopbackBwGBs(int ep) const {
 
 SimTime Fabric::pathLatency(int srcEp, int dstEp) const {
   if (srcEp == dstEp) return SimTime::ns(100);
-  const Path p = route(srcEp, dstEp);
+  const Path& p = route(srcEp, dstEp);
   if (p.bridgeNode >= 0) {
-    const int bridgeEp = machine_.endpointOfNode(p.bridgeNode);
+    const int bridgeNode = p.bridgeNode;  // copy before recursing (cache moves)
+    const int bridgeEp = machine_.endpointOfNode(bridgeNode);
     return pathLatency(srcEp, bridgeEp) +
-           machine_.node(p.bridgeNode).mpiSwOverhead +
+           machine_.node(bridgeNode).mpiSwOverhead +
            pathLatency(bridgeEp, dstEp);
   }
   return p.latency;
@@ -311,9 +650,10 @@ SimTime Fabric::pathLatency(int srcEp, int dstEp) const {
 
 double Fabric::bottleneckBwGBs(int srcEp, int dstEp) const {
   if (srcEp == dstEp) return loopbackBwGBs(srcEp);
-  const Path p = route(srcEp, dstEp);
+  const Path& p = route(srcEp, dstEp);
   if (p.bridgeNode >= 0) {
-    const int bridgeEp = machine_.endpointOfNode(p.bridgeNode);
+    const int bridgeNode = p.bridgeNode;  // copy before recursing (cache moves)
+    const int bridgeEp = machine_.endpointOfNode(bridgeNode);
     const double legs = std::min(bottleneckBwGBs(srcEp, bridgeEp),
                                  bottleneckBwGBs(bridgeEp, dstEp));
     // Sequential store-and-forward halves the effective streaming rate.

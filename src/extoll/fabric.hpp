@@ -1,15 +1,42 @@
 #pragma once
 
 // Fabric model (EXTOLL Tourmalet on the DEEP-ER prototype; InfiniBand +
-// EXTOLL with bridge nodes on the gen-1 DEEP prototype).
+// EXTOLL with bridge nodes on the gen-1 DEEP prototype; generated
+// fat-tree / dragonfly fabrics for scale-out sweeps).
 //
-// The model is message-granular: a transfer occupies every link on its path
-// for bytes / (link bandwidth * protocol efficiency) (cut-through, so the
-// serialization time is paid once end-to-end), and experiences a fixed
-// per-element latency (NIC, wire, switch, trunk).  Links are serialized via
-// busy-until clocks, so concurrent traffic sees queueing — this is where
-// collective algorithms and the C+B interface exchange get their contention
-// behaviour from.
+// The default model is message-granular: a transfer occupies every link on
+// its path for bytes / (link bandwidth * protocol efficiency) (cut-through,
+// so the serialization time is paid once end-to-end), and experiences a
+// fixed per-element latency (NIC, wire, switch, trunk).  Links are
+// serialized via busy-until clocks, so concurrent traffic sees queueing —
+// this is where collective algorithms and the C+B interface exchange get
+// their contention behaviour from.
+//
+// Routing.  Two interchangeable routers compute the same paths:
+//   * Enumerated (the reference): breadth-first shortest-path search over
+//     the switch graph, all equal-cost candidates collected in
+//     lexicographic trunk-index order.
+//   * Structural: for machines generated from a hw::TopologySpec, the
+//     path comes from pod/group/router coordinate arithmetic in O(1) —
+//     no graph search, no per-switch state.  Because the generators emit
+//     trunks in exactly the order the reference's enumeration visits
+//     them (hw/topology.hpp), the two routers are byte-identical; a
+//     property test pins this.
+// Equal-cost candidates are tie-broken deterministically by
+// (srcEp + dstEp) % count, which both routers compute without
+// enumerating anything at runtime.  Either way the chosen path is
+// memoized in a per-(src,dst) cache — the topology is static after
+// construction, so route() is pure (bridged gen-1 paths, whose bridge
+// pick rotates, bypass the cache).
+//
+// Congestion models.  Next to the packet/occupancy model above, an
+// optional flow-level model (CongestionModel::Flow) shares each link's
+// capacity equally among the flows crossing it (a link-fair max-min
+// approximation in the SimGrid flow-model tradition): a transfer becomes
+// a flow whose rate is min over its links of capacity / active-flow
+// count, re-evaluated whenever a flow starts or finishes on a shared
+// link.  Huge sweeps trade per-packet queueing fidelity for a tiny
+// event count per message.
 //
 // Endpoint numbering follows hw::Machine: [0, nodeCount) node NICs, then
 // NAM devices.  Gen-1 bridge nodes are dual-homed: their NIC is considered
@@ -18,7 +45,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/plan.hpp"
@@ -26,6 +55,19 @@
 #include "sim/engine.hpp"
 
 namespace cbsim::extoll {
+
+/// Path computation strategy; Auto resolves to Structural for machines
+/// generated from a hw::TopologySpec and Enumerated otherwise.
+enum class RoutingMode { Auto, Enumerated, Structural };
+
+/// Packet = per-message link occupancy (busy-until clocks, the paper
+/// model); Flow = link-fair max-min bandwidth sharing for huge sweeps.
+enum class CongestionModel { Packet, Flow };
+
+struct FabricOptions {
+  RoutingMode routing = RoutingMode::Auto;
+  CongestionModel model = CongestionModel::Packet;
+};
 
 class Fabric {
  public:
@@ -39,7 +81,7 @@ class Fabric {
     std::uint64_t reroutes = 0;     ///< trunk-down messages detoured via a bridge
   };
 
-  explicit Fabric(hw::Machine& machine);
+  explicit Fabric(hw::Machine& machine, FabricOptions options = {});
 
   /// Injects a transfer of `bytes` from endpoint `srcEp` to `dstEp`.
   /// `onArrive` runs (as an engine event) when the last byte lands at the
@@ -81,6 +123,28 @@ class Fabric {
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] hw::Machine& machine() const { return machine_; }
+  [[nodiscard]] const FabricOptions& options() const { return options_; }
+  /// The mode Auto resolved to (never Auto).
+  [[nodiscard]] RoutingMode routingMode() const { return routing_; }
+
+  /// Introspection of one routing decision (tests, equivalence checks,
+  /// benches).  Same purity contract as pathLatency().
+  struct RouteInfo {
+    std::vector<int> links;
+    sim::SimTime latency;
+    double bwGBs = 0.0;
+    int bridgeNode = -1;
+  };
+  [[nodiscard]] RouteInfo routeInfo(int srcEp, int dstEp) const;
+
+  /// Entries currently memoized by the per-(src,dst) path cache.
+  [[nodiscard]] std::size_t routeCacheSize() const {
+    return pathCache_.size();
+  }
+  [[nodiscard]] std::uint64_t routeCacheHits() const { return cacheHits_; }
+
+  /// Flows currently in flight (CongestionModel::Flow only).
+  [[nodiscard]] std::size_t activeFlows() const { return flows_.size(); }
 
  private:
   struct Path {
@@ -88,6 +152,13 @@ class Fabric {
     sim::SimTime latency;     ///< sum of fixed element latencies
     double bwGBs;             ///< effective bottleneck bandwidth
     int bridgeNode = -1;      ///< store-and-forward bridge, or -1
+  };
+
+  /// One inter-switch step of a path: which trunk, and whether it is
+  /// traversed in its emitted switch_a -> switch_b direction.
+  struct Hop {
+    int trunk;
+    bool forward;
   };
 
   [[nodiscard]] int upLink(int ep) const { return 2 * ep; }
@@ -99,10 +170,26 @@ class Fabric {
   /// Resolves the dual-homing of bridge nodes: a bridge NIC counts as
   /// attached to its peer's network.
   [[nodiscard]] int effectiveSwitch(int ep, int peerSwitch) const;
-  /// Pure routing query; a bridged path reports the bridge the round-robin
-  /// would pick next without advancing it (only deliverLeg advances it, so
-  /// latency/bandwidth queries cannot perturb later traffic).
-  [[nodiscard]] Path route(int srcEp, int dstEp) const;
+  /// Pure routing query (memoized); a bridged path reports the bridge the
+  /// round-robin would pick next without advancing it (only deliverLeg
+  /// advances it, so latency/bandwidth queries cannot perturb later
+  /// traffic).  Bridged paths bypass the cache for exactly that reason.
+  [[nodiscard]] const Path& route(int srcEp, int dstEp) const;
+  [[nodiscard]] Path computePath(int srcEp, int dstEp) const;
+  /// Builds links/latency/bandwidth for src -> [hops] -> dst.
+  [[nodiscard]] Path assemblePath(int srcEp, int s1, int dstEp, int s2,
+                                  const std::vector<Hop>& hops) const;
+  /// All equal-cost shortest trunk sequences s1 -> s2 in lexicographic
+  /// trunk-index order (the enumerated reference); memoized.  Empty when
+  /// the switches are disconnected.
+  [[nodiscard]] const std::vector<std::vector<Hop>>& switchPaths(
+      int s1, int s2) const;
+  /// O(1) coordinate routing on generated topologies.  Returns false when
+  /// the machine has no topology or the switches fall outside the
+  /// generated pattern (then the enumerated reference takes over).
+  [[nodiscard]] bool structuralPath(int s1, int s2, int selector,
+                                    std::vector<Hop>& hops) const;
+
   /// Books the path's links and returns the arrival time.  `bwFactor`
   /// scales the path's bottleneck bandwidth (fault-plan degradation,
   /// sampled once at injection time).
@@ -130,8 +217,36 @@ class Fabric {
   void traceLinkSpan(obs::Tracer& tr, int link, sim::SimTime t0,
                      sim::SimTime end, double bytes);
 
+  // ---- Flow-level congestion model ----------------------------------------
+  struct Flow {
+    int dstEp = -1;
+    double bytesLeft = 0.0;
+    double bytesTotal = 0.0;
+    double rateBps = 0.0;      ///< currently allotted end-to-end rate
+    double bwFactor = 1.0;     ///< fault-plan degradation, fixed at injection
+    sim::SimTime lastUpdate;   ///< when bytesLeft was last settled
+    sim::SimTime start;
+    sim::SimTime latency;      ///< fixed path latency, added at completion
+    std::uint64_t gen = 0;     ///< invalidates superseded completion events
+    std::vector<int> links;
+    std::function<void()> onArrive;
+  };
+
+  void flowStart(const Path& path, double bytes, double bwFactor,
+                 std::function<void()> onArrive);
+  void flowComplete(std::uint64_t id, std::uint64_t gen);
+  /// Settles progress, recomputes the fair rate, and reschedules the
+  /// completion event of every flow in `ids` (sorted, deduplicated).
+  void flowsReshare(std::vector<std::uint64_t> ids);
+  [[nodiscard]] double flowFairRateBps(const Flow& f) const;
+  /// Active-flow ids over all of `links`, sorted and deduplicated.
+  [[nodiscard]] std::vector<std::uint64_t> flowsOnLinks(
+      const std::vector<int>& links) const;
+
   hw::Machine& machine_;
   sim::Engine& engine_;
+  FabricOptions options_;
+  RoutingMode routing_ = RoutingMode::Enumerated;  ///< Auto resolved
   std::vector<sim::SimTime> linkBusy_;
   std::vector<double> linkBwGBs_;      ///< raw link rate
   std::vector<double> linkEff_;        ///< protocol efficiency of the link's net
@@ -141,6 +256,32 @@ class Fabric {
   std::vector<int> linkRowGroups_;     ///< obs::Group of each link's row
   const fault::FaultPlan* faultPlan_ = nullptr;
   Stats stats_;
+
+  // Routing state.  The adjacency is per-switch, edges in trunk-index
+  // order (built once; trunks are emitted in ascending index order).
+  struct Edge {
+    int trunk;
+    int to;
+    bool forward;
+  };
+  std::vector<std::vector<Edge>> switchAdj_;
+  /// Memoized routing decisions.  Mutable: route() is logically const (the
+  /// topology is frozen at construction) and worlds are single-threaded.
+  mutable std::unordered_map<std::uint64_t, Path> pathCache_;
+  /// Holds the most recent bridged (uncacheable) route() result so route()
+  /// can hand out references uniformly.
+  mutable Path bridgeScratch_;
+  mutable std::unordered_map<std::uint64_t, std::vector<std::vector<Hop>>>
+      switchPathsCache_;
+  mutable std::uint64_t cacheHits_ = 0;
+  /// Safety valve for adversarial endpoint-pair counts; a full clear keeps
+  /// the policy deterministic (no recency state).
+  static constexpr std::size_t kPathCacheCap = 1u << 20;
+
+  // Flow-model state.  std::map for deterministic recompute order.
+  std::map<std::uint64_t, Flow> flows_;
+  std::vector<std::vector<std::uint64_t>> linkFlows_;  ///< per link, flow ids
+  std::uint64_t nextFlowId_ = 0;
 };
 
 }  // namespace cbsim::extoll

@@ -192,6 +192,31 @@ constexpr const char* kMachineDeepEst = R"json({
   ]
 })json";
 
+// Generated-topology presets: tiny instances of the two scale-out
+// families, mostly for tests and examples — real sweeps size them through
+// the `topology` object (see examples/desc/fat-tree-16k.json).
+constexpr const char* kMachineFatTreeTiny = R"json({
+  "name": "fat-tree-tiny",
+  "topology": {
+    "kind": "fat-tree",
+    "pods": 4,
+    "spines": 2,
+    "nodes_per_pod": 4,
+    "cpu": "xeon-haswell"
+  }
+})json";
+
+constexpr const char* kMachineDragonflyTiny = R"json({
+  "name": "dragonfly-tiny",
+  "topology": {
+    "kind": "dragonfly",
+    "routers_per_group": 2,
+    "nodes_per_router": 2,
+    "global_per_router": 1,
+    "cpu": "xeon-haswell"
+  }
+})json";
+
 struct PresetEntry {
   const char* name;
   const char* text;
@@ -214,6 +239,8 @@ constexpr PresetEntry kMachinePresets[] = {
     {"deep-er", kMachineDeepEr},
     {"deep-gen1", kMachineDeepGen1},
     {"deep-est", kMachineDeepEst},
+    {"fat-tree-tiny", kMachineFatTreeTiny},
+    {"dragonfly-tiny", kMachineDragonflyTiny},
 };
 
 template <std::size_t N>
@@ -440,6 +467,63 @@ NodeGroupSpec nodeGroupSpecFromDesc(desc::Reader& r) {
   return g;
 }
 
+TopologySpec topologySpecFromDesc(desc::Reader& r) {
+  TopologySpec t;
+  {
+    const std::string kind = r.stringAt("kind");
+    if (kind == "fat-tree") {
+      t.kind = TopologySpec::Kind::FatTree;
+    } else if (kind == "dragonfly") {
+      t.kind = TopologySpec::Kind::Dragonfly;
+    } else {
+      r.fail("unknown topology kind \"" + kind +
+             "\" (expected fat-tree or dragonfly)");
+    }
+  }
+  if (t.kind == TopologySpec::Kind::FatTree) {
+    if (r.has("radix")) {
+      const int k = static_cast<int>(r.intAt("radix"));
+      if (k < 2 || k % 2 != 0) {
+        r.fail("topology.radix must be an even switch port count >= 2 (got " +
+               std::to_string(k) + "); a k-port fat-tree splits ports k/2 "
+               "down, k/2 up");
+      }
+      t.pods = k;
+      t.spines = k / 2;
+      t.nodesPerPod = k / 2;
+    }
+    t.pods = static_cast<int>(r.intAt("pods", t.pods));
+    t.spines = static_cast<int>(r.intAt("spines", t.spines));
+    t.nodesPerPod = static_cast<int>(r.intAt("nodes_per_pod", t.nodesPerPod));
+  } else {
+    t.routersPerGroup =
+        static_cast<int>(r.intAt("routers_per_group", t.routersPerGroup));
+    t.nodesPerRouter =
+        static_cast<int>(r.intAt("nodes_per_router", t.nodesPerRouter));
+    t.globalPerRouter =
+        static_cast<int>(r.intAt("global_per_router", t.globalPerRouter));
+  }
+  if (r.has("node_kind")) {
+    desc::Reader kind = r.child("node_kind");
+    t.nodeKind = nodeKindFromKey(kind);
+  }
+  if (auto cpu = r.tryChild("cpu")) t.cpu = cpuSpecFromDesc(*cpu);
+  if (auto net = r.tryChild("net")) t.net = netClassSpecFromDesc(*net);
+  t.trunkBandwidthGBs = r.numberAt("trunk_bandwidth_gbs", t.trunkBandwidthGBs);
+  t.trunkLatency =
+      timeFromNs(r.numberAt("trunk_latency_ns", nsFromTime(t.trunkLatency)));
+  t.mpiSwOverhead =
+      timeFromNs(r.numberAt("mpi_sw_overhead_ns", nsFromTime(t.mpiSwOverhead)));
+  t.activeWatts = r.numberAt("active_watts", t.activeWatts);
+  r.finish();
+  try {
+    t.validate();
+  } catch (const std::invalid_argument& e) {
+    r.fail(e.what());
+  }
+  return t;
+}
+
 void setGroupCount(MachineConfig& cfg, NodeKind kind, int count) {
   for (std::size_t i = 0; i < cfg.groups.size(); ++i) {
     if (cfg.groups[i].kind != kind) continue;
@@ -484,6 +568,21 @@ MachineConfig machineConfigFromDescUncached(desc::Reader& r) {
                     static_cast<int>(r.intAt("analytics_nodes")));
     }
     r.finish();
+    cfg.validate();
+    return cfg;
+  }
+  if (r.has("topology")) {
+    // Generated machine: the topology object IS the description; the
+    // switch/group/trunk lists are its deterministic expansion and are
+    // not accepted alongside it (they could drift).
+    const std::string name = r.stringAt("name", "");
+    TopologySpec spec;
+    {
+      desc::Reader topo = r.child("topology");
+      spec = topologySpecFromDesc(topo);
+    }
+    r.finish();
+    MachineConfig cfg = spec.materialize(name);
     cfg.validate();
     return cfg;
   }
@@ -617,9 +716,40 @@ desc::Value toDesc(const NodeGroupSpec& g) {
   return v;
 }
 
+desc::Value toDesc(const TopologySpec& t) {
+  desc::Value v = desc::Value::object();
+  const bool ft = t.kind == TopologySpec::Kind::FatTree;
+  v.set("kind", desc::Value::string(ft ? "fat-tree" : "dragonfly"));
+  if (ft) {
+    v.set("pods", desc::Value::integer(t.pods));
+    v.set("spines", desc::Value::integer(t.spines));
+    v.set("nodes_per_pod", desc::Value::integer(t.nodesPerPod));
+  } else {
+    v.set("routers_per_group", desc::Value::integer(t.routersPerGroup));
+    v.set("nodes_per_router", desc::Value::integer(t.nodesPerRouter));
+    v.set("global_per_router", desc::Value::integer(t.globalPerRouter));
+  }
+  v.set("node_kind", desc::Value::string(nodeKindKey(t.nodeKind)));
+  v.set("cpu", toDesc(t.cpu));
+  v.set("net", toDesc(t.net));
+  v.set("trunk_bandwidth_gbs", desc::Value::number(t.trunkBandwidthGBs));
+  v.set("trunk_latency_ns", desc::Value::number(nsFromTime(t.trunkLatency)));
+  v.set("mpi_sw_overhead_ns", desc::Value::number(nsFromTime(t.mpiSwOverhead)));
+  v.set("active_watts", desc::Value::number(t.activeWatts));
+  return v;
+}
+
 desc::Value toDesc(const MachineConfig& c) {
   desc::Value v = desc::Value::object();
   v.set("name", desc::Value::string(c.name));
+  if (c.topology) {
+    // Compact canonical form: the topology object regenerates the
+    // switch/group/trunk lists exactly (materialize() is deterministic),
+    // so a 16k-node machine dumps as a dozen lines and still round-trips
+    // byte-identically.
+    v.set("topology", toDesc(*c.topology));
+    return v;
+  }
   v.set("bridge_between_switches",
         desc::Value::boolean(c.bridgeBetweenSwitches));
   desc::Value switches = desc::Value::array();

@@ -31,6 +31,7 @@
 
 #include "desc/schema.hpp"
 #include "hw/machine.hpp"
+#include "hw/topology.hpp"
 
 namespace cbsim::hw {
 
@@ -43,6 +44,12 @@ namespace cbsim::hw {
 [[nodiscard]] SwitchSpec switchSpecFromDesc(desc::Reader& r);
 [[nodiscard]] TrunkSpec trunkSpecFromDesc(desc::Reader& r);
 [[nodiscard]] NodeGroupSpec nodeGroupSpecFromDesc(desc::Reader& r);
+/// Generated-topology object ({"kind": "fat-tree" | "dragonfly", ...}).
+/// Fat-tree accepts either explicit pods/spines/nodes_per_pod or the
+/// `radix` shorthand (k-port switches: k leaves, k/2 spines, k/2 nodes
+/// per leaf; k must be even).  A machine description with a "topology"
+/// key materializes through TopologySpec::materialize().
+[[nodiscard]] TopologySpec topologySpecFromDesc(desc::Reader& r);
 [[nodiscard]] MachineConfig machineConfigFromDesc(desc::Reader& r);
 
 /// Resizes the first group of `kind`; a count <= 0 removes the group (used
@@ -59,6 +66,7 @@ void setGroupCount(MachineConfig& cfg, NodeKind kind, int count);
 [[nodiscard]] desc::Value toDesc(const SwitchSpec& s);
 [[nodiscard]] desc::Value toDesc(const TrunkSpec& s);
 [[nodiscard]] desc::Value toDesc(const NodeGroupSpec& s);
+[[nodiscard]] desc::Value toDesc(const TopologySpec& t);
 [[nodiscard]] desc::Value toDesc(const MachineConfig& c);
 
 // ---- Preset registries (each preset is an embedded description string) -----

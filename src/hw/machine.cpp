@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "desc/json.hpp"
+#include "hw/topology.hpp"
 
 // The machine presets (deepEr, deepGen1, deepEst, reference CPU specs) live
 // in hw/desc.cpp as embedded description strings; this file holds only the
@@ -40,6 +41,20 @@ std::string at(const char* field, std::size_t i) {
 }  // namespace
 
 void MachineConfig::validate() const {
+  if (topology) {
+    try {
+      topology->validate();
+    } catch (const std::invalid_argument& e) {
+      invalid(*this, e.what());
+    }
+    if (topology->switchCount() != static_cast<int>(switches.size()) ||
+        topology->trunkCount() != static_cast<int>(trunks.size())) {
+      invalid(*this,
+              "topology does not match the materialized switch/trunk lists "
+              "(configs carrying a topology must come from "
+              "TopologySpec::materialize())");
+    }
+  }
   const int nSwitches = static_cast<int>(switches.size());
   for (std::size_t i = 0; i < switches.size(); ++i) {
     const SwitchSpec& sw = switches[i];

@@ -19,6 +19,8 @@
 
 namespace cbsim::hw {
 
+struct TopologySpec;  // hw/topology.hpp
+
 /// Parameters of one network technology (per switch).
 struct NetClassSpec {
   std::string name = "EXTOLL Tourmalet A3";
@@ -69,6 +71,12 @@ struct MachineConfig {
   /// Messages between these switch pairs must store-and-forward through a
   /// Bridge node (gen-1 prototype: InfiniBand <-> EXTOLL).
   bool bridgeBetweenSwitches = false;
+  /// Set when this config was generated from a TopologySpec
+  /// (TopologySpec::materialize): switches/groups/trunks are the spec's
+  /// deterministic expansion.  Enables O(1) structural routing in
+  /// extoll::Fabric and the compact `topology` form of the canonical
+  /// description dump.  Immutable and shared across config copies.
+  std::shared_ptr<const TopologySpec> topology;
 
   [[nodiscard]] int totalNodes() const;
 

@@ -1,0 +1,182 @@
+#include "hw/topology.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace cbsim::hw {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& field, const std::string& what) {
+  throw std::invalid_argument("hw::TopologySpec: topology." + field + " " +
+                              what);
+}
+
+void requirePositive(const char* field, int v) {
+  if (v < 1) {
+    bad(field, "must be >= 1 (got " + std::to_string(v) + ")");
+  }
+}
+
+}  // namespace
+
+int TopologySpec::totalNodes() const {
+  if (kind == Kind::FatTree) return pods * nodesPerPod;
+  return dragonfly().groups() * routersPerGroup * nodesPerRouter;
+}
+
+int TopologySpec::switchCount() const {
+  if (kind == Kind::FatTree) return pods + spines;
+  return dragonfly().groups() * routersPerGroup;
+}
+
+int TopologySpec::trunkCount() const {
+  if (kind == Kind::FatTree) return pods * spines;
+  const DragonflyLayout d = dragonfly();
+  const int g = d.groups();
+  return g * d.localTrunksPerGroup() + g * (g - 1) / 2;
+}
+
+void TopologySpec::validate() const {
+  if (kind == Kind::FatTree) {
+    requirePositive("pods", pods);
+    requirePositive("spines", spines);
+    requirePositive("nodes_per_pod", nodesPerPod);
+    if (pods < 2) {
+      bad("pods", "must be >= 2 — a one-leaf fat-tree has no spine level "
+                  "(describe a single switch instead)");
+    }
+  } else {
+    requirePositive("routers_per_group", routersPerGroup);
+    requirePositive("nodes_per_router", nodesPerRouter);
+    requirePositive("global_per_router", globalPerRouter);
+    if (routersPerGroup * globalPerRouter + 1 < 3) {
+      bad("global_per_router",
+          "gives fewer than 3 groups (a*h + 1); a dragonfly needs a "
+          "global level");
+    }
+  }
+  if (!(trunkBandwidthGBs > 0.0)) {
+    bad("trunk_bandwidth_gbs", "must be positive");
+  }
+  if (trunkLatency < sim::SimTime::zero()) {
+    bad("trunk_latency_ns", "must be non-negative");
+  }
+  if (!(net.linkBandwidthGBs > 0.0)) {
+    bad("net.link_bandwidth_gbs", "must be positive");
+  }
+}
+
+MachineConfig TopologySpec::materialize(std::string name) const {
+  validate();
+  MachineConfig cfg;
+  cfg.topology = std::make_shared<const TopologySpec>(*this);
+  NodeGroupSpec proto;
+  proto.kind = nodeKind;
+  proto.cpu = cpu;
+  proto.mpiSwOverhead = mpiSwOverhead;
+  proto.activeWatts = activeWatts;
+  TrunkSpec trunkProto;
+  trunkProto.bandwidthGBs = trunkBandwidthGBs;
+  trunkProto.latency = trunkLatency;
+  if (kind == Kind::FatTree) {
+    cfg.name = !name.empty()
+                   ? std::move(name)
+                   : "fat-tree(pods=" + std::to_string(pods) +
+                         ", spines=" + std::to_string(spines) +
+                         ", nodes_per_pod=" + std::to_string(nodesPerPod) + ")";
+    const FatTreeLayout ft = fatTree();
+    for (int l = 0; l < pods; ++l) {
+      cfg.switches.push_back({"leaf" + std::to_string(l), net});
+    }
+    for (int s = 0; s < spines; ++s) {
+      cfg.switches.push_back({"spine" + std::to_string(s), net});
+    }
+    for (int l = 0; l < pods; ++l) {
+      NodeGroupSpec g = proto;
+      g.count = nodesPerPod;
+      g.namePrefix = "ft" + std::to_string(l) + "n";
+      g.switchId = ft.leafSwitch(l);
+      cfg.groups.push_back(std::move(g));
+    }
+    // Leaf-major trunk order: trunk(l, s) at index l*spines + s.  The
+    // structural router depends on this (see topology.hpp header note).
+    for (int l = 0; l < pods; ++l) {
+      for (int s = 0; s < spines; ++s) {
+        TrunkSpec t = trunkProto;
+        t.switchA = ft.leafSwitch(l);
+        t.switchB = ft.spineSwitch(s);
+        cfg.trunks.push_back(t);
+      }
+    }
+  } else {
+    const DragonflyLayout d = dragonfly();
+    const int g = d.groups();
+    cfg.name = !name.empty()
+                   ? std::move(name)
+                   : "dragonfly(a=" + std::to_string(routersPerGroup) +
+                         ", p=" + std::to_string(nodesPerRouter) +
+                         ", h=" + std::to_string(globalPerRouter) + ")";
+    for (int G = 0; G < g; ++G) {
+      for (int R = 0; R < routersPerGroup; ++R) {
+        cfg.switches.push_back(
+            {"g" + std::to_string(G) + "r" + std::to_string(R), net});
+      }
+    }
+    for (int G = 0; G < g; ++G) {
+      for (int R = 0; R < routersPerGroup; ++R) {
+        NodeGroupSpec grp = proto;
+        grp.count = nodesPerRouter;
+        grp.namePrefix = "g" + std::to_string(G) + "r" + std::to_string(R) + "n";
+        grp.switchId = d.switchOf(G, R);
+        cfg.groups.push_back(std::move(grp));
+      }
+    }
+    // Local mesh trunks per group, router pairs in lexicographic order.
+    for (int G = 0; G < g; ++G) {
+      for (int ra = 0; ra < routersPerGroup; ++ra) {
+        for (int rb = ra + 1; rb < routersPerGroup; ++rb) {
+          TrunkSpec t = trunkProto;
+          t.switchA = d.switchOf(G, ra);
+          t.switchB = d.switchOf(G, rb);
+          cfg.trunks.push_back(t);
+        }
+      }
+    }
+    // Global channels: port q of group G reaches group (G + q + 1) mod g;
+    // emit the G < peer direction only.
+    for (int G = 0; G < g; ++G) {
+      for (int q = 0; q < routersPerGroup * globalPerRouter && q < g - 1; ++q) {
+        const int peer = (G + q + 1) % g;
+        if (G >= peer) continue;
+        TrunkSpec t = trunkProto;
+        t.switchA = d.switchOf(G, d.gatewayRouter(G, peer));
+        t.switchB = d.switchOf(peer, d.gatewayRouter(peer, G));
+        cfg.trunks.push_back(t);
+      }
+    }
+  }
+  return cfg;
+}
+
+TopologySpec TopologySpec::fatTreeSpec(int pods, int spines, int nodesPerPod) {
+  TopologySpec t;
+  t.kind = Kind::FatTree;
+  t.pods = pods;
+  t.spines = spines;
+  t.nodesPerPod = nodesPerPod;
+  return t;
+}
+
+TopologySpec TopologySpec::dragonflySpec(int routersPerGroup, int nodesPerRouter,
+                                         int globalPerRouter) {
+  TopologySpec t;
+  t.kind = Kind::Dragonfly;
+  t.routersPerGroup = routersPerGroup;
+  t.nodesPerRouter = nodesPerRouter;
+  t.globalPerRouter = globalPerRouter;
+  return t;
+}
+
+}  // namespace cbsim::hw

@@ -191,10 +191,7 @@ Comm Env::commSplit(Comm c, int color, int key) {
 
   const auto& group = rt_.commInfo(c);
   const auto& myGroup =
-      (std::find(group.groupB.begin(), group.groupB.end(), proc_.idx) !=
-       group.groupB.end())
-          ? group.groupB
-          : group.groupA;
+      group.rankInB(proc_.idx) >= 0 ? group.groupB : group.groupA;
   std::vector<int> procIdx;
   procIdx.reserve(members.size());
   for (const Member& m : members) {

@@ -50,31 +50,56 @@ const Runtime::CommInfo& Runtime::commInfo(Comm c) const {
   return comms_.at(static_cast<std::size_t>(c.id()));
 }
 
+void Runtime::GroupIndex::build(const std::vector<int>& members) {
+  base = -1;
+  sorted.clear();
+  if (members.empty()) return;
+  bool contiguous = true;
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    if (members[i] != members[i - 1] + 1) {
+      contiguous = false;
+      break;
+    }
+  }
+  if (contiguous) {
+    base = members.front();
+    return;
+  }
+  sorted.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    sorted.emplace_back(members[i], static_cast<int>(i));
+  }
+  std::sort(sorted.begin(), sorted.end());
+}
+
+int Runtime::GroupIndex::rankOf(int procIdx, std::size_t size) const {
+  if (base >= 0) {
+    const int r = procIdx - base;
+    return (r >= 0 && r < static_cast<int>(size)) ? r : -1;
+  }
+  const auto it = std::lower_bound(
+      sorted.begin(), sorted.end(), std::make_pair(procIdx, -1));
+  if (it == sorted.end() || it->first != procIdx) return -1;
+  return it->second;
+}
+
 int Runtime::rankIn(Comm c, int procIdx) const {
   const CommInfo& info = commInfo(c);
-  for (std::size_t i = 0; i < info.groupA.size(); ++i) {
-    if (info.groupA[i] == procIdx) return static_cast<int>(i);
-  }
-  for (std::size_t i = 0; i < info.groupB.size(); ++i) {
-    if (info.groupB[i] == procIdx) return static_cast<int>(i);
-  }
-  return -1;
+  const int a = info.rankInA(procIdx);
+  if (a >= 0) return a;
+  return info.rankInB(procIdx);
 }
 
 int Runtime::localSize(Comm c, int procIdx) const {
   const CommInfo& info = commInfo(c);
-  for (const int p : info.groupB) {
-    if (p == procIdx) return static_cast<int>(info.groupB.size());
-  }
+  if (info.rankInB(procIdx) >= 0) return static_cast<int>(info.groupB.size());
   return static_cast<int>(info.groupA.size());
 }
 
 int Runtime::remoteSize(Comm c, int procIdx) const {
   const CommInfo& info = commInfo(c);
   if (!info.inter) return static_cast<int>(info.groupA.size());
-  for (const int p : info.groupB) {
-    if (p == procIdx) return static_cast<int>(info.groupA.size());
-  }
+  if (info.rankInB(procIdx) >= 0) return static_cast<int>(info.groupA.size());
   return static_cast<int>(info.groupB.size());
 }
 
@@ -84,10 +109,8 @@ int Runtime::sendTarget(Comm c, int srcProcIdx, int dstRank) const {
     return info.groupA.at(static_cast<std::size_t>(dstRank));
   }
   // Intercomm: the destination rank indexes the *other* group.
-  const bool srcInA =
-      std::find(info.groupA.begin(), info.groupA.end(), srcProcIdx) !=
-      info.groupA.end();
-  const auto& remote = srcInA ? info.groupB : info.groupA;
+  const auto& remote =
+      info.rankInA(srcProcIdx) >= 0 ? info.groupB : info.groupA;
   return remote.at(static_cast<std::size_t>(dstRank));
 }
 
@@ -96,6 +119,7 @@ Comm Runtime::makeIntracomm(std::vector<int> members) {
   info.id = static_cast<int>(comms_.size());
   info.inter = false;
   info.groupA = std::move(members);
+  info.indexA.build(info.groupA);
   comms_.push_back(std::move(info));
   return Comm(comms_.back().id);
 }
@@ -106,6 +130,8 @@ Comm Runtime::makeIntercomm(std::vector<int> groupA, std::vector<int> groupB) {
   info.inter = true;
   info.groupA = std::move(groupA);
   info.groupB = std::move(groupB);
+  info.indexA.build(info.groupA);
+  info.indexB.build(info.groupB);
   comms_.push_back(std::move(info));
   return Comm(comms_.back().id);
 }

@@ -192,11 +192,32 @@ class Runtime {
   friend class Env;
 
   // ---- Communicator bookkeeping -------------------------------------------
+  /// Constant-time rank lookup over one side of a communicator.  World
+  /// comms are built from sequentially appended proc indices, so they are
+  /// contiguous ascending ranges and collapse to a (base, size) pair —
+  /// rankIn() was an O(n) scan per send, which dominated at 10k+ ranks.
+  /// Split/dup comms fall back to a sorted (procIdx, rank) index.
+  struct GroupIndex {
+    int base = -1;  ///< contiguous fast path: rank = procIdx - base
+    std::vector<std::pair<int, int>> sorted;  ///< (procIdx, rank); base < 0
+    void build(const std::vector<int>& members);
+    /// Rank of `procIdx` in the indexed group, or -1.
+    [[nodiscard]] int rankOf(int procIdx, std::size_t size) const;
+  };
+
   struct CommInfo {
     int id = -1;
     bool inter = false;
     std::vector<int> groupA;  ///< proc indices
     std::vector<int> groupB;  ///< empty for intracomms
+    GroupIndex indexA;
+    GroupIndex indexB;
+    [[nodiscard]] int rankInA(int procIdx) const {
+      return indexA.rankOf(procIdx, groupA.size());
+    }
+    [[nodiscard]] int rankInB(int procIdx) const {
+      return indexB.rankOf(procIdx, groupB.size());
+    }
   };
 
   [[nodiscard]] const CommInfo& commInfo(Comm c) const;
