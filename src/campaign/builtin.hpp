@@ -22,6 +22,12 @@
 //     scenario parameters, which is what the structural-vs-enumerated
 //     equivalence tests and the 10k+-rank benches drive.
 //
+// chaosCampaign — fault-fuzzing sweep: one scenario per chaos trial, each
+//     running an invariant-checked mc scenario under a seed-deterministic
+//     fault schedule (chaos/generate.hpp).  Trial seeds match
+//     chaos::fuzz(), so any violating cell is reproducible — and
+//     shrinkable — with `cbsim_chaos --trials 1 --seed <trial seed>`.
+//
 // The grid builders live in grids.cpp; the builtin registry (builtin.cpp)
 // holds nothing but embedded description strings, parsed through the
 // campaign desc bindings — the same path that handles --scenario-file.
@@ -32,6 +38,7 @@
 #include <vector>
 
 #include "campaign/scenario.hpp"
+#include "chaos/fuzz.hpp"
 #include "extoll/fabric.hpp"
 #include "fault/plan.hpp"
 #include "hw/machine.hpp"
@@ -131,9 +138,20 @@ struct HaloParams {
 
 [[nodiscard]] Campaign haloCampaign(const HaloParams& params = {});
 
+/// Default fuzzing spec: the reliable transport (message-race family)
+/// under a mixed endpoint/switch/storm profile with moderate packet loss,
+/// 100 trials.
+[[nodiscard]] chaos::ChaosSpec defaultChaosSpec();
+
+struct ChaosParams {
+  chaos::ChaosSpec spec = defaultChaosSpec();
+};
+
+[[nodiscard]] Campaign chaosCampaign(const ChaosParams& params = {});
+
 /// Built-in campaign by name ("fig8", "fig8-tiny", "resilience",
-/// "resilience-tiny", "halo", "halo-tiny"); throws std::invalid_argument
-/// for unknown names.
+/// "resilience-tiny", "halo", "halo-tiny", "chaos", "chaos-tiny"); throws
+/// std::invalid_argument for unknown names.
 /// Resolved by parsing the builtin's embedded description string.
 [[nodiscard]] Campaign builtinCampaign(const std::string& name);
 [[nodiscard]] std::vector<std::string> builtinCampaignNames();

@@ -25,6 +25,9 @@ constexpr const char* kResilienceDescription =
 constexpr const char* kHaloDescription =
     "2D halo-exchange stencil swept over rank counts on a generated "
     "fabric; routing mode and congestion model are parameters";
+constexpr const char* kChaosDescription =
+    "fault-fuzzing sweep: invariant-checked scenario under one "
+    "seed-deterministic chaos schedule per trial";
 
 CheckpointScheme checkpointSchemeFromDesc(desc::Reader& r) {
   CheckpointScheme s;
@@ -210,17 +213,26 @@ desc::Value toDesc(const HaloParams& p) {
   return v;
 }
 
+ChaosParams chaosParamsFromDesc(desc::Reader& r) {
+  ChaosParams p;
+  p.spec = chaos::chaosSpecFromDesc(r);
+  return p;
+}
+
+desc::Value toDesc(const ChaosParams& p) { return chaos::toDesc(p.spec); }
+
 CampaignSpec campaignSpecFromDesc(desc::Reader& r) {
   CampaignSpec spec;
   spec.kind = r.stringAt("campaign");
   if (spec.kind != "fig8" && spec.kind != "resilience" &&
-      spec.kind != "halo") {
+      spec.kind != "halo" && spec.kind != "chaos") {
     r.fail("unknown campaign kind \"" + spec.kind +
-           "\"; known: fig8, resilience, halo");
+           "\"; known: fig8, resilience, halo, chaos");
   }
   const char* defaultDescription = spec.kind == "fig8" ? kFig8Description
-                                   : spec.kind == "halo"
-                                       ? kHaloDescription
+                                   : spec.kind == "halo" ? kHaloDescription
+                                   : spec.kind == "chaos"
+                                       ? kChaosDescription
                                        : kResilienceDescription;
   spec.name = r.stringAt("name", spec.kind);
   spec.description = r.stringAt("description", defaultDescription);
@@ -229,6 +241,8 @@ CampaignSpec campaignSpecFromDesc(desc::Reader& r) {
     if (auto f = r.tryChild("fig8")) spec.fig8 = fig8ParamsFromDesc(*f);
   } else if (spec.kind == "halo") {
     if (auto h = r.tryChild("halo")) spec.halo = haloParamsFromDesc(*h);
+  } else if (spec.kind == "chaos") {
+    if (auto ch = r.tryChild("chaos")) spec.chaos = chaosParamsFromDesc(*ch);
   } else {
     if (auto re = r.tryChild("resilience")) {
       spec.resilience = resilienceParamsFromDesc(*re);
@@ -249,6 +263,8 @@ desc::Value toDesc(const CampaignSpec& spec) {
     v.set("fig8", toDesc(spec.fig8));
   } else if (spec.kind == "halo") {
     v.set("halo", toDesc(spec.halo));
+  } else if (spec.kind == "chaos") {
+    v.set("chaos", toDesc(spec.chaos));
   } else {
     v.set("resilience", toDesc(spec.resilience));
   }
@@ -266,9 +282,10 @@ CampaignSpec campaignSpecFromDescText(const std::string& text,
 }
 
 Campaign buildCampaign(const CampaignSpec& spec) {
-  Campaign c = spec.kind == "fig8"   ? fig8Campaign(spec.fig8)
-               : spec.kind == "halo" ? haloCampaign(spec.halo)
-                                     : resilienceCampaign(spec.resilience);
+  Campaign c = spec.kind == "fig8"    ? fig8Campaign(spec.fig8)
+               : spec.kind == "halo"  ? haloCampaign(spec.halo)
+               : spec.kind == "chaos" ? chaosCampaign(spec.chaos)
+                                      : resilienceCampaign(spec.resilience);
   c.name = spec.name;
   c.description = spec.description;
   c.baseSeed = spec.baseSeed;

@@ -12,12 +12,12 @@
 //
 // Top-level schema:
 //   {
-//     "campaign": "fig8" | "resilience" | "halo",
+//     "campaign": "fig8" | "resilience" | "halo" | "chaos",
 //     "name": "fig8",                // optional; defaults per family
 //     "description": "...",         // optional; defaults per family
 //     "base_seed": 11400714819323198485,   // optional
 //     "fig8": { ... }               // params object matching "campaign"
-//     // or "resilience": { ... } or "halo": { ... }
+//     // or "resilience": { ... } or "halo": { ... } or "chaos": { ... }
 //   }
 //
 // toDesc(spec) emits everything fully expanded (presets resolved, all
@@ -34,13 +34,14 @@
 namespace cbsim::campaign {
 
 struct CampaignSpec {
-  std::string kind;         ///< "fig8", "resilience" or "halo"
+  std::string kind;         ///< "fig8", "resilience", "halo" or "chaos"
   std::string name;         ///< resolved campaign name
   std::string description;  ///< resolved one-line description
   std::uint64_t baseSeed = 0x9e3779b97f4a7c15ULL;
   Fig8Params fig8;               ///< used when kind == "fig8"
   ResilienceParams resilience;   ///< used when kind == "resilience"
   HaloParams halo;               ///< used when kind == "halo"
+  ChaosParams chaos;             ///< used when kind == "chaos"
 };
 
 [[nodiscard]] CampaignSpec campaignSpecFromDesc(desc::Reader& r);
@@ -61,5 +62,7 @@ struct CampaignSpec {
 [[nodiscard]] desc::Value toDesc(const ResilienceParams& p);
 [[nodiscard]] HaloParams haloParamsFromDesc(desc::Reader& r);
 [[nodiscard]] desc::Value toDesc(const HaloParams& p);
+[[nodiscard]] ChaosParams chaosParamsFromDesc(desc::Reader& r);
+[[nodiscard]] desc::Value toDesc(const ChaosParams& p);
 
 }  // namespace cbsim::campaign

@@ -7,6 +7,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -21,6 +22,7 @@
 #include "io/local_store.hpp"
 #include "io/nam_store.hpp"
 #include "mc/choice.hpp"
+#include "mc/scenarios.hpp"
 #include "pmpi/env.hpp"
 #include "pmpi/runtime.hpp"
 #include "rm/resource_manager.hpp"
@@ -493,6 +495,82 @@ Campaign resilienceCampaign(const ResilienceParams& params) {
       c.scenarios.push_back(std::move(s));
     }
   }
+  return c;
+}
+
+chaos::ChaosSpec defaultChaosSpec() {
+  chaos::ChaosSpec spec;
+  spec.name = "chaos";
+  spec.seed = 7;
+  spec.trials = 100;
+  spec.scenario.name = "transport-under-chaos";
+  spec.scenario.family = "message-race";
+  spec.scenario.drainSec = 2.0;
+  spec.scenario.senders = 3;
+  spec.scenario.messages = 4;
+  spec.scenario.recvWorkUs = 5;
+  spec.profile.horizonSec = 0.01;
+  spec.profile.endpointRateHz = 150;
+  spec.profile.trunkRateHz = 50;
+  spec.profile.switchRateHz = 30;
+  spec.profile.stormRateHz = 30;
+  spec.profile.windowMinSec = 0.0005;
+  spec.profile.windowMaxSec = 0.003;
+  spec.profile.downWeight = 0.6;
+  spec.profile.stormSpanSec = 0.002;
+  spec.profile.dropProbMax = 0.05;
+  spec.profile.corruptProbMax = 0.02;
+  return spec;
+}
+
+Campaign chaosCampaign(const ChaosParams& params) {
+  Campaign c;
+  c.name = "chaos";
+  c.description =
+      "fault-fuzzing sweep: invariant-checked scenario under one "
+      "seed-deterministic chaos schedule per trial";
+  // One spec/world resolution shared by every trial closure; the trial
+  // worlds themselves are still built fresh inside runTrial.
+  const auto spec = std::make_shared<const chaos::ChaosSpec>(params.spec);
+  const auto world = std::make_shared<const hw::MachineConfig>(
+      mc::scenarioWorld(spec->scenario));
+  for (int i = 0; i < spec->trials; ++i) {
+    Scenario s;
+    char name[32];
+    std::snprintf(name, sizeof(name), "chaos/trial-%03d", i);
+    s.name = name;
+    s.run = [spec, world, i](ScenarioContext&) {
+      // The trial seed comes from the spec, not ctx.seed: the contract is
+      // that `cbsim_chaos --trials 1 --seed <trial_seed>` (or fuzz())
+      // rebuilds exactly this schedule and shrinks it.
+      const std::uint64_t seed = chaos::trialSeed(*spec, i);
+      const chaos::Schedule sched =
+          chaos::generateSchedule(spec->profile, *world, seed);
+      const std::string violation = chaos::runTrial(spec->scenario, sched);
+      Values v;
+      v["violation"] = violation.empty() ? 0.0 : 1.0;
+      v["fault_events"] = static_cast<double>(sched.events.size());
+      v["drop_prob"] = sched.dropProb;
+      v["corrupt_prob"] = sched.corruptProb;
+      v["trial_seed"] = static_cast<double>(seed);
+      return v;
+    };
+    c.scenarios.push_back(std::move(s));
+  }
+  c.derive = [](const std::vector<ScenarioResult>& rs) {
+    Values d;
+    double violations = 0;
+    double events = 0;
+    for (const ScenarioResult& r : rs) {
+      const auto v = r.values.find("violation");
+      if (v != r.values.end() && v->second > 0) ++violations;
+      const auto e = r.values.find("fault_events");
+      if (e != r.values.end()) events += e->second;
+    }
+    d["violations"] = violations;
+    d["fault_events_total"] = events;
+    return d;
+  };
   return c;
 }
 

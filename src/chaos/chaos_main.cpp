@@ -1,0 +1,181 @@
+// cbsim_chaos — full-surface fault fuzzer with counterexample shrinking.
+//
+//   cbsim_chaos --scenario-file examples/chaos/transport-storm.json
+//   cbsim_chaos --scenario-file f.json --replay f.artifact.json
+//
+// Fuzzes seed-deterministic fault schedules (link/switch/NAM windows,
+// node crashes, correlated storms) against a scenario's invariants; on a
+// violation the schedule is delta-debugged down to a minimal replayable
+// artifact.  Exit codes: 0 = all trials clean (or replay clean), 1 =
+// violation found (artifact written) or replay reproduced, 2 = usage or
+// input error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "chaos/fuzz.hpp"
+#include "desc/json.hpp"
+#include "desc/schema.hpp"
+#include "mc/desc.hpp"
+
+namespace {
+
+using namespace cbsim;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --scenario-file FILE [options]\n"
+      "\n"
+      "  --scenario-file FILE   chaos spec (desc JSON, see examples/chaos/)\n"
+      "  --validate             parse + validate the spec, then exit\n"
+      "  --dump                 print the canonical spec form, then exit\n"
+      "  --trials N             override the spec's trial budget\n"
+      "  --seed S               override the spec's base seed\n"
+      "  --break-dedup          enable the seeded transport defect "
+      "(test-only)\n"
+      "  --no-shrink            keep the first failing schedule as-is\n"
+      "  --max-shrink-runs N    shrink oracle-run budget (default 400)\n"
+      "  --artifact-out PATH    where to write the counterexample\n"
+      "                         (default: <spec-name>.artifact.json)\n"
+      "  --replay PATH          re-run one artifact instead of fuzzing\n",
+      argv0);
+  return 2;
+}
+
+void writeArtifactFile(const std::string& path, const chaos::Artifact& a) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << chaos::dumpArtifact(a);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenarioFile;
+  std::string artifactOut;
+  std::string replayFile;
+  bool validateOnly = false;
+  bool dumpOnly = false;
+  bool breakDedup = false;
+  bool noShrink = false;
+  std::optional<int> trials;
+  std::optional<std::uint64_t> seed;
+  int maxShrinkRuns = 400;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto needValue = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenario-file") {
+      scenarioFile = needValue();
+    } else if (arg == "--validate") {
+      validateOnly = true;
+    } else if (arg == "--dump") {
+      dumpOnly = true;
+    } else if (arg == "--trials") {
+      trials = static_cast<int>(std::strtol(needValue(), nullptr, 10));
+    } else if (arg == "--seed") {
+      seed = std::strtoull(needValue(), nullptr, 10);
+    } else if (arg == "--break-dedup") {
+      breakDedup = true;
+    } else if (arg == "--no-shrink") {
+      noShrink = true;
+    } else if (arg == "--max-shrink-runs") {
+      maxShrinkRuns = static_cast<int>(std::strtol(needValue(), nullptr, 10));
+    } else if (arg == "--artifact-out") {
+      artifactOut = needValue();
+    } else if (arg == "--replay") {
+      replayFile = needValue();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument %s\n", argv[0], arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    // Replay is self-contained (the artifact embeds its scenario); it only
+    // needs the defect flag back, never the spec file.
+    if (!replayFile.empty()) {
+      chaos::Artifact a = chaos::artifactFromFile(replayFile);
+      a.scenario.breakDedup = breakDedup;
+      const std::string msg = chaos::replayArtifact(a);
+      if (msg.empty()) {
+        std::printf("replay %s: schedule is clean on this binary\n",
+                    a.name.c_str());
+        return 0;
+      }
+      std::printf("replay %s: VIOLATION: %s\n", a.name.c_str(), msg.c_str());
+      return 1;
+    }
+
+    if (scenarioFile.empty()) return usage(argv[0]);
+    const desc::Value doc =
+        desc::parse(desc::readFile(scenarioFile), scenarioFile);
+    chaos::ChaosSpec spec = chaos::chaosSpecFromDoc(doc, scenarioFile);
+    spec.scenario.breakDedup = breakDedup;
+    if (trials) spec.trials = *trials;
+    if (seed) spec.seed = *seed;
+    if (spec.trials < 1) {
+      std::fprintf(stderr, "%s: --trials must be >= 1\n", argv[0]);
+      return 2;
+    }
+
+    if (dumpOnly) {
+      std::fputs(chaos::dumpSpec(spec).c_str(), stdout);
+      return 0;
+    }
+    if (validateOnly) {
+      // makeRun checks the family parameters, generateSchedule the
+      // profile's target filters against the scenario's machine.
+      (void)mc::makeRun(spec.scenario);
+      (void)chaos::generateSchedule(spec.profile,
+                                    mc::scenarioWorld(spec.scenario),
+                                    chaos::trialSeed(spec, 0));
+      std::printf("%s: ok (%s, %d trial(s), scenario %s)\n",
+                  scenarioFile.c_str(), spec.name.c_str(), spec.trials,
+                  spec.scenario.name.c_str());
+      return 0;
+    }
+
+    chaos::FuzzOptions opt;
+    opt.shrink = !noShrink;
+    opt.maxShrinkRuns = maxShrinkRuns;
+    const chaos::FuzzResult res = chaos::fuzz(spec, opt);
+    if (!res.violation) {
+      std::printf("chaos %s: %d trial(s) clean\n", spec.name.c_str(),
+                  res.trialsRun);
+      return 0;
+    }
+    std::printf("chaos %s: VIOLATION at trial %d (seed %llu): %s\n",
+                spec.name.c_str(), res.badTrial,
+                static_cast<unsigned long long>(res.badSeed),
+                res.message.c_str());
+    std::printf("shrunk to %zu event(s) in %d run(s)%s: %s\n",
+                res.shrunk.events.size(), res.shrinkRuns,
+                res.shrinkBudgetExhausted ? " (budget exhausted)" : "",
+                res.shrunkMessage.c_str());
+    const chaos::Artifact artifact = chaos::makeArtifact(spec, res);
+    const std::string out =
+        artifactOut.empty() ? spec.name + ".artifact.json" : artifactOut;
+    writeArtifactFile(out, artifact);
+    std::printf("artifact written to %s\n", out.c_str());
+    std::printf("repro: %s%s --replay %s\n", argv[0],
+                breakDedup ? " --break-dedup" : "", out.c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,180 @@
+#include "chaos/generate.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace cbsim::chaos {
+
+namespace {
+
+/// Switch each endpoint hangs off: node endpoints in group order, then NAM
+/// endpoints — the same enumeration Machine/Fabric use.
+std::vector<int> endpointSwitches(const hw::MachineConfig& m) {
+  std::vector<int> sw;
+  for (const hw::NodeGroupSpec& g : m.groups) {
+    for (int i = 0; i < g.count; ++i) sw.push_back(g.switchId);
+  }
+  for (const hw::NamAttachment& nam : m.nams) sw.push_back(nam.switchId);
+  return sw;
+}
+
+std::vector<int> pool(const std::vector<int>& filter, int count,
+                      const char* what) {
+  std::vector<int> out;
+  if (filter.empty()) {
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) out.push_back(i);
+    return out;
+  }
+  for (int t : filter) {
+    if (t < 0 || t >= count) {
+      throw std::invalid_argument(
+          "chaos: " + std::string(what) + " filter entry " +
+          std::to_string(t) + " out of range [0, " + std::to_string(count) +
+          ")");
+    }
+    out.push_back(t);
+  }
+  return out;
+}
+
+int pick(sim::Rng& rng, const std::vector<int>& from) {
+  return from[rng.below(from.size())];
+}
+
+}  // namespace
+
+Schedule generateSchedule(const ChaosProfile& p,
+                          const hw::MachineConfig& machine,
+                          std::uint64_t trialSeed) {
+  if (std::string err = p.validate(); !err.empty()) {
+    throw std::invalid_argument("chaos: profile: " + err);
+  }
+  const int nodes = machine.totalNodes();
+  const int nams = static_cast<int>(machine.nams.size());
+  const std::vector<int> endpoints =
+      pool(p.endpointTargets, nodes + nams, "endpoint");
+  const std::vector<int> trunks =
+      pool(p.trunkTargets, static_cast<int>(machine.trunks.size()), "trunk");
+  const std::vector<int> switches = pool(
+      p.switchTargets, static_cast<int>(machine.switches.size()), "switch");
+  const std::vector<int> namPool = pool(p.namTargets, nams, "nam");
+  const std::vector<int> crashNodes = pool(p.crashTargets, nodes, "node");
+  const std::vector<int> epSwitch = endpointSwitches(machine);
+
+  sim::Rng rng(trialSeed);
+  Schedule s;
+  if (p.dropProbMax > 0) s.dropProb = rng.uniform(0.0, p.dropProbMax);
+  if (p.corruptProbMax > 0) s.corruptProb = rng.uniform(0.0, p.corruptProbMax);
+
+  const auto arrivals = [&](double rateHz, bool eligible) {
+    std::vector<double> at;
+    if (rateHz <= 0 || !eligible) return at;
+    double t = rng.exponential(rateHz);
+    while (t < p.horizonSec) {
+      at.push_back(t);
+      t += rng.exponential(rateHz);
+    }
+    return at;
+  };
+  const auto windowFactor = [&]() {
+    if (rng.uniform() < p.downWeight) return 0.0;
+    return rng.uniform(p.degradeMinFactor, p.degradeMaxFactor);
+  };
+  const auto windowEvents = [&](FaultKind kind, double rateHz,
+                                const std::vector<int>& targets) {
+    for (double at : arrivals(rateHz, !targets.empty())) {
+      FaultEvent e;
+      e.kind = kind;
+      e.target = pick(rng, targets);
+      e.fromSec = at;
+      e.untilSec = at + rng.uniform(p.windowMinSec, p.windowMaxSec);
+      e.factor = windowFactor();
+      s.events.push_back(e);
+    }
+  };
+
+  windowEvents(FaultKind::EndpointWindow, p.endpointRateHz, endpoints);
+  windowEvents(FaultKind::TrunkWindow, p.trunkRateHz, trunks);
+  windowEvents(FaultKind::SwitchWindow, p.switchRateHz, switches);
+  windowEvents(FaultKind::NamWindow, p.namRateHz, namPool);
+
+  for (double at : arrivals(p.crashRateHz, !crashNodes.empty())) {
+    FaultEvent e;
+    e.kind = FaultKind::NodeCrash;
+    e.target = pick(rng, crashNodes);
+    e.fromSec = at;
+    e.restartSec = rng.uniform(p.crashRestartMinSec, p.crashRestartMaxSec);
+    s.events.push_back(e);
+  }
+
+  // Storms: one arrival expands into a correlated burst.  A switch storm
+  // is the realistic cascade — the switch goes dark and the endpoints
+  // behind it flap as their links retrain; a crash storm is a correlated
+  // multi-node failure (shared PSU / cooling group).  The coin between
+  // them is drawn only when both shapes are possible, keeping the draw
+  // sequence input-determined.
+  int stormId = 0;
+  const bool canSwitchStorm = !switches.empty();
+  const bool canCrashStorm = !crashNodes.empty();
+  for (double at : arrivals(p.stormRateHz, canSwitchStorm || canCrashStorm)) {
+    const int size =
+        p.stormMinSize +
+        static_cast<int>(rng.below(
+            static_cast<std::uint64_t>(p.stormMaxSize - p.stormMinSize + 1)));
+    const bool switchStorm =
+        canSwitchStorm && (!canCrashStorm || rng.uniform() < 0.5);
+    if (switchStorm) {
+      const int sw = pick(rng, switches);
+      FaultEvent outage;
+      outage.kind = FaultKind::SwitchWindow;
+      outage.target = sw;
+      outage.fromSec = at;
+      outage.untilSec = at + rng.uniform(p.windowMinSec, p.windowMaxSec);
+      outage.factor = 0.0;
+      outage.storm = stormId;
+      s.events.push_back(outage);
+      std::vector<int> behind;
+      for (int ep : endpoints) {
+        if (epSwitch[static_cast<std::size_t>(ep)] == sw) behind.push_back(ep);
+      }
+      for (int i = 1; i < size && !behind.empty(); ++i) {
+        FaultEvent flap;
+        flap.kind = FaultKind::EndpointWindow;
+        flap.target = pick(rng, behind);
+        flap.fromSec = at + rng.uniform(0.0, p.stormSpanSec);
+        flap.untilSec =
+            flap.fromSec + rng.uniform(p.windowMinSec, p.windowMaxSec);
+        flap.factor = 0.0;
+        flap.storm = stormId;
+        s.events.push_back(flap);
+      }
+    } else {
+      // Distinct victims: a correlated multi-node failure takes down
+      // different nodes, and sampling without replacement keeps the burst
+      // size honest when the pool is small.
+      std::vector<int> victims = crashNodes;
+      for (int i = 0; i < size && !victims.empty(); ++i) {
+        const std::size_t vi = rng.below(victims.size());
+        FaultEvent crash;
+        crash.kind = FaultKind::NodeCrash;
+        crash.target = victims[vi];
+        victims.erase(victims.begin() + static_cast<std::ptrdiff_t>(vi));
+        crash.fromSec = at + rng.uniform(0.0, p.stormSpanSec);
+        crash.restartSec =
+            rng.uniform(p.crashRestartMinSec, p.crashRestartMaxSec);
+        crash.storm = stormId;
+        s.events.push_back(crash);
+      }
+    }
+    ++stormId;
+  }
+
+  normalize(s);
+  return s;
+}
+
+}  // namespace cbsim::chaos

@@ -1,0 +1,32 @@
+#pragma once
+
+// Seed-deterministic schedule sampling: one 64-bit trial seed plus a
+// profile and a concrete machine fully determine a Schedule.
+//
+// All randomness flows through a single sim::Rng seeded with the trial
+// seed, consumed in a fixed class order (drop prob, corrupt prob, then
+// endpoint / trunk / switch / NAM windows, node crashes, storms), so the
+// schedule — and therefore the whole trial, since the simulation itself is
+// deterministic — is replayable from (profile, machine, seed) alone.
+// Arrivals per class are Poisson via exponential interarrival times.
+//
+// Classes whose target pool is empty on this machine (no trunks, no NAMs,
+// an exhaustive filter) are skipped without consuming RNG draws: the
+// schedule depends only on the inputs, never on ambient state.
+
+#include <cstdint>
+
+#include "chaos/profile.hpp"
+#include "chaos/schedule.hpp"
+#include "hw/machine.hpp"
+
+namespace cbsim::chaos {
+
+/// Samples one normalized schedule.  Throws std::invalid_argument when a
+/// profile target filter references a target the machine does not have —
+/// a configuration error, not a trial outcome.
+[[nodiscard]] Schedule generateSchedule(const ChaosProfile& profile,
+                                        const hw::MachineConfig& machine,
+                                        std::uint64_t trialSeed);
+
+}  // namespace cbsim::chaos

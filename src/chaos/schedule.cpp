@@ -1,0 +1,165 @@
+#include "chaos/schedule.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace cbsim::chaos {
+
+namespace {
+
+constexpr struct {
+  FaultKind kind;
+  const char* name;
+} kKinds[] = {
+    {FaultKind::EndpointWindow, "endpoint-window"},
+    {FaultKind::TrunkWindow, "trunk-window"},
+    {FaultKind::SwitchWindow, "switch-window"},
+    {FaultKind::NamWindow, "nam-window"},
+    {FaultKind::NodeCrash, "node-crash"},
+};
+
+FaultKind kindFromName(desc::Reader& where, const std::string& name) {
+  for (const auto& k : kKinds) {
+    if (name == k.name) return k.kind;
+  }
+  std::string known;
+  for (const auto& k : kKinds) {
+    if (!known.empty()) known += ", ";
+    known += k.name;
+  }
+  where.fail("unknown fault kind \"" + name + "\"; known: " + known);
+}
+
+bool isWindow(FaultKind k) { return k != FaultKind::NodeCrash; }
+
+auto orderKey(const FaultEvent& e) {
+  return std::make_tuple(e.fromSec, static_cast<int>(e.kind), e.target,
+                         e.untilSec, e.factor, e.restartSec, e.storm);
+}
+
+}  // namespace
+
+const char* kindName(FaultKind k) {
+  for (const auto& e : kKinds) {
+    if (e.kind == k) return e.name;
+  }
+  return "?";
+}
+
+fault::FaultPlan Schedule::toPlan() const {
+  fault::FaultPlan p;
+  p.dropProb = dropProb;
+  p.corruptProb = corruptProb;
+  for (const FaultEvent& e : events) {
+    const sim::SimTime from = sim::SimTime::seconds(e.fromSec);
+    const sim::SimTime until = sim::SimTime::seconds(e.untilSec);
+    switch (e.kind) {
+      case FaultKind::EndpointWindow:
+        p.degradeEndpoint(e.target, from, until, e.factor);
+        break;
+      case FaultKind::TrunkWindow:
+        p.degradeTrunk(e.target, from, until, e.factor);
+        break;
+      case FaultKind::SwitchWindow:
+        p.degradeSwitch(e.target, from, until, e.factor);
+        break;
+      case FaultKind::NamWindow:
+        p.degradeNam(e.target, from, until, e.factor);
+        break;
+      case FaultKind::NodeCrash:
+        p.crashNode(e.target, from, sim::SimTime::seconds(e.restartSec));
+        break;
+    }
+  }
+  return p;
+}
+
+void normalize(Schedule& s) {
+  std::sort(s.events.begin(), s.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return orderKey(a) < orderKey(b);
+            });
+  // Drop degradations buried inside an outage of the same target: they are
+  // unobservable (factor products with 0) and validateFor flags them as
+  // contradictory.  Outage-inside-outage and partial overlaps stay.
+  std::vector<FaultEvent> kept;
+  kept.reserve(s.events.size());
+  for (const FaultEvent& e : s.events) {
+    if (isWindow(e.kind) && e.factor > 0.0) {
+      const bool buried = std::any_of(
+          s.events.begin(), s.events.end(), [&](const FaultEvent& d) {
+            return d.kind == e.kind && d.target == e.target &&
+                   d.factor == 0.0 && d.fromSec <= e.fromSec &&
+                   e.untilSec <= d.untilSec;
+          });
+      if (buried) continue;
+    }
+    kept.push_back(e);
+  }
+  s.events = std::move(kept);
+}
+
+Schedule scheduleFromDesc(desc::Reader& r) {
+  Schedule s;
+  s.dropProb = r.numberAt("drop_prob", s.dropProb);
+  s.corruptProb = r.numberAt("corrupt_prob", s.corruptProb);
+  if (s.dropProb < 0 || s.dropProb > 1) r.fail("drop_prob must be in [0, 1]");
+  if (s.corruptProb < 0 || s.corruptProb > 1) {
+    r.fail("corrupt_prob must be in [0, 1]");
+  }
+  if (r.has("events")) {
+    r.eachIn("events", [&](desc::Reader& w) {
+      FaultEvent e;
+      e.kind = kindFromName(w, w.stringAt("kind"));
+      const auto target = w.intAt("target");
+      if (target < 0) w.fail("target must be non-negative");
+      e.target = static_cast<int>(target);
+      e.storm = static_cast<int>(w.intAt("storm", -1));
+      if (e.kind == FaultKind::NodeCrash) {
+        e.fromSec = w.numberAt("at_sec");
+        e.restartSec = w.numberAt("restart_after_sec");
+        if (e.restartSec <= 0) w.fail("restart_after_sec must be positive");
+      } else {
+        e.fromSec = w.numberAt("from_sec");
+        e.untilSec = w.numberAt("until_sec");
+        e.factor = w.numberAt("bw_factor", 0.0);
+        if (e.untilSec <= e.fromSec) {
+          w.fail("until_sec must be greater than from_sec");
+        }
+        if (e.factor < 0 || e.factor > 1) {
+          w.fail("bw_factor must be in [0, 1]");
+        }
+      }
+      w.finish();
+      s.events.push_back(e);
+    });
+  }
+  r.finish();
+  return s;
+}
+
+desc::Value toDesc(const Schedule& s) {
+  desc::Value v = desc::Value::object();
+  v.set("drop_prob", desc::Value::number(s.dropProb));
+  v.set("corrupt_prob", desc::Value::number(s.corruptProb));
+  desc::Value arr = desc::Value::array();
+  for (const FaultEvent& e : s.events) {
+    desc::Value o = desc::Value::object();
+    o.set("kind", desc::Value::string(kindName(e.kind)));
+    o.set("target", desc::Value::integer(e.target));
+    if (e.kind == FaultKind::NodeCrash) {
+      o.set("at_sec", desc::Value::number(e.fromSec));
+      o.set("restart_after_sec", desc::Value::number(e.restartSec));
+    } else {
+      o.set("from_sec", desc::Value::number(e.fromSec));
+      o.set("until_sec", desc::Value::number(e.untilSec));
+      o.set("bw_factor", desc::Value::number(e.factor));
+    }
+    if (e.storm >= 0) o.set("storm", desc::Value::integer(e.storm));
+    arr.push(std::move(o));
+  }
+  v.set("events", std::move(arr));
+  return v;
+}
+
+}  // namespace cbsim::chaos

@@ -1,0 +1,77 @@
+#pragma once
+
+// A fault schedule: the flat, shrinkable unit of one chaos trial.
+//
+// FaultPlan stores windows in per-target maps, which is the right shape
+// for the fabric's hot-path lookups but a poor one for delta debugging.
+// A Schedule keeps the same information as an ordered event list — the
+// shrinker drops events, shortens windows and zeroes probabilities on it
+// directly — and compiles to a FaultPlan (toPlan) right before a trial.
+//
+// Events carry an optional storm id tying together the members of one
+// correlated burst; it is diagnostic (which events were born together)
+// and survives desc round-trips so a shrunk artifact still shows which
+// storm a surviving event came from.
+
+#include <string>
+#include <vector>
+
+#include "desc/schema.hpp"
+#include "fault/plan.hpp"
+
+namespace cbsim::chaos {
+
+enum class FaultKind {
+  EndpointWindow,
+  TrunkWindow,
+  SwitchWindow,
+  NamWindow,
+  NodeCrash,
+};
+
+[[nodiscard]] const char* kindName(FaultKind k);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::EndpointWindow;
+  int target = 0;
+  /// Window start, or the crash instant for NodeCrash.
+  double fromSec = 0.0;
+  /// Window end; unused for NodeCrash.
+  double untilSec = 0.0;
+  /// Bandwidth factor in [0, 1]; 0 = down.  Unused for NodeCrash.
+  double factor = 0.0;
+  /// Repair delay; NodeCrash only, must be positive.
+  double restartSec = 0.0;
+  /// Correlated-burst id, -1 when the event arrived alone.
+  int storm = -1;
+};
+
+struct Schedule {
+  double dropProb = 0.0;
+  double corruptProb = 0.0;
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const {
+    return dropProb == 0.0 && corruptProb == 0.0 && events.empty();
+  }
+
+  /// Compiles to the fabric/injector representation.  Call normalize()
+  /// first on schedules the generator or shrinker produced — toPlan of a
+  /// non-normalized schedule can contain contradictions that
+  /// FaultPlan::validateFor rejects.
+  [[nodiscard]] fault::FaultPlan toPlan() const;
+};
+
+/// Canonicalizes in place: sorts events into the deterministic
+/// (from, kind, target, until, factor) order and removes contradictions —
+/// a factor>0 window lying entirely inside a factor-0 window on the same
+/// target, which validateFor rejects by design.  Random sampling and
+/// window-shortening both produce such pairs legitimately; normalization
+/// resolves them the same way every time, keeping generate→trial and
+/// shrink→trial deterministic.
+void normalize(Schedule& s);
+
+Schedule scheduleFromDesc(desc::Reader& r);
+[[nodiscard]] desc::Value toDesc(const Schedule& s);
+
+}  // namespace cbsim::chaos

@@ -1,0 +1,133 @@
+#include "chaos/shrink.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace cbsim::chaos {
+
+namespace {
+
+bool isWindow(FaultKind k) { return k != FaultKind::NodeCrash; }
+
+/// Budgeted oracle: normalizes the candidate, runs the trial, counts the
+/// run.  nullopt = budget exhausted (the candidate was not run).
+struct Oracle {
+  const mc::McScenario& base;
+  int maxRuns;
+  int runs = 0;
+  bool exhausted = false;
+
+  std::optional<std::string> test(Schedule& cand) {
+    if (runs >= maxRuns) {
+      exhausted = true;
+      return std::nullopt;
+    }
+    ++runs;
+    normalize(cand);
+    return runTrial(base, cand);
+  }
+};
+
+}  // namespace
+
+ShrinkResult shrinkSchedule(const mc::McScenario& base, const Schedule& failing,
+                            const ShrinkOptions& opt) {
+  if (opt.maxRuns < 1) {
+    throw std::invalid_argument("chaos: shrink budget must allow >= 1 run");
+  }
+  Oracle oracle{base, opt.maxRuns};
+  Schedule best = failing;
+  const std::optional<std::string> first = oracle.test(best);
+  if (first->empty()) {
+    throw std::invalid_argument(
+        "chaos: asked to shrink a schedule that does not fail");
+  }
+  std::string bestMsg = *first;
+
+  // Adopts the candidate when it still fails (any violation counts).
+  const auto tryAdopt = [&](Schedule cand) {
+    const std::optional<std::string> v = oracle.test(cand);
+    if (!v || v->empty()) return false;
+    best = std::move(cand);
+    bestMsg = *v;
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && !oracle.exhausted) {
+    progress = false;
+
+    // Pass 1: ddmin-style event removal — whole list first, then halving
+    // chunks down to single events.  Removing the biggest chunks first is
+    // what gets "drop_prob alone reproduces it" in two runs instead of n.
+    for (std::size_t chunk = best.events.size();
+         chunk >= 1 && !oracle.exhausted; chunk /= 2) {
+      std::size_t start = 0;
+      while (start < best.events.size() && !oracle.exhausted) {
+        const std::size_t n =
+            std::min(chunk, best.events.size() - start);
+        Schedule cand = best;
+        cand.events.erase(
+            cand.events.begin() + static_cast<std::ptrdiff_t>(start),
+            cand.events.begin() + static_cast<std::ptrdiff_t>(start + n));
+        if (tryAdopt(std::move(cand))) {
+          progress = true;  // same start now names the next chunk
+        } else {
+          start += n;
+        }
+      }
+      if (chunk == 1) break;
+    }
+
+    // Pass 2: zero the trial-constant probabilities.
+    if (best.dropProb > 0 && !oracle.exhausted) {
+      Schedule cand = best;
+      cand.dropProb = 0.0;
+      if (tryAdopt(std::move(cand))) progress = true;
+    }
+    if (best.corruptProb > 0 && !oracle.exhausted) {
+      Schedule cand = best;
+      cand.corruptProb = 0.0;
+      if (tryAdopt(std::move(cand))) progress = true;
+    }
+
+    // Pass 3: halve durations (window widths, crash restart delays) with a
+    // floor, sweeping until a full sweep shrinks nothing.  Candidates are
+    // rebuilt from `best` each time because adoption renormalizes and may
+    // reorder or drop events.
+    bool shrunkAny = true;
+    while (shrunkAny && !oracle.exhausted) {
+      shrunkAny = false;
+      for (std::size_t i = 0; i < best.events.size() && !oracle.exhausted;
+           ++i) {
+        Schedule cand = best;
+        FaultEvent& e = cand.events[i];
+        if (isWindow(e.kind)) {
+          const double width = e.untilSec - e.fromSec;
+          const double halved = std::max(opt.minWindowSec, width / 2);
+          if (halved >= width) continue;
+          e.untilSec = e.fromSec + halved;
+        } else {
+          const double halved = std::max(opt.minWindowSec, e.restartSec / 2);
+          if (halved >= e.restartSec) continue;
+          e.restartSec = halved;
+        }
+        if (tryAdopt(std::move(cand))) {
+          shrunkAny = true;
+          progress = true;
+        }
+      }
+    }
+  }
+
+  ShrinkResult res;
+  res.schedule = std::move(best);
+  res.violation = std::move(bestMsg);
+  res.runs = oracle.runs;
+  res.budgetExhausted = oracle.exhausted;
+  return res;
+}
+
+}  // namespace cbsim::chaos

@@ -1,0 +1,24 @@
+#include "chaos/trial.hpp"
+
+#include "mc/choice.hpp"
+
+namespace cbsim::chaos {
+
+mc::McScenario withSchedule(const mc::McScenario& base, const Schedule& s) {
+  mc::McScenario out = base;
+  fault::FaultPlan plan = s.toPlan();
+  if (plan.active()) {
+    out.fault = std::move(plan);
+  } else {
+    out.fault.reset();
+  }
+  return out;
+}
+
+std::string runTrial(const mc::McScenario& base, const Schedule& s) {
+  const mc::RunFn run = mc::makeRun(withSchedule(base, s));
+  mc::DeterministicChooser chooser;
+  return run(chooser);
+}
+
+}  // namespace cbsim::chaos

@@ -1,0 +1,30 @@
+#pragma once
+
+// One chaos trial: the scenario's own invariants (mc/scenarios.hpp) run
+// once under a fault schedule, on the production schedule — the
+// DeterministicChooser the real stack attaches.  The fuzzer explores the
+// *fault* space trial by trial; the mc explorer explores the *scheduling*
+// space of one fault plan.  The two compose: a shrunk chaos artifact is a
+// small scenario an mc exploration can then take apart decision by
+// decision.
+
+#include <string>
+
+#include "chaos/schedule.hpp"
+#include "mc/scenarios.hpp"
+
+namespace cbsim::chaos {
+
+/// Copy of `base` with the schedule installed as its fault plan (cleared
+/// when the schedule is empty).
+[[nodiscard]] mc::McScenario withSchedule(const mc::McScenario& base,
+                                          const Schedule& s);
+
+/// Builds a fresh world and runs it once, deterministically.  Returns ""
+/// when every invariant held, else the violation message.  Throws on
+/// configuration errors (invalid scenario, schedule targets the machine
+/// does not have) — those are not trial outcomes.
+[[nodiscard]] std::string runTrial(const mc::McScenario& base,
+                                   const Schedule& s);
+
+}  // namespace cbsim::chaos

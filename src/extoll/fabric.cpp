@@ -520,8 +520,29 @@ void Fabric::flowComplete(std::uint64_t id, std::uint64_t gen) {
 double Fabric::linkFaultFactor(int link, sim::SimTime t) const {
   if (faultPlan_ == nullptr) return 1.0;
   const int epLinks = 2 * machine_.endpointCount();
-  if (link < epLinks) return faultPlan_->endpointFactor(link / 2, t);
-  return faultPlan_->trunkFactor((link - epLinks) / 2, t);
+  if (link < epLinks) {
+    // Endpoint links inherit the attached switch's windows (a switch outage
+    // cuts every port) and, for NAM endpoints, the NAM device's own windows.
+    const int ep = link / 2;
+    double f = faultPlan_->endpointFactor(ep, t);
+    if (f == 0.0) return 0.0;
+    f *= faultPlan_->switchFactor(machine_.endpointSwitch(ep), t);
+    if (f == 0.0) return 0.0;
+    if (ep >= machine_.nodeCount()) {
+      f *= faultPlan_->namFactor(ep - machine_.nodeCount(), t);
+    }
+    return f;
+  }
+  // A trunk terminates at two switches; either one being degraded/down
+  // degrades/cuts the trunk.
+  const int trunk = (link - epLinks) / 2;
+  double f = faultPlan_->trunkFactor(trunk, t);
+  if (f == 0.0) return 0.0;
+  const auto& spec = machine_.config().trunks[static_cast<std::size_t>(trunk)];
+  f *= faultPlan_->switchFactor(spec.switchA, t);
+  if (f == 0.0) return 0.0;
+  f *= faultPlan_->switchFactor(spec.switchB, t);
+  return f;
 }
 
 void Fabric::dropMessage(const char* reason, int link) {
@@ -601,16 +622,18 @@ void Fabric::send(int srcEp, int dstEp, double bytes,
     return;
   }
   if (faultPlan_ != nullptr) {
-    // Per-message decisions draw from the engine RNG so the decision
-    // stream is part of the deterministic event order (identical across
-    // --jobs values and process backends).
+    // Per-message decisions draw from the engine's dedicated fault stream
+    // so the decision sequence is part of the deterministic event order
+    // (identical across --jobs values and process backends) AND isolated
+    // from app/transport draws — shifting a chaos schedule cannot realign
+    // what any other subsystem samples.
     if (faultPlan_->dropProb > 0.0 &&
-        engine_.rng().uniform() < faultPlan_->dropProb) {
+        engine_.faultRng().uniform() < faultPlan_->dropProb) {
       dropMessage("random", upLink(srcEp));
       return;
     }
     if (faultPlan_->corruptProb > 0.0 &&
-        engine_.rng().uniform() < faultPlan_->corruptProb) {
+        engine_.faultRng().uniform() < faultPlan_->corruptProb) {
       // The payload still travels (and occupies the path) but the
       // receiving NIC discards it on CRC failure — deliver the discard
       // instead of the message.

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "hw/machine.hpp"
+
 namespace cbsim::fault {
 
 namespace {
@@ -12,9 +14,83 @@ double secFromTime(sim::SimTime t) {
   return static_cast<double>(t.picos()) / 1e12;
 }
 
+/// Reads a target reference that is an index, or — when `machine` is
+/// present — a name resolved through `resolve`.  Without a machine context
+/// a name is an error: there is nothing to resolve it against.
+int targetAt(desc::Reader& w, std::string_view key,
+             const hw::MachineConfig* machine,
+             int (*resolve)(const hw::MachineConfig&, const std::string&)) {
+  auto ref = w.child(key);
+  if (ref.value().isString()) {
+    const std::string& name = ref.asString();
+    if (resolve == nullptr) ref.fail("must be an index, not a name");
+    if (machine == nullptr) {
+      ref.fail("named reference \"" + name +
+               "\" requires a machine context; use an index here");
+    }
+    const int idx = resolve(*machine, name);
+    if (idx < 0) {
+      ref.fail("\"" + name + "\" does not name anything in machine '" +
+               machine->name + "'");
+    }
+    return idx;
+  }
+  const auto idx = ref.asInt();
+  if (idx < 0) ref.fail("index must be non-negative");
+  return static_cast<int>(idx);
+}
+
+int resolveNode(const hw::MachineConfig& m, const std::string& name) {
+  return hw::findNodeByName(m, name);
+}
+
+int resolveSwitch(const hw::MachineConfig& m, const std::string& name) {
+  return hw::findSwitchByName(m, name);
+}
+
+void readWindows(desc::Reader& r, std::string_view key,
+                 const hw::MachineConfig* machine, std::string_view targetKey,
+                 int (*resolve)(const hw::MachineConfig&, const std::string&),
+                 const std::function<void(int, sim::SimTime, sim::SimTime,
+                                          double)>& add) {
+  if (!r.has(key)) return;
+  r.eachIn(key, [&](desc::Reader& w) {
+    const int target = targetAt(w, targetKey, machine, resolve);
+    const double from = w.numberAt("from_sec");
+    const double until = w.numberAt("until_sec");
+    const double factor = w.numberAt("bw_factor", 0.0);
+    if (until <= from) w.fail("until_sec must be greater than from_sec");
+    if (factor < 0.0 || factor > 1.0) w.fail("bw_factor must be in [0, 1]");
+    add(target, timeFromSec(from), timeFromSec(until), factor);
+    w.finish();
+  });
+}
+
+void windowsToDesc(desc::Value& v, const char* key, const char* targetKey,
+                   const std::map<int, std::vector<LinkWindow>>& table,
+                   bool alwaysEmit) {
+  if (table.empty() && !alwaysEmit) return;
+  desc::Value arr = desc::Value::array();
+  for (const auto& [target, windows] : table) {
+    for (const LinkWindow& w : windows) {
+      desc::Value o = desc::Value::object();
+      o.set(targetKey, desc::Value::integer(target));
+      o.set("from_sec", desc::Value::number(secFromTime(w.from)));
+      o.set("until_sec", desc::Value::number(secFromTime(w.until)));
+      o.set("bw_factor", desc::Value::number(w.bwFactor));
+      arr.push(std::move(o));
+    }
+  }
+  v.set(key, std::move(arr));
+}
+
 }  // namespace
 
 FaultPlan faultPlanFromDesc(desc::Reader& r) {
+  return faultPlanFromDesc(r, nullptr);
+}
+
+FaultPlan faultPlanFromDesc(desc::Reader& r, const hw::MachineConfig* machine) {
   FaultPlan p;
   p.dropProb = r.numberAt("drop_prob", p.dropProb);
   p.corruptProb = r.numberAt("corrupt_prob", p.corruptProb);
@@ -24,29 +100,36 @@ FaultPlan faultPlanFromDesc(desc::Reader& r) {
   if (p.corruptProb < 0.0 || p.corruptProb > 1.0) {
     r.fail("corrupt_prob must be in [0, 1]");
   }
-  if (r.has("endpoint_windows")) {
-    r.eachIn("endpoint_windows", [&](desc::Reader& w) {
-      const int ep = static_cast<int>(w.intAt("endpoint"));
-      const double from = w.numberAt("from_sec");
-      const double until = w.numberAt("until_sec");
-      const double factor = w.numberAt("bw_factor", 0.0);
-      if (until <= from) w.fail("until_sec must be greater than from_sec");
-      if (factor < 0.0 || factor > 1.0) w.fail("bw_factor must be in [0, 1]");
-      p.degradeEndpoint(ep, timeFromSec(from), timeFromSec(until), factor);
-    });
-  }
-  if (r.has("trunk_windows")) {
-    r.eachIn("trunk_windows", [&](desc::Reader& w) {
-      const int trunk = static_cast<int>(w.intAt("trunk"));
-      const double from = w.numberAt("from_sec");
-      const double until = w.numberAt("until_sec");
-      const double factor = w.numberAt("bw_factor", 0.0);
-      if (until <= from) w.fail("until_sec must be greater than from_sec");
-      if (factor < 0.0 || factor > 1.0) w.fail("bw_factor must be in [0, 1]");
-      p.degradeTrunk(trunk, timeFromSec(from), timeFromSec(until), factor);
+  readWindows(r, "endpoint_windows", machine, "endpoint", resolveNode,
+              [&](int ep, sim::SimTime from, sim::SimTime until, double f) {
+                p.degradeEndpoint(ep, from, until, f);
+              });
+  readWindows(r, "trunk_windows", machine, "trunk", nullptr,
+              [&](int t, sim::SimTime from, sim::SimTime until, double f) {
+                p.degradeTrunk(t, from, until, f);
+              });
+  readWindows(r, "switch_windows", machine, "switch", resolveSwitch,
+              [&](int sw, sim::SimTime from, sim::SimTime until, double f) {
+                p.degradeSwitch(sw, from, until, f);
+              });
+  readWindows(r, "nam_windows", machine, "nam", nullptr,
+              [&](int nam, sim::SimTime from, sim::SimTime until, double f) {
+                p.degradeNam(nam, from, until, f);
+              });
+  if (r.has("node_crashes")) {
+    r.eachIn("node_crashes", [&](desc::Reader& c) {
+      const int node = targetAt(c, "node", machine, resolveNode);
+      const double at = c.numberAt("at_sec");
+      const double restart = c.numberAt("restart_after_sec");
+      if (restart <= 0.0) c.fail("restart_after_sec must be positive");
+      p.crashNode(node, timeFromSec(at), timeFromSec(restart));
+      c.finish();
     });
   }
   r.finish();
+  if (machine != nullptr) {
+    if (std::string err = p.validateFor(*machine); !err.empty()) r.fail(err);
+  }
   return p;
 }
 
@@ -54,30 +137,24 @@ desc::Value toDesc(const FaultPlan& p) {
   desc::Value v = desc::Value::object();
   v.set("drop_prob", desc::Value::number(p.dropProb));
   v.set("corrupt_prob", desc::Value::number(p.corruptProb));
-  desc::Value eps = desc::Value::array();
-  for (const auto& [ep, windows] : p.endpointWindows()) {
-    for (const LinkWindow& w : windows) {
+  // endpoint/trunk arrays are always emitted (the pre-extension canonical
+  // form); the newer fault classes appear only when used, keeping every
+  // existing committed dump byte-identical.
+  windowsToDesc(v, "endpoint_windows", "endpoint", p.endpointWindows(), true);
+  windowsToDesc(v, "trunk_windows", "trunk", p.trunkWindows(), true);
+  windowsToDesc(v, "switch_windows", "switch", p.switchWindows(), false);
+  windowsToDesc(v, "nam_windows", "nam", p.namWindows(), false);
+  if (!p.nodeCrashes().empty()) {
+    desc::Value arr = desc::Value::array();
+    for (const NodeCrash& c : p.nodeCrashes()) {
       desc::Value o = desc::Value::object();
-      o.set("endpoint", desc::Value::integer(ep));
-      o.set("from_sec", desc::Value::number(secFromTime(w.from)));
-      o.set("until_sec", desc::Value::number(secFromTime(w.until)));
-      o.set("bw_factor", desc::Value::number(w.bwFactor));
-      eps.push(std::move(o));
+      o.set("node", desc::Value::integer(c.node));
+      o.set("at_sec", desc::Value::number(secFromTime(c.at)));
+      o.set("restart_after_sec", desc::Value::number(secFromTime(c.restartAfter)));
+      arr.push(std::move(o));
     }
+    v.set("node_crashes", std::move(arr));
   }
-  v.set("endpoint_windows", std::move(eps));
-  desc::Value trs = desc::Value::array();
-  for (const auto& [trunk, windows] : p.trunkWindows()) {
-    for (const LinkWindow& w : windows) {
-      desc::Value o = desc::Value::object();
-      o.set("trunk", desc::Value::integer(trunk));
-      o.set("from_sec", desc::Value::number(secFromTime(w.from)));
-      o.set("until_sec", desc::Value::number(secFromTime(w.until)));
-      o.set("bw_factor", desc::Value::number(w.bwFactor));
-      trs.push(std::move(o));
-    }
-  }
-  v.set("trunk_windows", std::move(trs));
   return v;
 }
 

@@ -11,16 +11,40 @@
 //     ],
 //     "trunk_windows": [
 //       { "trunk": 0, "from_sec": 0.08, "until_sec": 0.082, "bw_factor": 0 }
+//     ],
+//     "switch_windows": [
+//       { "switch": 0, "from_sec": 0.1, "until_sec": 0.15, "bw_factor": 0 }
+//     ],
+//     "nam_windows": [
+//       { "nam": 0, "from_sec": 0.1, "until_sec": 0.3, "bw_factor": 0.5 }
+//     ],
+//     "node_crashes": [
+//       { "node": 3, "at_sec": 0.2, "restart_after_sec": 1.0 }
 //     ]
 //   }
-// A bw_factor of 0 is a link flap (nothing passes during the window).
+// A bw_factor of 0 is an outage (link flap / switch or NAM down).
+//
+// With a machine context (the two-argument overload), "endpoint" and
+// "node" also accept node names ("cn03"), "switch" accepts switch names
+// ("extoll-fabric"), and every reference is validated against the machine
+// — unknown names/indices and contradictory windows are rejected with the
+// reader's origin:line:column.  The canonical dump always uses indices.
 
 #include "desc/schema.hpp"
 #include "fault/plan.hpp"
 
+namespace cbsim::hw {
+struct MachineConfig;
+}
+
 namespace cbsim::fault {
 
 [[nodiscard]] FaultPlan faultPlanFromDesc(desc::Reader& r);
+/// Machine-aware parse: resolves node/switch names and runs
+/// FaultPlan::validateFor.  `machine` may be nullptr (same as the
+/// one-argument form: indices only, no existence checks).
+[[nodiscard]] FaultPlan faultPlanFromDesc(desc::Reader& r,
+                                          const hw::MachineConfig* machine);
 [[nodiscard]] desc::Value toDesc(const FaultPlan& p);
 
 }  // namespace cbsim::fault

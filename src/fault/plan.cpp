@@ -1,6 +1,9 @@
 #include "fault/plan.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "hw/machine.hpp"
 
 namespace cbsim::fault {
 
@@ -30,6 +33,31 @@ void FaultPlan::degradeTrunk(int trunkIdx, sim::SimTime from,
   trunkWindows_[trunkIdx].push_back({from, until, bwFactor});
 }
 
+void FaultPlan::degradeSwitch(int sw, sim::SimTime from, sim::SimTime until,
+                              double bwFactor) {
+  validate(sw, from, until, bwFactor);
+  switchWindows_[sw].push_back({from, until, bwFactor});
+}
+
+void FaultPlan::degradeNam(int namIdx, sim::SimTime from, sim::SimTime until,
+                           double bwFactor) {
+  validate(namIdx, from, until, bwFactor);
+  namWindows_[namIdx].push_back({from, until, bwFactor});
+}
+
+void FaultPlan::crashNode(int node, sim::SimTime at, sim::SimTime restartAfter) {
+  if (node < 0) throw std::invalid_argument("fault: negative node index");
+  if (restartAfter <= sim::SimTime::zero()) {
+    throw std::invalid_argument("fault: crash restart delay must be positive");
+  }
+  nodeCrashes_.push_back({node, at, restartAfter});
+  std::sort(nodeCrashes_.begin(), nodeCrashes_.end(),
+            [](const NodeCrash& a, const NodeCrash& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.node < b.node;
+            });
+}
+
 double FaultPlan::factorAt(const std::vector<LinkWindow>& windows,
                            sim::SimTime t) {
   double f = 1.0;
@@ -50,6 +78,99 @@ double FaultPlan::endpointFactor(int ep, sim::SimTime t) const {
 double FaultPlan::trunkFactor(int trunkIdx, sim::SimTime t) const {
   const auto it = trunkWindows_.find(trunkIdx);
   return it == trunkWindows_.end() ? 1.0 : factorAt(it->second, t);
+}
+
+double FaultPlan::switchFactor(int sw, sim::SimTime t) const {
+  const auto it = switchWindows_.find(sw);
+  return it == switchWindows_.end() ? 1.0 : factorAt(it->second, t);
+}
+
+double FaultPlan::namFactor(int namIdx, sim::SimTime t) const {
+  const auto it = namWindows_.find(namIdx);
+  return it == namWindows_.end() ? 1.0 : factorAt(it->second, t);
+}
+
+namespace {
+
+/// A non-zero-factor window entirely inside a down window on the same
+/// target can never be observed: the link carries nothing throughout.
+std::string contradictionIn(const std::vector<LinkWindow>& windows,
+                            const std::string& what) {
+  for (const LinkWindow& w : windows) {
+    if (w.bwFactor == 0.0) continue;
+    for (const LinkWindow& down : windows) {
+      if (down.bwFactor != 0.0) continue;
+      if (down.from <= w.from && w.until <= down.until) {
+        return what + ": degradation window [" +
+               std::to_string(w.from.toSeconds()) + "s, " +
+               std::to_string(w.until.toSeconds()) +
+               "s) lies entirely inside a down window [" +
+               std::to_string(down.from.toSeconds()) + "s, " +
+               std::to_string(down.until.toSeconds()) +
+               "s) — it can never take effect";
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string FaultPlan::validateFor(const hw::MachineConfig& config) const {
+  const int nodes = config.totalNodes();
+  const int nams = static_cast<int>(config.nams.size());
+  const int endpoints = nodes + nams;
+  const int switches = static_cast<int>(config.switches.size());
+  const int trunks = static_cast<int>(config.trunks.size());
+  for (const auto& [ep, windows] : endpointWindows_) {
+    if (ep >= endpoints) {
+      return "endpoint " + std::to_string(ep) + " does not exist (machine '" +
+             config.name + "' has " + std::to_string(endpoints) +
+             " endpoints: " + std::to_string(nodes) + " nodes + " +
+             std::to_string(nams) + " NAMs)";
+    }
+    if (auto err = contradictionIn(windows, "endpoint " + std::to_string(ep));
+        !err.empty()) {
+      return err;
+    }
+  }
+  for (const auto& [t, windows] : trunkWindows_) {
+    if (t >= trunks) {
+      return "trunk " + std::to_string(t) + " does not exist (machine '" +
+             config.name + "' has " + std::to_string(trunks) + " trunks)";
+    }
+    if (auto err = contradictionIn(windows, "trunk " + std::to_string(t));
+        !err.empty()) {
+      return err;
+    }
+  }
+  for (const auto& [sw, windows] : switchWindows_) {
+    if (sw >= switches) {
+      return "switch " + std::to_string(sw) + " does not exist (machine '" +
+             config.name + "' has " + std::to_string(switches) + " switches)";
+    }
+    if (auto err = contradictionIn(windows, "switch " + std::to_string(sw));
+        !err.empty()) {
+      return err;
+    }
+  }
+  for (const auto& [nam, windows] : namWindows_) {
+    if (nam >= nams) {
+      return "nam " + std::to_string(nam) + " does not exist (machine '" +
+             config.name + "' has " + std::to_string(nams) + " NAMs)";
+    }
+    if (auto err = contradictionIn(windows, "nam " + std::to_string(nam));
+        !err.empty()) {
+      return err;
+    }
+  }
+  for (const NodeCrash& c : nodeCrashes_) {
+    if (c.node >= nodes) {
+      return "node " + std::to_string(c.node) + " does not exist (machine '" +
+             config.name + "' has " + std::to_string(nodes) + " nodes)";
+    }
+  }
+  return "";
 }
 
 }  // namespace cbsim::fault

@@ -23,9 +23,14 @@
 // owner (test or campaign scenario) keeps it alive alongside the world.
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "sim/time.hpp"
+
+namespace cbsim::hw {
+struct MachineConfig;
+}
 
 namespace cbsim::fault {
 
@@ -40,6 +45,16 @@ struct LinkWindow {
   [[nodiscard]] bool covers(sim::SimTime t) const {
     return from <= t && t < until;
   }
+};
+
+/// A whole-node crash: at `at` the node's running job is killed, its NVMe
+/// contents are lost, and the node leaves the RM pool; it rejoins
+/// `restartAfter` later (the repair/reboot delay).  Consumed by
+/// scr::FailureInjector::applyPlan — the fabric never sees it directly.
+struct NodeCrash {
+  int node = -1;
+  sim::SimTime at;
+  sim::SimTime restartAfter;
 };
 
 class FaultPlan {
@@ -64,14 +79,36 @@ class FaultPlan {
   void flapTrunk(int trunkIdx, sim::SimTime from, sim::SimTime until) {
     degradeTrunk(trunkIdx, from, until, 0.0);
   }
+  /// Degrades every link attached to switch `sw` (node NICs, NAMs and
+  /// trunks terminating there) during the window.  Factor 0 is a switch
+  /// outage: traffic through the switch is cut, which partitions the
+  /// machine unless a gen-1 bridge offers a detour.
+  void degradeSwitch(int sw, sim::SimTime from, sim::SimTime until,
+                     double bwFactor);
+  void flapSwitch(int sw, sim::SimTime from, sim::SimTime until) {
+    degradeSwitch(sw, from, until, 0.0);
+  }
+  /// Degrades the NAM device's fabric links (NAM outage/degradation).
+  void degradeNam(int namIdx, sim::SimTime from, sim::SimTime until,
+                  double bwFactor);
+  void flapNam(int namIdx, sim::SimTime from, sim::SimTime until) {
+    degradeNam(namIdx, from, until, 0.0);
+  }
+  /// Schedules a whole-node crash (see NodeCrash).  `restartAfter` must be
+  /// positive: a node that never comes back is a machine-shrink, not a
+  /// fault the recovery loop can be expected to survive.
+  void crashNode(int node, sim::SimTime at, sim::SimTime restartAfter);
 
   /// Combined bandwidth factor of the endpoint's links at time `t`
   /// (product over covering windows; 0 when any covering window is down).
   [[nodiscard]] double endpointFactor(int ep, sim::SimTime t) const;
   [[nodiscard]] double trunkFactor(int trunkIdx, sim::SimTime t) const;
+  [[nodiscard]] double switchFactor(int sw, sim::SimTime t) const;
+  [[nodiscard]] double namFactor(int namIdx, sim::SimTime t) const;
 
   [[nodiscard]] bool hasWindows() const {
-    return !endpointWindows_.empty() || !trunkWindows_.empty();
+    return !endpointWindows_.empty() || !trunkWindows_.empty() ||
+           !switchWindows_.empty() || !namWindows_.empty();
   }
 
   /// Read-only window tables, keyed by endpoint / trunk index; used by the
@@ -82,11 +119,32 @@ class FaultPlan {
   [[nodiscard]] const std::map<int, std::vector<LinkWindow>>& trunkWindows() const {
     return trunkWindows_;
   }
+  [[nodiscard]] const std::map<int, std::vector<LinkWindow>>& switchWindows() const {
+    return switchWindows_;
+  }
+  [[nodiscard]] const std::map<int, std::vector<LinkWindow>>& namWindows() const {
+    return namWindows_;
+  }
+  /// Crash schedule, sorted by (at, node).
+  [[nodiscard]] const std::vector<NodeCrash>& nodeCrashes() const {
+    return nodeCrashes_;
+  }
   /// True when the plan can affect traffic at all; a default-constructed
   /// plan is inert and costs the fabric one pointer test per message.
   [[nodiscard]] bool active() const {
-    return dropProb > 0.0 || corruptProb > 0.0 || hasWindows();
+    return dropProb > 0.0 || corruptProb > 0.0 || hasWindows() ||
+           !nodeCrashes_.empty();
   }
+
+  /// Validates every target reference against a concrete machine: endpoint,
+  /// trunk, switch, NAM and node indices must exist, and no non-zero-factor
+  /// window may lie entirely inside a down (factor-0) window on the same
+  /// target — "degraded while down" is contradictory and unobservable, the
+  /// classic symptom of a typo'd index.  (A flap *inside* a degradation
+  /// window stays legal; the resilience builtin uses exactly that shape.)
+  /// Returns "" when valid, else a message naming the offending reference;
+  /// the description layer wraps it with origin:line:column context.
+  [[nodiscard]] std::string validateFor(const hw::MachineConfig& config) const;
 
  private:
   static double factorAt(const std::vector<LinkWindow>& windows,
@@ -94,6 +152,9 @@ class FaultPlan {
 
   std::map<int, std::vector<LinkWindow>> endpointWindows_;
   std::map<int, std::vector<LinkWindow>> trunkWindows_;
+  std::map<int, std::vector<LinkWindow>> switchWindows_;
+  std::map<int, std::vector<LinkWindow>> namWindows_;
+  std::vector<NodeCrash> nodeCrashes_;
 };
 
 }  // namespace cbsim::fault

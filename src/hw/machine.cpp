@@ -20,6 +20,33 @@ std::string twoDigit(const std::string& prefix, int i) {
 
 }  // namespace
 
+std::string nodeName(const MachineConfig& config, int id) {
+  int base = 0;
+  for (const auto& g : config.groups) {
+    if (id < base + g.count) return twoDigit(g.namePrefix, id - base);
+    base += g.count;
+  }
+  return "";
+}
+
+int findNodeByName(const MachineConfig& config, const std::string& name) {
+  int base = 0;
+  for (const auto& g : config.groups) {
+    for (int i = 0; i < g.count; ++i) {
+      if (twoDigit(g.namePrefix, i) == name) return base + i;
+    }
+    base += g.count;
+  }
+  return -1;
+}
+
+int findSwitchByName(const MachineConfig& config, const std::string& name) {
+  for (std::size_t i = 0; i < config.switches.size(); ++i) {
+    if (config.switches[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 int MachineConfig::totalNodes() const {
   int n = 0;
   for (const auto& g : groups) n += g.count;

@@ -115,6 +115,17 @@ struct MachineConfig {
   static CpuSpec xeonPhiKnc();       ///< gen-1 Booster
 };
 
+/// Name node `id` would get at Machine construction ("cn03"); "" when out
+/// of range.  Free functions so config-level layers (fault validation, the
+/// chaos generator) can resolve names without instantiating a Machine.
+[[nodiscard]] std::string nodeName(const MachineConfig& config, int id);
+/// Node id for a name like "cn03", or -1 when no node has that name.
+[[nodiscard]] int findNodeByName(const MachineConfig& config,
+                                 const std::string& name);
+/// Switch index for a SwitchSpec::name, or -1.
+[[nodiscard]] int findSwitchByName(const MachineConfig& config,
+                                   const std::string& name);
+
 class Machine {
  public:
   Machine(sim::Engine& engine, MachineConfig config);

@@ -2,6 +2,7 @@
 
 #include "desc/json.hpp"
 #include "fault/desc.hpp"
+#include "hw/desc.hpp"
 #include "pmpi/desc.hpp"
 #include "scr/desc.hpp"
 
@@ -20,8 +21,14 @@ McScenario scenarioFromDesc(desc::Reader& r) {
   if (auto p = r.tryChild("protocol")) {
     s.protocol = pmpi::protocolParamsFromDesc(*p);
   }
+  // Machine before fault: a machine context lets fault references use
+  // names ("cn03", "extoll-fabric") and be validated for existence.
+  if (auto m = r.tryChild("machine")) {
+    s.machine = hw::machineConfigFromDesc(*m);
+  }
   if (auto f = r.tryChild("fault")) {
-    s.fault = fault::faultPlanFromDesc(*f);
+    s.fault =
+        fault::faultPlanFromDesc(*f, s.machine ? &*s.machine : nullptr);
   }
   if (auto b = r.tryChild("budget")) {
     s.budget.maxSchedules = b->intAt("max_schedules", s.budget.maxSchedules);
@@ -72,6 +79,8 @@ desc::Value toDesc(const McScenario& s) {
   v.set("seed", desc::Value::unsignedInt(s.seed));
   v.set("drain_sec", desc::Value::number(s.drainSec));
   v.set("protocol", pmpi::toDesc(s.protocol));
+  // Emitted only when set, so pre-override dumps stay byte-identical.
+  if (s.machine) v.set("machine", hw::toDesc(*s.machine));
   if (s.fault) v.set("fault", fault::toDesc(*s.fault));
   desc::Value b = desc::Value::object();
   b.set("max_schedules", desc::Value::integer(s.budget.maxSchedules));

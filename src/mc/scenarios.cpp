@@ -32,9 +32,27 @@ std::string num(double v) {
   return buf;
 }
 
-/// Post-run drain/deadlock invariant shared by both families.
+/// Post-run drain/deadlock invariant shared by both families.  The run
+/// executes under the engine watchdog (deadline = drainSec plus a
+/// same-instant cap), so both "still churning at the deadline" and a
+/// zero-delay event loop surface here with the watchdog's queue/process
+/// dump attached.
 std::string drainViolation(sim::Engine& engine, const sim::RunStats& st,
                            double drainSec) {
+  if (st.watchdogFired) {
+    if (st.watchdogInstantLoop) {
+      return "no-progress violation: " + st.watchdogReport;
+    }
+    if (engine.liveProcessCount() > 0) {
+      return "drain-bound violation: " +
+             std::to_string(engine.liveProcessCount()) +
+             " process(es) still live at t=" + num(drainSec) + "s\n" +
+             st.watchdogReport;
+    }
+    // Deadline passed with no live process: only passive timers (node
+    // repairs and the like) remained — the app itself drained cleanly.
+    return "";
+  }
   if (engine.liveProcessCount() > 0 &&
       engine.now() >= SimTime::seconds(drainSec)) {
     return "drain-bound violation: " +
@@ -46,6 +64,23 @@ std::string drainViolation(sim::Engine& engine, const sim::RunStats& st,
            st.blockedProcesses.front();
   }
   return "";
+}
+
+/// Same-instant event cap for the watchdog: generous enough for any legal
+/// burst in these tiny worlds, small enough to stop a livelock quickly.
+constexpr std::uint64_t kMaxEventsPerInstant = 1'000'000;
+
+hw::MachineConfig worldConfig(const McScenario& s, int clusterNodes) {
+  if (s.machine) return *s.machine;
+  return hw::MachineConfig::deepEr(clusterNodes, 2);
+}
+
+/// Machine-aware plan check shared by both families; construction-time
+/// errors (bad target references) must throw, not count as violations.
+void checkPlan(const fault::FaultPlan& plan, const hw::MachineConfig& config) {
+  if (std::string err = plan.validateFor(config); !err.empty()) {
+    throw std::invalid_argument("mc: fault plan: " + err);
+  }
 }
 
 pmpi::ProtocolParams effectiveProtocol(const McScenario& s) {
@@ -66,16 +101,24 @@ RunFn makeMessageRaceRun(const McScenario& s) {
   }
   return [s](Chooser& chooser) -> std::string {
     sim::Engine engine(s.seed);
-    hw::Machine machine(engine, hw::MachineConfig::deepEr(s.senders + 1, 2));
+    hw::Machine machine(engine, worldConfig(s, s.senders + 1));
     extoll::Fabric fabric(machine);
     fault::FaultPlan plan;
     if (s.fault) plan = *s.fault;
+    checkPlan(plan, machine.config());
     if (plan.active()) fabric.setFaultPlan(&plan);
     rm::ResourceManager resources(machine);
     pmpi::AppRegistry registry;
     pmpi::Runtime rt(machine, fabric, resources, registry,
                      effectiveProtocol(s));
     rt.setChooser(&chooser);
+    // Node crashes in the plan need an injector (and a store to drop);
+    // a killed job ends the trial cleanly — the invariants are conditional
+    // on delivery, not on the job surviving the crash.
+    io::LocalStore local(machine, fabric);
+    scr::FailureInjector injector(rt, local, &resources);
+    injector.setChooser(&chooser, SimTime::seconds(s.faultQuantumSec));
+    injector.applyPlan(plan);
 
     std::string violation;
     const auto fail = [&](std::string msg) {
@@ -142,7 +185,8 @@ RunFn makeMessageRaceRun(const McScenario& s) {
       }
     });
     rt.launch("race", hw::NodeKind::Cluster, s.senders + 1);
-    const sim::RunStats st = engine.runUntil(SimTime::seconds(s.drainSec));
+    engine.setWatchdog(SimTime::seconds(s.drainSec), kMaxEventsPerInstant);
+    const sim::RunStats st = engine.run();
     if (violation.empty()) violation = drainViolation(engine, st, s.drainSec);
     rt.setChooser(nullptr);
     return violation;
@@ -159,11 +203,11 @@ RunFn makeCheckpointRestartRun(const McScenario& s) {
   }
   return [s](Chooser& chooser) -> std::string {
     sim::Engine engine(s.seed);
-    hw::Machine machine(
-        engine, hw::MachineConfig::deepEr(s.ranks + s.spareNodes, 2));
+    hw::Machine machine(engine, worldConfig(s, s.ranks + s.spareNodes));
     extoll::Fabric fabric(machine);
     fault::FaultPlan plan;
     if (s.fault) plan = *s.fault;
+    checkPlan(plan, machine.config());
     if (plan.active()) fabric.setFaultPlan(&plan);
     rm::ResourceManager resources(machine);
     pmpi::AppRegistry registry;
@@ -233,6 +277,7 @@ RunFn makeCheckpointRestartRun(const McScenario& s) {
     scr::FailureInjector chaos(rt, local, &resources,
                                SimTime::seconds(s.repairSec));
     chaos.setChooser(&chooser, SimTime::seconds(s.faultQuantumSec));
+    chaos.applyPlan(plan);
     int attempts = 0;
     bool relaunchQueued = false;
     std::function<void()> launchAttempt;
@@ -262,7 +307,8 @@ RunFn makeCheckpointRestartRun(const McScenario& s) {
     };
     rt.setJobDrainHook([&](int) { queueRelaunch(); });
     launchAttempt();
-    const sim::RunStats st = engine.runUntil(SimTime::seconds(s.drainSec));
+    engine.setWatchdog(SimTime::seconds(s.drainSec), kMaxEventsPerInstant);
+    const sim::RunStats st = engine.run();
     rt.setJobDrainHook({});
     if (violation.empty()) violation = drainViolation(engine, st, s.drainSec);
     if (violation.empty() && !finished) {
@@ -282,6 +328,13 @@ RunFn makeRun(const McScenario& s) {
   if (s.family == "checkpoint-restart") return makeCheckpointRestartRun(s);
   throw std::invalid_argument("mc: unknown scenario family \"" + s.family +
                               "\"");
+}
+
+hw::MachineConfig scenarioWorld(const McScenario& s) {
+  if (s.family == "checkpoint-restart") {
+    return worldConfig(s, s.ranks + s.spareNodes);
+  }
+  return worldConfig(s, s.senders + 1);
 }
 
 ExploreResult exploreScenario(const McScenario& s) {

@@ -29,6 +29,7 @@
 #include <string>
 
 #include "fault/plan.hpp"
+#include "hw/machine.hpp"
 #include "mc/explorer.hpp"
 #include "pmpi/types.hpp"
 #include "scr/scr.hpp"
@@ -53,6 +54,11 @@ struct McScenario {
   bool breakDedup = false;
   pmpi::ProtocolParams protocol;  ///< reliable=true forced by makeRun
   std::optional<fault::FaultPlan> fault;
+  /// World override: when set, the run is built on this machine instead of
+  /// the default small deep-er instance — chaos trials target switch
+  /// outages, NAM faults and bridged (deep-gen1) detours, which need
+  /// machines with that structure.  The rank caps still apply.
+  std::optional<hw::MachineConfig> machine;
   McBudget budget;
 
   // ---- message-race ---------------------------------------------------------
@@ -83,6 +89,12 @@ struct McScenario {
 /// Compiles the scenario into a replayable run function.  Throws
 /// std::invalid_argument on an unknown family or nonsensical parameters.
 [[nodiscard]] RunFn makeRun(const McScenario& s);
+
+/// The machine a makeRun world will be built on: the scenario's override,
+/// or the family's default small deep-er instance.  The chaos generator
+/// sizes its target space (endpoints, trunks, switches, NAMs, nodes) from
+/// this without building a world.
+[[nodiscard]] hw::MachineConfig scenarioWorld(const McScenario& s);
 
 /// explore() with the scenario's own budget.
 [[nodiscard]] ExploreResult exploreScenario(const McScenario& s);

@@ -150,6 +150,17 @@ class Runtime {
   void killJob(int jobId);
   [[nodiscard]] bool jobDone(int id) const { return job(id).liveProcs == 0; }
   [[nodiscard]] int jobCount() const { return static_cast<int>(jobs_.size()); }
+  /// Id of the job with a live rank on `nodeId`, or -1.  Node-targeted
+  /// fault injection (chaos plans name nodes, not jobs) resolves the
+  /// victim job at fire time through this.
+  [[nodiscard]] int jobOnNode(int nodeId) const {
+    for (const auto& p : procs_) {
+      if (p->nodeId == nodeId && p->sproc != nullptr && p->sproc->live()) {
+        return p->jobId;
+      }
+    }
+    return -1;
+  }
 
   /// Invoked (as a zero-delay engine event) whenever a job's last rank
   /// drains, with the job id.  Lets a supervisor react to failures

@@ -13,6 +13,7 @@
 
 #include <stdexcept>
 
+#include "fault/plan.hpp"
 #include "io/local_store.hpp"
 #include "mc/choice.hpp"
 #include "pmpi/runtime.hpp"
@@ -77,6 +78,52 @@ class FailureInjector {
         tr->metrics().add("scr.failures_injected");
       }
     }, /*urgent=*/true);
+  }
+
+  /// Node-targeted crash (chaos plans name nodes, not jobs): at `at` the
+  /// job holding a live rank on `node` — resolved at fire time, because a
+  /// supervisor may have relaunched elsewhere by then — is killed, the
+  /// node's NVMe contents are lost, and the node leaves the pool,
+  /// returning `restartAfter` later (falls back to the injector-wide MTTR
+  /// when zero).  An idle node still loses its NVMe and its pool slot.
+  /// Urgent, same tie-break as scheduleNodeFailure.
+  void scheduleNodeCrash(sim::SimTime at, int node, sim::SimTime restartAfter) {
+    if (at < rt_.engine().now()) {
+      throw std::invalid_argument(
+          "scr: node-crash time lies in the simulated past");
+    }
+    if (chooser_ != nullptr && quantum_ > sim::SimTime::zero()) {
+      static constexpr std::uint64_t kSlots[3] = {0, 1, 2};
+      const int slot = chooser_->choose(
+          {mc::Site::FaultInstant, static_cast<std::uint64_t>(node), kSlots});
+      at += slot * quantum_;
+    }
+    rt_.engine().scheduleAt(at, [this, node, restartAfter] {
+      const int jobId = rt_.jobOnNode(node);
+      if (jobId >= 0 && !rt_.jobDone(jobId)) rt_.killJob(jobId);
+      store_.dropNode(node);
+      if (rm_ != nullptr) {
+        rm_->markFailed(node);
+        const sim::SimTime repair =
+            restartAfter > sim::SimTime::zero() ? restartAfter : repairAfter_;
+        if (repair > sim::SimTime::zero()) {
+          rt_.engine().schedule(repair,
+                                [this, node] { rm_->repair(node); });
+        }
+      }
+      ++injected_;
+      lastFailureAt_ = rt_.engine().now();
+      if (obs::Tracer* tr = rt_.engine().tracer()) {
+        tr->metrics().add("scr.failures_injected");
+      }
+    }, /*urgent=*/true);
+  }
+
+  /// Schedules every node crash of a fault plan.
+  void applyPlan(const fault::FaultPlan& plan) {
+    for (const fault::NodeCrash& c : plan.nodeCrashes()) {
+      scheduleNodeCrash(c.at, c.node, c.restartAfter);
+    }
   }
 
   [[nodiscard]] int injected() const { return injected_; }

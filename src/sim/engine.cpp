@@ -1,15 +1,27 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 namespace cbsim::sim {
 
+namespace {
+// Stream salts: Rng::reseed() splitmixes its input, so xor-distinct seeds
+// yield uncorrelated xoshiro states.  rng_ keeps the raw seed untouched so
+// fault-free runs reproduce pre-split results bit-for-bit.
+constexpr std::uint64_t kFaultStreamSalt = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kTransportStreamSalt = 0xd1b54a32d192ed03ull;
+}  // namespace
+
 Engine::Engine() : Engine(0xcb51742a5ce1ull) {}
 Engine::Engine(std::uint64_t rngSeed) : Engine(rngSeed, defaultProcessBackend()) {}
 Engine::Engine(std::uint64_t rngSeed, ProcessBackend backend)
-    : backend_(effectiveProcessBackend(backend)), rng_(rngSeed) {}
+    : backend_(effectiveProcessBackend(backend)),
+      rng_(rngSeed),
+      faultRng_(rngSeed ^ kFaultStreamSalt),
+      transportRng_(rngSeed ^ kTransportStreamSalt) {}
 
 Engine::~Engine() { shutdownProcesses(); }
 
@@ -86,11 +98,30 @@ RunStats Engine::runUntil(SimTime limit) { return runImpl(limit); }
 
 RunStats Engine::runImpl(std::optional<SimTime> limit) {
   RunStats stats;
+  std::uint64_t eventsThisInstant = 0;
   while (!queue_.empty()) {
     if (limit && queue_.front().when > *limit) {
       now_ = *limit;
       break;
     }
+    if (watchdogArmed_ && queue_.front().when > watchdogDeadline_) {
+      fireWatchdog(stats, "simulated-time deadline " +
+                              std::to_string(watchdogDeadline_.toSeconds()) +
+                              "s expired");
+      break;
+    }
+    if (queue_.front().when > now_) {
+      eventsThisInstant = 0;
+    } else if (watchdogArmed_ && watchdogMaxEventsPerInstant_ != 0 &&
+               eventsThisInstant >= watchdogMaxEventsPerInstant_) {
+      fireWatchdog(stats,
+                   std::to_string(watchdogMaxEventsPerInstant_) +
+                       " events executed without simulated time advancing "
+                       "(zero-delay event loop)");
+      stats.watchdogInstantLoop = true;
+      break;
+    }
+    ++eventsThisInstant;
     Event ev = popEvent();
     now_ = ev.when;
     ++stats.eventsProcessed;
@@ -119,6 +150,64 @@ RunStats Engine::runImpl(std::optional<SimTime> limit) {
                            static_cast<double>(stats.eventsProcessed));
   }
   return stats;
+}
+
+namespace {
+const char* stateName(Process::State s) {
+  switch (s) {
+    case Process::State::Created: return "created";
+    case Process::State::Runnable: return "runnable";
+    case Process::State::Running: return "running";
+    case Process::State::Suspended: return "suspended";
+    case Process::State::Finished: return "finished";
+    case Process::State::Cancelled: return "cancelled";
+    case Process::State::Failed: return "failed";
+  }
+  return "?";
+}
+}  // namespace
+
+void Engine::fireWatchdog(RunStats& stats, const std::string& why) const {
+  stats.watchdogFired = true;
+  std::ostringstream out;
+  out << "watchdog: " << why << " at t=" << now_.toSeconds() << "s\n";
+  out << "pending events: " << queue_.size() << "\n";
+  // The queue is a heap; sort a copy of the ordering keys to report the
+  // earliest few in execution order.
+  struct Key {
+    SimTime when;
+    std::uint64_t seq;
+    bool urgent;
+    const Process* proc;
+  };
+  std::vector<Key> keys;
+  keys.reserve(queue_.size());
+  for (const auto& ev : queue_) {
+    keys.push_back(Key{ev.when, ev.seq, ev.urgent, ev.proc});
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.urgent != b.urgent) return a.urgent;
+    return a.seq < b.seq;
+  });
+  const std::size_t shown = std::min<std::size_t>(keys.size(), 8);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const Key& k = keys[i];
+    out << "  [" << i << "] t=" << k.when.toSeconds() << "s "
+        << (k.proc != nullptr ? "resume " + k.proc->name() : std::string("callback"))
+        << (k.urgent ? " (urgent)" : "") << "\n";
+  }
+  if (keys.size() > shown) out << "  ... " << (keys.size() - shown) << " more\n";
+  std::size_t live = 0;
+  for (const auto& p : processes_) {
+    if (p->live()) ++live;
+  }
+  out << "processes: " << processes_.size() << " total, " << live << " live\n";
+  for (const auto& p : processes_) {
+    if (!p->live()) continue;
+    out << "  " << p->name() << ": " << stateName(p->state()) << "\n";
+  }
+  stats.watchdogReport = out.str();
 }
 
 void Engine::reap(Process& p, RunStats& stats) {

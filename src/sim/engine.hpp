@@ -40,6 +40,17 @@ struct RunStats {
   std::vector<std::string> blockedProcesses;
   /// "name: message" for every process that terminated with an exception.
   std::vector<std::string> processFailures;
+  /// Set when the progress watchdog (setWatchdog) expired: the run was
+  /// abandoned, and `watchdogReport` holds a dump of the pending event
+  /// queue and process states for diagnosis.
+  bool watchdogFired = false;
+  /// Set when the firing cause was the same-instant event cap (a
+  /// zero-delay event loop) rather than the simulated-time deadline.
+  /// The distinction matters to invariant harnesses: a deadline can
+  /// expire with only passive timers left (benign), an instant loop is
+  /// always a hang.
+  bool watchdogInstantLoop = false;
+  std::string watchdogReport;
 
   [[nodiscard]] bool deadlocked() const { return !blockedProcesses.empty(); }
 };
@@ -56,7 +67,17 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   [[nodiscard]] SimTime now() const { return now_; }
+  /// Application-level RNG stream (workload samplers, app models).
   [[nodiscard]] Rng& rng() { return rng_; }
+  /// Fault-decision stream (fault-plan drop/corrupt draws).  A separate
+  /// stream so inserting or removing a fault draw — e.g. a chaos schedule
+  /// shifting one window — cannot realign the draws any other subsystem
+  /// sees, which is what keeps shrunk fault schedules replayable and the
+  /// mc independence relation honest (ROADMAP item 4).
+  [[nodiscard]] Rng& faultRng() { return faultRng_; }
+  /// Transport-level stream (reserved for randomized transport timing;
+  /// today's retransmit jitter goes through mc choice points instead).
+  [[nodiscard]] Rng& transportRng() { return transportRng_; }
   /// Backend every process spawned by this engine runs on.
   [[nodiscard]] ProcessBackend processBackend() const { return backend_; }
 
@@ -90,6 +111,20 @@ class Engine {
   RunStats runUntil(SimTime limit);
 
   void setCollectProcessErrors(bool collect) { collectErrors_ = collect; }
+
+  /// Progress watchdog: when simulated time would pass `deadline`, or more
+  /// than `maxEventsPerInstant` events execute without simulated time
+  /// advancing (a zero-delay event loop — the hang runUntil() can never
+  /// catch), the run stops with RunStats::watchdogFired set and a dump of
+  /// the pending event queue and process states in watchdogReport.
+  /// `maxEventsPerInstant` 0 disables the same-instant check.  The
+  /// watchdog stays armed across run() calls until cleared.
+  void setWatchdog(SimTime deadline, std::uint64_t maxEventsPerInstant = 0) {
+    watchdogDeadline_ = deadline;
+    watchdogMaxEventsPerInstant_ = maxEventsPerInstant;
+    watchdogArmed_ = true;
+  }
+  void clearWatchdog() { watchdogArmed_ = false; }
 
   /// Cancels and joins every live process.  Owners of process bodies
   /// (e.g. the pmpi Runtime) call this from their destructor so no process
@@ -140,6 +175,9 @@ class Engine {
   RunStats runImpl(std::optional<SimTime> limit);
   void reap(Process& p, RunStats& stats);
   void shutdownProcesses();
+  /// Fills RunStats::watchdogFired/watchdogReport with a dump of the
+  /// pending event queue and every process's state.
+  void fireWatchdog(RunStats& stats, const std::string& why) const;
 
   SimTime now_ = SimTime::zero();
   std::uint64_t seq_ = 0;
@@ -152,7 +190,12 @@ class Engine {
   Process* current_ = nullptr;
   ProcessBackend backend_;
   Rng rng_;
+  Rng faultRng_;
+  Rng transportRng_;
   bool collectErrors_ = false;
+  bool watchdogArmed_ = false;
+  SimTime watchdogDeadline_ = SimTime::zero();
+  std::uint64_t watchdogMaxEventsPerInstant_ = 0;
   std::uint64_t nextProcId_ = 1;
   obs::Tracer* tracer_ = nullptr;
 };

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -257,6 +258,50 @@ TEST(Engine, DeadlockIsReported) {
   const RunStats st = e.run();
   ASSERT_TRUE(st.deadlocked());
   EXPECT_EQ(st.blockedProcesses.at(0), "stuck");
+}
+
+TEST(Engine, WatchdogDeadlineStopsARunawayRun) {
+  // A process that churns forever: only the watchdog can end this run,
+  // and the report must name the culprit and its pending resume.
+  Engine e;
+  e.spawn("churner", [&](Context& ctx) {
+    for (;;) ctx.delay(1_us);
+  });
+  e.setWatchdog(10_us);
+  const RunStats st = e.run();
+  EXPECT_TRUE(st.watchdogFired);
+  EXPECT_FALSE(st.watchdogInstantLoop);
+  EXPECT_LE(st.endTime, 10_us);
+  EXPECT_NE(st.watchdogReport.find("deadline"), std::string::npos);
+  EXPECT_NE(st.watchdogReport.find("churner"), std::string::npos);
+}
+
+TEST(Engine, WatchdogCatchesZeroDelayEventLoop) {
+  // Same-instant self-rescheduling never advances time, so a deadline
+  // alone can never fire; the per-instant event cap is what catches it.
+  Engine e;
+  std::function<void()> loop = [&] { e.schedule(SimTime::zero(), loop); };
+  e.schedule(1_us, loop);
+  e.setWatchdog(10_us, /*maxEventsPerInstant=*/100);
+  const RunStats st = e.run();
+  EXPECT_TRUE(st.watchdogFired);
+  EXPECT_TRUE(st.watchdogInstantLoop);
+  EXPECT_EQ(st.endTime, 1_us);
+  EXPECT_NE(st.watchdogReport.find("zero-delay"), std::string::npos);
+}
+
+TEST(Engine, WatchdogStaysArmedAcrossRunsUntilCleared) {
+  Engine e;
+  e.setWatchdog(5_us);
+  e.schedule(1_us, [] {});
+  EXPECT_FALSE(e.run().watchdogFired);  // finished before the deadline
+  e.schedule(9_us, [] {});
+  EXPECT_TRUE(e.run().watchdogFired);  // still armed
+  e.clearWatchdog();
+  e.schedule(20_us, [] {});
+  // Drains the event the watchdog abandoned plus the new one.
+  const RunStats st = e.run();
+  EXPECT_FALSE(st.watchdogFired);
 }
 
 TEST(Engine, ProcessFailureThrowsByDefault) {
