@@ -37,15 +37,33 @@ namespace {
 
 using namespace cbsim;
 
+/// One sweep point: rank count plus an optional per-scale halo payload
+/// override (0 = use the global --halo-bytes).  Big-world points shrink
+/// the payload so application buffers, which scale with halo_bytes x
+/// ranks, don't drown the per-rank simulator footprint being measured.
+struct ScaleSpec {
+  int ranks = 0;
+  std::size_t haloBytes = 0;
+};
+
 struct Options {
-  std::vector<int> scales = {1024, 4096, 16384};
+  std::vector<ScaleSpec> scales = {{1024, 0}, {4096, 0}, {16384, 0}};
   int steps = 5;
   std::size_t haloBytes = 8 << 10;
   int allreduceEvery = 5;
   bool flow = false;
+  std::size_t stackKb = 0;       ///< fiber stack KiB; 0 = engine default
+  std::size_t slabStacks = 0;    ///< stacks per slab mapping; 0 = guarded
   double maxWallSec = 0.0;       ///< per-scale budget; 0 = no gate
   double maxRssPerRankKb = 0.0;  ///< per-scale budget; 0 = no gate
   std::string out = "BENCH_topology.json";
+
+  [[nodiscard]] bool budgeted() const {
+    return maxWallSec > 0 || maxRssPerRankKb > 0;
+  }
+  [[nodiscard]] std::size_t haloBytesFor(const ScaleSpec& s) const {
+    return s.haloBytes != 0 ? s.haloBytes : haloBytes;
+  }
 };
 
 /// Smallest generated fat-tree with >= n nodes: pods = ceil(sqrt(n))
@@ -64,9 +82,16 @@ struct ChildResult {
   double messages = 0.0;
 };
 
-/// Runs the halo sweep at `ranks` in-process (called inside the fork).
-ChildResult runSweep(const Options& opt, int ranks) {
+/// Runs the halo sweep at `spec.ranks` in-process (called inside the fork).
+ChildResult runSweep(const Options& opt, ScaleSpec spec) {
+  const int ranks = spec.ranks;
+  const std::size_t haloBytes = opt.haloBytesFor(spec);
   sim::Engine engine(0x5eedULL + static_cast<std::uint64_t>(ranks));
+  if (opt.stackKb > 0) engine.setFiberStackBytes(opt.stackKb * 1024);
+  // A guarded mapping per stack is two VMAs; past ~32k concurrent ranks
+  // that exceeds the kernel's default vm.max_map_count, so the big sweep
+  // points carve stacks from slab mappings instead.
+  if (opt.slabStacks > 0) engine.setFiberStacksPerSlab(opt.slabStacks);
   const hw::TopologySpec topo = fatTreeFor(ranks);
   hw::Machine machine(engine, topo.materialize());
   extoll::FabricOptions fo;
@@ -93,9 +118,9 @@ ChildResult runSweep(const Options& opt, int ranks) {
     };
     const std::array<int, 4> nb = {at(x - 1, y), at(x + 1, y), at(x, y - 1),
                                    at(x, y + 1)};
-    std::vector<std::byte> sendBuf(opt.haloBytes, std::byte{0});
+    std::vector<std::byte> sendBuf(haloBytes, std::byte{0});
     std::array<std::vector<std::byte>, 4> recvBuf;
-    for (auto& b : recvBuf) b.assign(opt.haloBytes, std::byte{0});
+    for (auto& b : recvBuf) b.assign(haloBytes, std::byte{0});
     for (int step = 0; step < opt.steps; ++step) {
       std::array<pmpi::Request, 8> reqs;
       for (int d = 0; d < 4; ++d) {
@@ -140,7 +165,8 @@ struct ScaleRow {
 };
 
 /// Fork, run the sweep in the child, and collect its rusage via wait4.
-ScaleRow runScale(const Options& opt, int ranks) {
+ScaleRow runScale(const Options& opt, ScaleSpec spec) {
+  const int ranks = spec.ranks;
   ScaleRow row;
   row.ranks = ranks;
   int fds[2];
@@ -155,7 +181,7 @@ ScaleRow runScale(const Options& opt, int ranks) {
   }
   if (pid == 0) {
     close(fds[0]);
-    const ChildResult r = runSweep(opt, ranks);
+    const ChildResult r = runSweep(opt, spec);
     char buf[256];
     const int n = std::snprintf(buf, sizeof buf, "%.17g %.17g %.17g %.17g",
                                 r.events, r.simSec, r.hostSec, r.messages);
@@ -192,15 +218,23 @@ ScaleRow runScale(const Options& opt, int ranks) {
   return row;
 }
 
-std::vector<int> parseScales(const char* arg) {
-  std::vector<int> scales;
+/// "N,N@HALO,N" — each token is a rank count, optionally with a per-scale
+/// halo payload override after '@' (bytes).
+std::vector<ScaleSpec> parseScales(const char* arg) {
+  std::vector<ScaleSpec> scales;
   std::string s(arg);
   std::size_t pos = 0;
   while (pos < s.size()) {
     const std::size_t comma = s.find(',', pos);
     const std::string tok =
         s.substr(pos, comma == std::string::npos ? comma : comma - pos);
-    scales.push_back(std::stoi(tok));
+    ScaleSpec spec;
+    const std::size_t at = tok.find('@');
+    spec.ranks = std::stoi(tok.substr(0, at));
+    if (at != std::string::npos) {
+      spec.haloBytes = static_cast<std::size_t>(std::stoll(tok.substr(at + 1)));
+    }
+    scales.push_back(spec);
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
@@ -230,6 +264,10 @@ int main(int argc, char** argv) {
       opt.allreduceEvery = std::atoi(next());
     } else if (a == "--flow") {
       opt.flow = true;
+    } else if (a == "--stack-kb") {
+      opt.stackKb = static_cast<std::size_t>(std::atoll(next()));
+    } else if (a == "--slab-stacks") {
+      opt.slabStacks = static_cast<std::size_t>(std::atoll(next()));
     } else if (a == "--max-wall-sec") {
       opt.maxWallSec = std::atof(next());
     } else if (a == "--max-rss-per-rank-kb") {
@@ -238,8 +276,9 @@ int main(int argc, char** argv) {
       opt.out = next();
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--scales N,N,...] [--steps N] [--halo-bytes N] "
-                   "[--allreduce-every N] [--flow] [--max-wall-sec S] "
+                   "usage: %s [--scales N[@HALO],N,...] [--steps N] "
+                   "[--halo-bytes N] [--allreduce-every N] [--flow] "
+                   "[--stack-kb N] [--slab-stacks N] [--max-wall-sec S] "
                    "[--max-rss-per-rank-kb K] [--out FILE]\n",
                    argv[0]);
       return 2;
@@ -248,18 +287,20 @@ int main(int argc, char** argv) {
 
   bool withinBudget = true;
   std::vector<std::string> rows;
-  for (const int ranks : opt.scales) {
-    const ScaleRow row = runScale(opt, ranks);
+  for (const ScaleSpec& spec : opt.scales) {
+    const int ranks = spec.ranks;
+    const ScaleRow row = runScale(opt, spec);
     if (!row.ok) return 1;
     const hw::TopologySpec topo = fatTreeFor(ranks);
     const double rssPerRankKb = row.rssKb / ranks;
     const double eventsPerSec =
         row.r.hostSec > 0 ? row.r.events / row.r.hostSec : 0.0;
     std::printf(
-        "ranks %6d  fat-tree(%d,%d,%d)  events %10.0f  wall %6.2fs  "
-        "%8.0f ev/s  rss %7.1f MB (%.1f KB/rank)\n",
-        ranks, topo.pods, topo.spines, topo.nodesPerPod, row.r.events,
-        row.r.hostSec, eventsPerSec, row.rssKb / 1024.0, rssPerRankKb);
+        "ranks %6d  fat-tree(%d,%d,%d)  halo %5zu B  events %10.0f  "
+        "wall %6.2fs  %8.0f ev/s  rss %7.1f MB (%.1f KB/rank)\n",
+        ranks, topo.pods, topo.spines, topo.nodesPerPod,
+        opt.haloBytesFor(spec), row.r.events, row.r.hostSec, eventsPerSec,
+        row.rssKb / 1024.0, rssPerRankKb);
     bool scaleOk = true;
     if (opt.maxWallSec > 0 && row.r.hostSec > opt.maxWallSec) scaleOk = false;
     if (opt.maxRssPerRankKb > 0 && rssPerRankKb > opt.maxRssPerRankKb) {
@@ -274,20 +315,20 @@ int main(int argc, char** argv) {
                             std::to_string(topo.nodesPerPod) + ")")
         .integer("switches", topo.switchCount())
         .integer("trunks", topo.trunkCount())
+        .integer("halo_bytes", static_cast<long long>(opt.haloBytesFor(spec)))
         .num("events", row.r.events)
         .num("fabric_messages", row.r.messages)
         .num("sim_sec", row.r.simSec)
         .num("wall_sec", row.r.hostSec)
         .num("events_per_sec", eventsPerSec)
         .num("peak_rss_mb", row.rssKb / 1024.0)
-        .num("rss_per_rank_kb", rssPerRankKb)
-        .boolean("within_budget", scaleOk);
+        .num("rss_per_rank_kb", rssPerRankKb);
+    // Budget verdicts only exist when a budget was requested: an
+    // unbudgeted run used to emit {max_*: 0, within_budget: true}, which
+    // read as "passed a zero-byte budget".
+    if (opt.budgeted()) r.boolean("within_budget", scaleOk);
     rows.push_back(r.render(2));
   }
-
-  cbsim::bench::JsonObject budget;
-  budget.num("max_wall_sec", opt.maxWallSec)
-      .num("max_rss_per_rank_kb", opt.maxRssPerRankKb);
 
   cbsim::bench::JsonObject root;
   root.str("bench", "fabric_scale")
@@ -296,10 +337,22 @@ int main(int argc, char** argv) {
       .str("routing", "structural")
       .integer("steps", opt.steps)
       .integer("halo_bytes", static_cast<long long>(opt.haloBytes))
-      .integer("allreduce_every", opt.allreduceEvery)
-      .raw("budget", budget.render(0))
-      .boolean("within_budget", withinBudget)
-      .raw("scales", cbsim::bench::jsonArray(rows, 0))
+      .integer("allreduce_every", opt.allreduceEvery);
+  if (opt.stackKb > 0) {
+    root.integer("stack_kb", static_cast<long long>(opt.stackKb));
+  }
+  if (opt.slabStacks > 0) {
+    root.integer("slab_stacks", static_cast<long long>(opt.slabStacks));
+  }
+  if (opt.budgeted()) {
+    cbsim::bench::JsonObject budget;
+    if (opt.maxWallSec > 0) budget.num("max_wall_sec", opt.maxWallSec);
+    if (opt.maxRssPerRankKb > 0) {
+      budget.num("max_rss_per_rank_kb", opt.maxRssPerRankKb);
+    }
+    root.raw("budget", budget.render(0)).boolean("within_budget", withinBudget);
+  }
+  root.raw("scales", cbsim::bench::jsonArray(rows, 0))
       .num("peak_rss_mb", cbsim::bench::peakRssBytes() / (1024.0 * 1024.0));
   cbsim::bench::writeFile(opt.out, root.render());
   std::printf("wrote %s\n", opt.out.c_str());

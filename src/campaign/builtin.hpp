@@ -133,6 +133,11 @@ struct HaloParams {
   std::size_t haloBytes = 4 << 10;  ///< per-neighbour halo payload per step
   double computeSec = 200e-6;       ///< per-step interior compute
   int allreduceEvery = 5;           ///< residual allreduce cadence; 0 = never
+  /// Per-rank fiber stack size in KiB; 0 keeps the engine default
+  /// (CBSIM_FIBER_STACK_KB or 256).  Large sweeps shrink this so stack
+  /// reservation, not the application state, stays off the critical RSS
+  /// path.  Clamped to >= 16 KiB by the engine.
+  int fiberStackKb = 0;
   pmpi::ProtocolParams protocol;
 };
 

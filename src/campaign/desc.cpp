@@ -186,6 +186,7 @@ HaloParams haloParamsFromDesc(desc::Reader& r) {
   p.computeSec = r.numberAt("compute_sec", p.computeSec);
   p.allreduceEvery =
       static_cast<int>(r.intAt("allreduce_every", p.allreduceEvery));
+  p.fiberStackKb = static_cast<int>(r.intAt("fiber_stack_kb", p.fiberStackKb));
   if (auto pr = r.tryChild("protocol")) {
     p.protocol = pmpi::protocolParamsFromDesc(*pr);
   }
@@ -194,6 +195,7 @@ HaloParams haloParamsFromDesc(desc::Reader& r) {
   if (p.haloBytes < 1) r.fail("halo_bytes must be >= 1");
   if (p.computeSec < 0) r.fail("compute_sec must be >= 0");
   if (p.allreduceEvery < 0) r.fail("allreduce_every must be >= 0");
+  if (p.fiberStackKb < 0) r.fail("fiber_stack_kb must be >= 0");
   return p;
 }
 
@@ -209,6 +211,7 @@ desc::Value toDesc(const HaloParams& p) {
         desc::Value::unsignedInt(static_cast<std::uint64_t>(p.haloBytes)));
   v.set("compute_sec", desc::Value::number(p.computeSec));
   v.set("allreduce_every", desc::Value::integer(p.allreduceEvery));
+  v.set("fiber_stack_kb", desc::Value::integer(p.fiberStackKb));
   v.set("protocol", pmpi::toDesc(p.protocol));
   return v;
 }

@@ -23,6 +23,7 @@
 #include "io/nam_store.hpp"
 #include "mc/choice.hpp"
 #include "mc/scenarios.hpp"
+#include "obs/metrics.hpp"
 #include "pmpi/env.hpp"
 #include "pmpi/runtime.hpp"
 #include "rm/resource_manager.hpp"
@@ -53,6 +54,40 @@ std::string fig8Name(xpic::Mode m, int n) {
 
 /// Pulls `key` out of the named scenario; nullopt when the scenario failed
 /// or the key is absent (derivations then skip the dependent output).
+/// Records the world's structural memory footprint into the scenario's
+/// metrics registry (the mem.* counter family, which the runner snapshots
+/// into the campaign report columns).  Every value is a capacity or a peak
+/// derived from simulated state — never a live host-side quantity such as
+/// pooled-stack counts, which differ between process backends — so reports
+/// stay byte-identical across backends and worker counts
+/// (BackendEquivalence.CampaignReportByteIdentical).
+void recordMemoryMetrics(ScenarioContext& ctx, const sim::Engine& engine,
+                         const pmpi::Runtime& rt,
+                         const extoll::Fabric& fabric) {
+  obs::Metrics& m = ctx.tracer.metrics();
+  const pmpi::Runtime::MemoryStats mem = rt.memoryStats();
+  m.add("mem.proc_slab_bytes", static_cast<double>(mem.procSlabBytes));
+  m.add("mem.request_slots", static_cast<double>(mem.requestSlots));
+  m.add("mem.request_pool_bytes", static_cast<double>(mem.requestPoolBytes));
+  m.add("mem.payload_arena_bytes", static_cast<double>(mem.payloadArenaBytes));
+  m.add("mem.payload_arena_peak_bytes",
+        static_cast<double>(mem.payloadArenaPeakBytes));
+  m.add("mem.match_queue_bytes", static_cast<double>(mem.matchQueueBytes));
+  m.add("mem.match_queue_peak_entries",
+        static_cast<double>(mem.matchQueuePeakEntries));
+  m.add("mem.channel_bytes", static_cast<double>(mem.channelBytes));
+  m.add("mem.route_cache_bytes", static_cast<double>(fabric.routeCacheBytes()));
+  // Nominal fiber-stack reservation: spawn count x configured stack size
+  // (256 KiB when the engine is left at its default).  Reported instead of
+  // live stack-pool statistics so the thread backend yields the same number.
+  const std::size_t stackBytes = engine.fiberStackBytes() != 0
+                                     ? engine.fiberStackBytes()
+                                     : std::size_t{256} * 1024;
+  m.add("mem.stack_reserve_bytes",
+        static_cast<double>(engine.spawnedProcessCount()) *
+            static_cast<double>(stackBytes));
+}
+
 std::optional<double> valueOf(const std::vector<ScenarioResult>& rs,
                               const std::string& scenario,
                               const std::string& key) {
@@ -303,6 +338,7 @@ Values runResilienceScenario(const ResilienceParams& p,
   if (!st.blockedProcesses.empty()) {
     throw std::runtime_error("resilience scenario deadlocked");
   }
+  recordMemoryMetrics(ctx, engine, rt, fabric);
 
   const double idealSec = p.steps * p.stepSec;
   const double completionSec = finished ? doneAtSec : engine.now().toSeconds();
@@ -344,6 +380,9 @@ Values runResilienceScenario(const ResilienceParams& p,
 Values runHaloScenario(const HaloParams& p, int ranks, ScenarioContext& ctx) {
   sim::Engine engine(ctx.seed);
   engine.setTracer(&ctx.tracer);
+  if (p.fiberStackKb > 0) {
+    engine.setFiberStackBytes(static_cast<std::size_t>(p.fiberStackKb) * 1024);
+  }
   hw::Machine machine(engine, p.machine);
   extoll::Fabric fabric(machine, p.fabric);
   rm::ResourceManager resources(machine);
@@ -411,6 +450,7 @@ Values runHaloScenario(const HaloParams& p, int ranks, ScenarioContext& ctx) {
   rt.launch("halo", hw::NodeKind::Cluster, ranks);
   const sim::RunStats st = engine.run();
   if (st.deadlocked()) throw std::runtime_error("halo scenario deadlocked");
+  recordMemoryMetrics(ctx, engine, rt, fabric);
 
   const extoll::Fabric::Stats& fab = fabric.stats();
   Values v;

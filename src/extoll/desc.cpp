@@ -22,6 +22,9 @@ FabricOptions fabricOptionsFromDesc(desc::Reader& r) {
   } else {
     r.fail("model must be \"packet\" or \"flow\"");
   }
+  o.routeCacheCap = static_cast<std::size_t>(
+      r.uintAt("route_cache_cap", o.routeCacheCap));
+  if (o.routeCacheCap == 0) r.fail("route_cache_cap must be >= 1");
   r.finish();
   return o;
 }
@@ -34,6 +37,8 @@ desc::Value toDesc(const FabricOptions& o) {
   v.set("routing", desc::Value::string(routing));
   v.set("model", desc::Value::string(
                      o.model == CongestionModel::Flow ? "flow" : "packet"));
+  v.set("route_cache_cap",
+        desc::Value::integer(static_cast<std::int64_t>(o.routeCacheCap)));
   return v;
 }
 

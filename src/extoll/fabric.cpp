@@ -303,8 +303,21 @@ const Fabric::Path& Fabric::route(int srcEp, int dstEp) const {
     bridgeScratch_ = std::move(p);
     return bridgeScratch_;
   }
-  if (pathCache_.size() >= kPathCacheCap) pathCache_.clear();
+  if (pathCache_.size() >= options_.routeCacheCap) pathCache_.clear();
   return pathCache_.emplace(key, std::move(p)).first->second;
+}
+
+std::size_t Fabric::routeCacheBytes() const {
+  // Bucket array + one node per entry (unordered_map's actual node layout
+  // is implementation-defined; key + value + two pointers is the common
+  // shape), plus each memoized path's heap-allocated link list.
+  std::size_t total =
+      pathCache_.bucket_count() * sizeof(void*) +
+      pathCache_.size() * (sizeof(std::uint64_t) + sizeof(Path) + 2 * sizeof(void*));
+  for (const auto& [key, path] : pathCache_) {
+    total += path.links.capacity() * sizeof(int);
+  }
+  return total;
 }
 
 Fabric::RouteInfo Fabric::routeInfo(int srcEp, int dstEp) const {

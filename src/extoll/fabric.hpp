@@ -67,6 +67,11 @@ enum class CongestionModel { Packet, Flow };
 struct FabricOptions {
   RoutingMode routing = RoutingMode::Auto;
   CongestionModel model = CongestionModel::Packet;
+  /// Route-cache entry cap (see Fabric::routeCacheSize): the memo is
+  /// cleared wholesale when it reaches this many entries.  Large worlds
+  /// with random traffic can cap it low to bound memory; structural
+  /// routing makes a miss O(1) anyway.
+  std::size_t routeCacheCap = 1u << 20;
 };
 
 class Fabric {
@@ -142,6 +147,8 @@ class Fabric {
     return pathCache_.size();
   }
   [[nodiscard]] std::uint64_t routeCacheHits() const { return cacheHits_; }
+  /// Heap bytes held by the path cache (table plus per-path link arrays).
+  [[nodiscard]] std::size_t routeCacheBytes() const;
 
   /// Flows currently in flight (CongestionModel::Flow only).
   [[nodiscard]] std::size_t activeFlows() const { return flows_.size(); }
@@ -274,9 +281,6 @@ class Fabric {
   mutable std::unordered_map<std::uint64_t, std::vector<std::vector<Hop>>>
       switchPathsCache_;
   mutable std::uint64_t cacheHits_ = 0;
-  /// Safety valve for adversarial endpoint-pair counts; a full clear keeps
-  /// the policy deterministic (no recency state).
-  static constexpr std::size_t kPathCacheCap = 1u << 20;
 
   // Flow-model state.  std::map for deterministic recompute order.
   std::map<std::uint64_t, Flow> flows_;

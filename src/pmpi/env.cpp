@@ -36,12 +36,15 @@ void Env::tracePhase(const char* name, SimTime start) {
 
 // ---- Point-to-point -------------------------------------------------------
 
-void Env::waitTracked(const Request& r) {
-  if (!r) return;
+Status Env::waitTracked(Request r) {
+  if (!r.valid()) return Status{};
   const SimTime start = ctx_.now();
-  while (!r->done) ctx_.suspend();
+  while (!rt_.requestDone(r)) ctx_.suspend();
   proc_.commSec += (ctx_.now() - start).toSeconds();
   traceWait(start);
+  // Copies the Status out, then recycles the slot; the handle the caller
+  // keeps turns stale, which requestDone/test read as "completed".
+  return rt_.finishRequest(r);
 }
 
 void Env::traceWait(SimTime start) {
@@ -64,7 +67,9 @@ std::size_t Env::waitAny(std::span<const Request> rs) {
   const SimTime start = ctx_.now();
   for (;;) {
     for (std::size_t i = 0; i < rs.size(); ++i) {
-      if (rs[i] && rs[i]->done) {
+      // Non-consuming: the winning request stays live so a later
+      // wait/waitAll on the same array still resolves it.
+      if (rs[i].valid() && rt_.requestDone(rs[i])) {
         proc_.commSec += (ctx_.now() - start).toSeconds();
         traceWait(start);
         return i;
@@ -122,17 +127,14 @@ void Env::ssend(Comm c, int dst, int tag, ConstBytes data) {
 }
 
 Status Env::recv(Comm c, int src, int tag, Bytes buf) {
-  const Request r = irecv(c, src, tag, buf);
-  waitTracked(r);
-  return r->status;
+  return waitTracked(irecv(c, src, tag, buf));
 }
 
 Status Env::sendRecv(Comm c, int dst, int sendTag, ConstBytes sendData,
                      int src, int recvTag, Bytes recvBuf) {
   const Request rr = irecv(c, src, recvTag, recvBuf);
   send(c, dst, sendTag, sendData);
-  waitTracked(rr);
-  return rr->status;
+  return waitTracked(rr);
 }
 
 // ---- Collectives ----------------------------------------------------------

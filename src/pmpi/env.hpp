@@ -81,8 +81,12 @@ class Env {
   Request irecv(Comm c, int src, int tag, Bytes buf);
 
   void wait(const Request& r);
-  /// Nonblocking completion check (consumes no simulated time).
-  [[nodiscard]] bool test(const Request& r) const { return !r || r->done; }
+  /// Nonblocking completion check (consumes no simulated time).  A null
+  /// handle, or one whose operation already completed and was waited on,
+  /// reports done (MPI's inactive-request semantics).
+  [[nodiscard]] bool test(const Request& r) const {
+    return !r.valid() || rt_.requestDone(r);
+  }
   void waitAll(std::span<const Request> rs);
   /// Blocks until at least one request completes; returns its index.
   std::size_t waitAny(std::span<const Request> rs);
@@ -200,7 +204,9 @@ class Env {
     assert(tag == AnyTag || tag >= 0);
   }
   /// Blocks until `r` completes, charging the elapsed time to commSec.
-  void waitTracked(const Request& r);
+  /// Returns the completion Status and releases the request's pool slot
+  /// (the handle becomes inactive: test() keeps reporting done).
+  Status waitTracked(Request r);
   /// Emits a "wait" span [start, now] on this rank's row when time passed.
   void traceWait(sim::SimTime start);
 

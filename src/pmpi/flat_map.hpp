@@ -1,0 +1,145 @@
+#pragma once
+
+// Flat containers for the reliable transport's hot per-channel state.
+//
+// ChannelIndex — open-addressed hash from a (srcIdx << 32 | dstIdx)
+// channel key to a dense channel slot.  Replaces a std::map whose node
+// hops dominated channel lookup; channels are never erased, so the table
+// needs no tombstones and stays a pair of flat arrays.
+//
+// SeqMap — sorted-vector map keyed by a transport sequence number.
+// Replaces the std::map inflight/reorder windows: those hold a handful of
+// entries (the retransmit window) in ascending-seq order, where a flat
+// vector's locality beats a red-black tree at every size the transport
+// produces.  Insertion at the tail (seqs are issued in order) is O(1).
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cbsim::pmpi {
+
+class ChannelIndex {
+ public:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  /// Slot stored under `key`, or kNone.
+  [[nodiscard]] std::uint32_t lookup(std::uint64_t key) const {
+    if (keys_.empty()) return kNone;
+    for (std::size_t i = bucket(key);; i = (i + 1) & (keys_.size() - 1)) {
+      if (keys_[i] == kEmpty) return kNone;
+      if (keys_[i] == key) return vals_[i];
+    }
+  }
+
+  void insert(std::uint64_t key, std::uint32_t val) {
+    if ((count_ + 1) * 10 >= keys_.size() * 7) grow();
+    for (std::size_t i = bucket(key);; i = (i + 1) & (keys_.size() - 1)) {
+      if (keys_[i] == kEmpty) {
+        keys_[i] = key;
+        vals_[i] = val;
+        ++count_;
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t capacityBytes() const {
+    return keys_.size() * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~0ull;  // keys are < 2^63
+
+  [[nodiscard]] std::size_t bucket(std::uint64_t key) const {
+    // splitmix64 finalizer; table size is a power of two.
+    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
+    key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(key ^ (key >> 31)) & (keys_.size() - 1);
+  }
+
+  void grow() {
+    const std::size_t cap = keys_.empty() ? 16 : keys_.size() * 2;
+    std::vector<std::uint64_t> oldKeys = std::move(keys_);
+    std::vector<std::uint32_t> oldVals = std::move(vals_);
+    keys_.assign(cap, kEmpty);
+    vals_.assign(cap, kNone);
+    count_ = 0;
+    for (std::size_t i = 0; i < oldKeys.size(); ++i) {
+      if (oldKeys[i] != kEmpty) insert(oldKeys[i], oldVals[i]);
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> vals_;
+  std::size_t count_ = 0;
+};
+
+template <typename V>
+class SeqMap {
+ public:
+  [[nodiscard]] V* find(std::uint32_t seq) {
+    const std::size_t i = lowerBound(seq);
+    if (i == entries_.size() || entries_[i].seq != seq) return nullptr;
+    return &entries_[i].value;
+  }
+  [[nodiscard]] const V* find(std::uint32_t seq) const {
+    return const_cast<SeqMap*>(this)->find(seq);
+  }
+  [[nodiscard]] bool contains(std::uint32_t seq) const {
+    return find(seq) != nullptr;
+  }
+
+  void emplace(std::uint32_t seq, V value) {
+    const std::size_t i = lowerBound(seq);
+    if (i < entries_.size() && entries_[i].seq == seq) return;  // map semantics
+    entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(i),
+                    Entry{seq, std::move(value)});
+  }
+
+  bool erase(std::uint32_t seq) {
+    const std::size_t i = lowerBound(seq);
+    if (i == entries_.size() || entries_[i].seq != seq) return false;
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    return true;
+  }
+
+  /// Removes and returns the value under `seq`; the entry must exist.
+  V take(std::uint32_t seq) {
+    const std::size_t i = lowerBound(seq);
+    V out = std::move(entries_[i].value);
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t capacityBytes() const {
+    return entries_.capacity() * sizeof(Entry);
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t seq;
+    V value;
+  };
+
+  [[nodiscard]] std::size_t lowerBound(std::uint32_t seq) const {
+    std::size_t lo = 0, hi = entries_.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (entries_[mid].seq < seq) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace cbsim::pmpi

@@ -9,7 +9,12 @@
 // same iteration order but tombstones the matched slot and compacts lazily
 // once tombstones dominate, so an erase costs amortized O(1) even for
 // matches deep in a long queue.  Steady state does not allocate: the
-// backing vector's capacity is reused across messages.
+// backing vector's capacity is reused across messages — up to a retention
+// bound (kRetainSlots).  A queue that briefly ballooned (a wildcard
+// receive outlasting a 10k-post burst) releases the excess capacity once
+// compaction shows the live population no longer needs it, so a 100k-rank
+// world is not permanently charged for every rank's worst historical
+// queue depth.
 
 #include <cstddef>
 #include <optional>
@@ -25,6 +30,7 @@ class MatchFifo {
   void push(T value) {
     slots_.push_back(Slot{std::move(value), true});
     ++live_;
+    if (live_ > peakLive_) peakLive_ = live_;
   }
 
   /// Removes and returns the first element (in insertion order) that
@@ -87,9 +93,18 @@ class MatchFifo {
 
   [[nodiscard]] std::size_t size() const { return live_; }
   [[nodiscard]] bool empty() const { return live_ == 0; }
+  /// Highest live population ever held (per-world memory telemetry).
+  [[nodiscard]] std::size_t peakSize() const { return peakLive_; }
+  /// Backing-store slots currently reserved (tests pin the shrink policy).
+  [[nodiscard]] std::size_t capacitySlots() const { return slots_.capacity(); }
+  [[nodiscard]] std::size_t capacityBytes() const {
+    return slots_.capacity() * sizeof(Slot);
+  }
 
+  /// Drops all elements AND the backing storage — used on rank drain,
+  /// where the queue will never be refilled.
   void clear() {
-    slots_.clear();
+    slots_ = {};
     head_ = 0;
     live_ = 0;
   }
@@ -104,7 +119,11 @@ class MatchFifo {
     // Common case: the match was at the front; skip the tombstone prefix.
     while (head_ < slots_.size() && !slots_[head_].live) ++head_;
     if (live_ == 0) {
-      slots_.clear();  // capacity retained
+      if (slots_.capacity() > kRetainSlots) {
+        slots_ = {};  // burst over: release the ballooned backing store
+      } else {
+        slots_.clear();  // capacity retained for the steady state
+      }
       head_ = 0;
       return;
     }
@@ -121,13 +140,23 @@ class MatchFifo {
     slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(w),
                  slots_.end());
     head_ = 0;
+    // Capacity follows the live population back down once it is using
+    // less than a quarter of an oversized reservation.
+    if (slots_.capacity() > kRetainSlots &&
+        slots_.size() * 4 < slots_.capacity()) {
+      slots_.shrink_to_fit();
+    }
   }
 
   static constexpr std::size_t kCompactMin = 16;
+  /// Capacity at or below this is kept across drains (no realloc churn in
+  /// the common few-entry steady state); above it, shrink logic applies.
+  static constexpr std::size_t kRetainSlots = 1024;
 
   std::vector<Slot> slots_;
   std::size_t head_ = 0;  ///< first index that may hold a live element
   std::size_t live_ = 0;
+  std::size_t peakLive_ = 0;
 };
 
 }  // namespace cbsim::pmpi

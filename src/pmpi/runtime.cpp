@@ -158,8 +158,9 @@ Request Runtime::postSend(Proc& src, Comm c, int dstRank, int tag,
   const int srcRank = rankIn(c, src.idx);
   if (srcRank < 0) throw std::logic_error("sender not a member of comm");
 
-  auto req = std::make_shared<RequestState>();
-  req->commId = c.id();
+  const Request req = newRequest(src);
+  RequestState& reqState = requests_.get(req);
+  reqState.commId = c.id();
 
   const bool rendezvous =
       mode == SendMode::Synchronous || data.size() > params_.eagerThreshold;
@@ -182,21 +183,24 @@ Request Runtime::postSend(Proc& src, Comm c, int dstRank, int tag,
   if (rendezvous) {
     // RTS carries no payload; the sender's buffer is pinned in the request
     // until the RDMA transfer completes.
-    req->sendBuf = data;
+    reqState.sendBuf = data;
     msg.rendezvous = true;
     msg.sendReq = req;
     transportSend(src.idx, dstIdx, params_.ctrlMsgBytes,
-                  [this, dstIdx, msg = std::move(msg)]() mutable {
+                  [this, dstIdx, msg]() mutable {
                     deliverRts(dstIdx, std::move(msg));
                   });
   } else {
-    // Eager: payload travels with the message; the send buffer is free as
-    // soon as the local copy is made.
-    msg.payload.assign(data.begin(), data.end());
-    req->done = true;
+    // Eager: the payload is copied into the *destination* rank's arena at
+    // send time (the simulated copy-out), so the message itself stays a
+    // 48-byte ticket and the send buffer is free immediately.
+    msg.payloadLen = static_cast<std::uint32_t>(data.size());
+    msg.payloadOff = procs_[static_cast<std::size_t>(dstIdx)]
+                         .eagerPayloads.store(data);
+    reqState.done = true;
     transportSend(src.idx, dstIdx,
                   static_cast<double>(data.size()) + params_.headerBytes,
-                  [this, dstIdx, msg = std::move(msg)]() mutable {
+                  [this, dstIdx, msg]() mutable {
                     deliverEager(dstIdx, std::move(msg));
                   });
   }
@@ -204,15 +208,16 @@ Request Runtime::postSend(Proc& src, Comm c, int dstRank, int tag,
 }
 
 Request Runtime::postRecv(Proc& dst, Comm c, int srcRank, int tag, Bytes buf) {
-  auto req = std::make_shared<RequestState>();
-  req->isRecv = true;
-  req->commId = c.id();
-  req->srcFilter = srcRank;
-  req->tagFilter = tag;
-  req->recvBuf = buf;
+  const Request req = newRequest(dst);
+  RequestState& reqState = requests_.get(req);
+  reqState.isRecv = true;
+  reqState.commId = c.id();
+  reqState.srcFilter = srcRank;
+  reqState.tagFilter = tag;
+  reqState.recvBuf = buf;
 
   const auto pred = [&](const Proc::UnexpectedMsg& m) {
-    return matches(*req, m);
+    return matches(reqState, m);
   };
   std::optional<Proc::UnexpectedMsg> hit;
   if (chooser_ == nullptr) {
@@ -266,9 +271,9 @@ Request Runtime::postRecv(Proc& dst, Comm c, int srcRank, int tag, Bytes buf) {
 
 bool Runtime::tryMatchArrival(Proc& dst, Proc::UnexpectedMsg& msg) {
   std::optional<Request> hit = dst.posted.extractFirst(
-      [&](const Request& r) { return matches(*r, msg); });
+      [&](const Request& r) { return matches(requests_.get(r), msg); });
   if (!hit) return false;
-  const Request req = std::move(*hit);
+  const Request req = *hit;
   if (obs::Tracer* tr = engine().tracer()) {
     traceQueueDepth(engine(), *tr, "pmpi.posted.depth", -1.0);
     traceMsgEvent(engine(), *tr, dst, "msg.match",
@@ -285,20 +290,26 @@ bool Runtime::tryMatchArrival(Proc& dst, Proc::UnexpectedMsg& msg) {
 }
 
 void Runtime::deliverEager(int dstProcIdx, Proc::UnexpectedMsg msg) {
-  Proc& dst = *procs_.at(static_cast<std::size_t>(dstProcIdx));
+  Proc& dst = procs_[static_cast<std::size_t>(dstProcIdx)];
   if (!tryMatchArrival(dst, msg)) {
+    if (!procLive(dst) && msg.payloadLen > 0) {
+      // The rank died (drain resets its arena): nothing will ever consume
+      // this payload, so don't let the late arrival re-pin bytes.
+      dst.eagerPayloads.release(msg.payloadOff, msg.payloadLen);
+      msg.payloadLen = 0;
+    }
     if (obs::Tracer* tr = engine().tracer()) {
       traceQueueDepth(engine(), *tr, "pmpi.unexpected.depth", 1.0);
       traceMsgEvent(engine(), *tr, dst, "msg.unexpected",
                     {{"src", static_cast<double>(msg.srcRank)},
                      {"tag", static_cast<double>(msg.tag)}});
     }
-    dst.unexpected.push(std::move(msg));
+    dst.unexpected.push(msg);
   }
 }
 
 void Runtime::deliverRts(int dstProcIdx, Proc::UnexpectedMsg msg) {
-  Proc& dst = *procs_.at(static_cast<std::size_t>(dstProcIdx));
+  Proc& dst = procs_[static_cast<std::size_t>(dstProcIdx)];
   if (!tryMatchArrival(dst, msg)) {
     if (obs::Tracer* tr = engine().tracer()) {
       traceQueueDepth(engine(), *tr, "pmpi.unexpected.depth", 1.0);
@@ -306,31 +317,38 @@ void Runtime::deliverRts(int dstProcIdx, Proc::UnexpectedMsg msg) {
                     {{"src", static_cast<double>(msg.srcRank)},
                      {"tag", static_cast<double>(msg.tag)}});
     }
-    dst.unexpected.push(std::move(msg));
+    dst.unexpected.push(msg);
   }
 }
 
-void Runtime::completeEagerRecv(Proc& dst, const Request& req,
-                                Proc::UnexpectedMsg msg) {
-  // Receiver-side protocol processing happens after the match.
+void Runtime::completeEagerRecv(Proc& dst, Request req, Proc::UnexpectedMsg msg) {
+  // Receiver-side protocol processing happens after the match.  The closure
+  // re-resolves both handles at fire time: a 48-byte msg plus a request
+  // ticket keeps it inside the event's inline buffer.
   const hw::Node& node = machine_.node(dst.nodeId);
-  engine().schedule(
-      node.mpiSwOverhead, [this, &dst, req, msg = std::move(msg)]() {
-        // The rank may have been cancelled (failure injection) between the
-        // match and this completion; its receive buffer lives on the
-        // unwound stack, so the copy must not happen.
-        if (!procLive(dst)) return;
-        if (msg.payload.size() > req->recvBuf.size()) {
-          throw std::runtime_error("pmpi: eager message truncates receive buffer");
-        }
-        std::memcpy(req->recvBuf.data(), msg.payload.data(), msg.payload.size());
-        completeRequest(dst, req, msg.srcRank, msg.tag, msg.payload.size());
-      });
+  engine().schedule(node.mpiSwOverhead, [this, req, msg]() {
+    RequestState* rs = requests_.find(req);
+    if (rs == nullptr) return;  // receiver drained; arena was reset with it
+    Proc& owner = procs_[static_cast<std::size_t>(rs->ownerProc)];
+    // The rank may have been cancelled (failure injection) between the
+    // match and this completion; its receive buffer lives on the unwound
+    // stack, so the copy must not happen.
+    if (!procLive(owner)) return;
+    if (msg.payloadLen > rs->recvBuf.size()) {
+      throw std::runtime_error("pmpi: eager message truncates receive buffer");
+    }
+    if (msg.payloadLen > 0) {
+      std::memcpy(rs->recvBuf.data(), owner.eagerPayloads.at(msg.payloadOff),
+                  msg.payloadLen);
+      owner.eagerPayloads.release(msg.payloadOff, msg.payloadLen);
+    }
+    completeRequest(owner, req, msg.srcRank, msg.tag, msg.payloadLen);
+  });
 }
 
-void Runtime::startRendezvousTransfer(Proc& dst, const Request& req,
+void Runtime::startRendezvousTransfer(Proc& dst, Request req,
                                       Proc::UnexpectedMsg msg) {
-  if (msg.bytes > req->recvBuf.size()) {
+  if (msg.bytes > requests_.get(req).recvBuf.size()) {
     throw std::runtime_error("pmpi: rendezvous message truncates receive buffer");
   }
   const hw::Node& dstNode = machine_.node(dst.nodeId);
@@ -343,37 +361,45 @@ void Runtime::startRendezvousTransfer(Proc& dst, const Request& req,
   // Receiver processes the RTS, sends the CTS; on CTS arrival the payload
   // moves as one RDMA transfer straight into the receive buffer (no
   // further endpoint software on the payload path).
+  const int dstIdx = dst.idx;
   const int srcIdx = msg.srcProcIdx;
-  engine().schedule(dstNode.mpiSwOverhead, [this, &dst, req, srcIdx,
-                                            msg = std::move(msg)]() mutable {
-    transportSend(dst.idx, srcIdx, params_.ctrlMsgBytes, [this, &dst, req,
-                                                          srcIdx,
-                                                          msg = std::move(msg)]() mutable {
-      transportSend(srcIdx, dst.idx,
+  engine().schedule(dstNode.mpiSwOverhead, [this, dstIdx, req, srcIdx, msg]() {
+    transportSend(dstIdx, srcIdx, params_.ctrlMsgBytes,
+                  [this, dstIdx, req, srcIdx, msg]() {
+      transportSend(srcIdx, dstIdx,
                     static_cast<double>(msg.bytes) + params_.headerBytes,
-                    [this, &dst, req, msg = std::move(msg)]() {
-                      const Request sendReq = msg.sendReq;
-                      Proc& src = *procs_.at(static_cast<std::size_t>(msg.srcProcIdx));
+                    [this, dstIdx, req, msg]() {
+                      Proc& dst = procs_[static_cast<std::size_t>(dstIdx)];
+                      Proc& src =
+                          procs_[static_cast<std::size_t>(msg.srcProcIdx)];
                       // Both stacks must still exist: the source buffer is
                       // pinned on the sender, the destination buffer on the
-                      // receiver.  A cancelled rank invalidates its side.
+                      // receiver.  A cancelled rank invalidates its side —
+                      // and its drain may already have recycled either
+                      // request slot, which the stale-handle check catches.
                       if (!procLive(dst) || !procLive(src)) return;
-                      std::memcpy(req->recvBuf.data(), sendReq->sendBuf.data(),
+                      RequestState* rr = requests_.find(req);
+                      RequestState* ss = requests_.find(msg.sendReq);
+                      if (rr == nullptr || ss == nullptr) return;
+                      std::memcpy(rr->recvBuf.data(), ss->sendBuf.data(),
                                   msg.bytes);
-                      completeRequest(dst, req, msg.srcRank, msg.tag, msg.bytes);
-                      completeRequest(src, sendReq, msg.srcRank, msg.tag,
+                      completeRequest(dst, req, msg.srcRank, msg.tag,
+                                      msg.bytes);
+                      completeRequest(src, msg.sendReq, msg.srcRank, msg.tag,
                                       msg.bytes);
                     });
     });
   });
 }
 
-void Runtime::completeRequest(Proc& owner, const Request& req, int srcRank,
-                              int tag, std::size_t bytes) {
-  req->done = true;
-  req->status.source = srcRank;
-  req->status.tag = tag;
-  req->status.bytes = bytes;
+void Runtime::completeRequest(Proc& owner, Request req, int srcRank, int tag,
+                              std::size_t bytes) {
+  RequestState* s = requests_.find(req);
+  if (s == nullptr) return;  // drained concurrently; nobody is waiting
+  s->done = true;
+  s->status.source = srcRank;
+  s->status.tag = tag;
+  s->status.bytes = bytes;
   if (obs::Tracer* tr = engine().tracer()) {
     traceMsgEvent(engine(), *tr, owner, "msg.complete",
                   {{"src", static_cast<double>(srcRank)},
@@ -394,7 +420,13 @@ Runtime::TransportChannel& Runtime::channel(int srcIdx, int dstIdx) {
                                  static_cast<std::uint32_t>(srcIdx))
                              << 32) |
                             static_cast<std::uint32_t>(dstIdx);
-  return channels_[key];
+  std::uint32_t slot = channelIndex_.lookup(key);
+  if (slot == ChannelIndex::kNone) {
+    slot = static_cast<std::uint32_t>(channelSlab_.size());
+    channelSlab_.emplace_back();
+    channelIndex_.insert(key, slot);
+  }
+  return channelSlab_[slot];
 }
 
 void Runtime::transportSend(int srcIdx, int dstIdx, double bytes,
@@ -423,14 +455,14 @@ void Runtime::transportSend(int srcIdx, int dstIdx, double bytes,
 
 void Runtime::transmitFrame(int srcIdx, int dstIdx, std::uint32_t seq) {
   TransportChannel& ch = channel(srcIdx, dstIdx);
-  const auto it = ch.inflight.find(seq);
-  if (it == ch.inflight.end()) return;  // acked in the meantime
+  const TransportChannel::Inflight* inf = ch.inflight.find(seq);
+  if (inf == nullptr) return;  // acked in the meantime
   const int srcEp = machine_.endpointOfNode(proc(srcIdx).nodeId);
   const int dstEp = machine_.endpointOfNode(proc(dstIdx).nodeId);
-  fabric_.send(srcEp, dstEp, it->second.bytes, [this, srcIdx, dstIdx, seq] {
+  fabric_.send(srcEp, dstEp, inf->bytes, [this, srcIdx, dstIdx, seq] {
     onFrameArrive(srcIdx, dstIdx, seq);
   });
-  engine().schedule(it->second.rto, [this, srcIdx, dstIdx, seq] {
+  engine().schedule(inf->rto, [this, srcIdx, dstIdx, seq] {
     onFrameTimeout(srcIdx, dstIdx, seq);
   });
 }
@@ -450,31 +482,29 @@ void Runtime::onFrameArrive(int srcIdx, int dstIdx, std::uint32_t seq) {
     // and gap-jumping later frames alike — goes straight to matching.  The
     // exploration corpus must flag this as an exactly-once / in-order
     // violation; never set outside the model checker's own tests.
-    const auto bit = ch.inflight.find(seq);
-    if (bit != ch.inflight.end() && bit->second.deliver) {
-      const std::function<void()> dup = bit->second.deliver;  // stays armed
+    const TransportChannel::Inflight* bit = ch.inflight.find(seq);
+    if (bit != nullptr && bit->deliver) {
+      const std::function<void()> dup = bit->deliver;  // stays armed
       dup();
     }
     return;
   }
-  if (seq < ch.nextDeliverSeq || ch.reorder.count(seq) != 0) {
+  if (seq < ch.nextDeliverSeq || ch.reorder.contains(seq)) {
     // Spurious retransmit of a frame already handed over (or queued).
     if (obs::Tracer* tr = engine().tracer()) {
       tr->metrics().add("pmpi.transport.duplicates");
     }
     return;
   }
-  const auto it = ch.inflight.find(seq);
-  if (it == ch.inflight.end() || !it->second.deliver) return;  // defensive
-  ch.reorder.emplace(seq, std::move(it->second.deliver));
+  TransportChannel::Inflight* it = ch.inflight.find(seq);
+  if (it == nullptr || !it->deliver) return;  // defensive
+  ch.reorder.emplace(seq, std::move(it->deliver));
   // Hand frames to the matching engine strictly in send order: a
   // retransmitted earlier message must not be overtaken by a later one
   // (MPI non-overtaking), so later arrivals wait in the reorder buffer.
-  while (true) {
-    const auto rit = ch.reorder.find(ch.nextDeliverSeq);
-    if (rit == ch.reorder.end()) break;
-    std::function<void()> fn = std::move(rit->second);
-    ch.reorder.erase(rit);
+  // `ch` stays a valid reference across fn(): the channel slab never moves.
+  while (ch.reorder.contains(ch.nextDeliverSeq)) {
+    std::function<void()> fn = ch.reorder.take(ch.nextDeliverSeq);
     ++ch.nextDeliverSeq;
     fn();
   }
@@ -486,15 +516,15 @@ void Runtime::onFrameAck(int srcIdx, int dstIdx, std::uint32_t seq) {
 
 void Runtime::onFrameTimeout(int srcIdx, int dstIdx, std::uint32_t seq) {
   TransportChannel& ch = channel(srcIdx, dstIdx);
-  const auto it = ch.inflight.find(seq);
-  if (it == ch.inflight.end()) return;  // acked
+  TransportChannel::Inflight* it = ch.inflight.find(seq);
+  if (it == nullptr) return;  // acked
   // Frames between dead procs (whole-job kill) are abandoned quietly; the
   // supervisor handles the job, not the transport.
   if (!procLive(proc(srcIdx)) && !procLive(proc(dstIdx))) {
-    ch.inflight.erase(it);
+    ch.inflight.erase(seq);
     return;
   }
-  TransportChannel::Inflight& inf = it->second;
+  TransportChannel::Inflight& inf = *it;
   if (inf.tries >= params_.retransmitBudget) {
     onPeerUnreachable(srcIdx, dstIdx, seq);
     return;
@@ -575,30 +605,29 @@ Job& Runtime::startJob(const std::string& appName,
   const int nprocs = static_cast<int>(nodes.size()) * procsPerNode;
   std::vector<int> members;
   for (int r = 0; r < nprocs; ++r) {
-    auto proc = std::make_unique<Proc>();
-    proc->idx = static_cast<int>(procs_.size());
-    proc->jobId = job.id;
-    proc->rank = r;
-    proc->nodeId = nodes.at(static_cast<std::size_t>(r / procsPerNode));
-    const int hwThreads = machine_.node(proc->nodeId).cpu.threads();
-    proc->threads = threadsPerProc > 0 ? threadsPerProc
-                                       : std::max(1, hwThreads / procsPerNode);
-    proc->parent = parent;
-    members.push_back(proc->idx);
-    procs_.push_back(std::move(proc));
+    Proc& proc = procs_.emplace();
+    proc.idx = static_cast<int>(procs_.size()) - 1;
+    proc.jobId = job.id;
+    proc.rank = r;
+    proc.nodeId = nodes.at(static_cast<std::size_t>(r / procsPerNode));
+    const int hwThreads = machine_.node(proc.nodeId).cpu.threads();
+    proc.threads = threadsPerProc > 0 ? threadsPerProc
+                                      : std::max(1, hwThreads / procsPerNode);
+    proc.parent = parent;
+    members.push_back(proc.idx);
   }
   job.procIdx = members;
   job.liveProcs = nprocs;
   job.world = makeIntracomm(members);
 
   for (const int pi : members) {
-    Proc& p = *procs_[static_cast<std::size_t>(pi)];
+    Proc& p = procs_[static_cast<std::size_t>(pi)];
     p.world = job.world;
     const std::string name = appName + ":j" + std::to_string(job.id) + ":r" +
                              std::to_string(p.rank);
     p.sproc = &engine().spawnAfter(
         startDelay, name, [this, pi, &main, &job](sim::Context& ctx) {
-          Proc& self = *procs_[static_cast<std::size_t>(pi)];
+          Proc& self = procs_[static_cast<std::size_t>(pi)];
           Env env(*this, self, ctx);
           struct Drain {  // runs also when the rank throws or is cancelled
             Runtime* rt;
@@ -608,8 +637,13 @@ Job& Runtime::startJob(const std::string& appName,
               // Detach communication state: in-flight messages must never
               // match a receive whose buffer lived on this (now unwound)
               // stack — relevant when failure injection cancels ranks.
+              // Reclaim everything the rank pinned: queued messages, eager
+              // payload bytes, and every request slot it still owned (late
+              // completions resolve those handles as stale and bail out).
               self->posted.clear();
               self->unexpected.clear();
+              self->eagerPayloads.reset();
+              rt->requests_.releaseAll(self->ownedRequests);
               obs::Tracer* tr = rt->engine().tracer();
               if (tr != nullptr && self->sproc != nullptr) {
                 // Final per-rank time split for the metrics table.  The run
@@ -668,7 +702,7 @@ Comm Runtime::spawnJob(Proc& root, Comm over, const std::string& appName,
                         Comm{}, alloc->id);
   const Comm inter = makeIntercomm(overInfo.groupA, child.procIdx);
   for (const int pi : child.procIdx) {
-    procs_[static_cast<std::size_t>(pi)]->parent = inter;
+    procs_[static_cast<std::size_t>(pi)].parent = inter;
   }
   (void)root;
   return inter;
@@ -676,7 +710,7 @@ Comm Runtime::spawnJob(Proc& root, Comm over, const std::string& appName,
 
 void Runtime::killJob(int jobId) {
   for (const int pi : job(jobId).procIdx) {
-    Proc& p = *procs_.at(static_cast<std::size_t>(pi));
+    Proc& p = procs_[static_cast<std::size_t>(pi)];
     if (p.sproc != nullptr && p.sproc->live()) engine().cancel(*p.sproc);
   }
 }
@@ -690,6 +724,29 @@ Runtime::JobTimes Runtime::jobTimes(int id) const {
     t.ioSec += p.ioSec;
   }
   return t;
+}
+
+// ---- Memory telemetry -----------------------------------------------------------
+
+Runtime::MemoryStats Runtime::memoryStats() const {
+  MemoryStats m;
+  m.procSlabBytes = procs_.capacityBytes();
+  m.requestSlots = requests_.slotCount();
+  m.requestPoolBytes = requests_.capacityBytes();
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const Proc& p = procs_[i];
+    m.payloadArenaBytes += p.eagerPayloads.capacityBytes();
+    m.payloadArenaPeakBytes += p.eagerPayloads.peakBytes();
+    m.matchQueueBytes += p.unexpected.capacityBytes() + p.posted.capacityBytes();
+    m.matchQueuePeakEntries += p.unexpected.peakSize() + p.posted.peakSize();
+  }
+  m.channelCount = channelSlab_.size();
+  m.channelBytes =
+      channelIndex_.capacityBytes() + channelSlab_.size() * sizeof(TransportChannel);
+  for (const TransportChannel& ch : channelSlab_) {
+    m.channelBytes += ch.inflight.capacityBytes() + ch.reorder.capacityBytes();
+  }
+  return m;
 }
 
 }  // namespace cbsim::pmpi

@@ -19,8 +19,11 @@
 #include "extoll/fabric.hpp"
 #include "hw/machine.hpp"
 #include "mc/choice.hpp"
+#include "pmpi/flat_map.hpp"
 #include "pmpi/match_fifo.hpp"
 #include "pmpi/registry.hpp"
+#include "pmpi/request_pool.hpp"
+#include "pmpi/stable_slab.hpp"
 #include "pmpi/types.hpp"
 #include "rm/resource_manager.hpp"
 #include "sim/engine.hpp"
@@ -45,22 +48,6 @@ class SeqByComm {
   std::vector<int> seq_;
 };
 
-/// In-flight nonblocking operation.
-struct RequestState {
-  bool done = false;
-  bool isRecv = false;
-  Status status;
-
-  // Receive side: posted filter + destination buffer.
-  int commId = -1;
-  int srcFilter = AnySource;
-  int tagFilter = AnyTag;
-  Bytes recvBuf;
-
-  // Send side (rendezvous): the source buffer must stay valid until done.
-  ConstBytes sendBuf;
-};
-
 /// One MPI process.
 struct Proc {
   int idx = -1;      ///< global index in Runtime::procs_
@@ -72,18 +59,30 @@ struct Proc {
   Comm world;
   Comm parent;       ///< intercomm to the spawning job, if any
 
+  /// Compact enough (48 bytes) that the transport closures carrying one
+  /// stay inside sim::EventFn's inline buffer — the eager payload lives in
+  /// the destination's PayloadArena, referenced by (offset, length).
   struct UnexpectedMsg {
     int commId;
     int srcRank;
     int tag;
     std::size_t bytes;
-    std::vector<std::byte> payload;  ///< eager payload; empty for rendezvous
+    std::uint32_t payloadOff = 0;  ///< into the dst proc's eagerPayloads
+    std::uint32_t payloadLen = 0;  ///< 0 for rendezvous (no eager payload)
     bool rendezvous = false;
-    int srcProcIdx = -1;             ///< rendezvous: who to CTS
-    Request sendReq;                 ///< rendezvous: sender's request
+    int srcProcIdx = -1;           ///< rendezvous: who to CTS
+    Request sendReq;               ///< rendezvous: sender's request
   };
+  static_assert(sizeof(UnexpectedMsg) <= 48,
+                "UnexpectedMsg must stay small: transport closures carrying "
+                "one must fit sim::EventFn's inline buffer");
   MatchFifo<UnexpectedMsg> unexpected;
   MatchFifo<Request> posted;
+  /// In-flight eager payloads addressed to this rank.
+  PayloadArena eagerPayloads;
+  /// Head of this rank's live requests in Runtime::requests_ (intrusive
+  /// list); drained in O(live) when the rank dies.
+  std::uint32_t ownedRequests = RequestPool::kNone;
 
   // Accounting for the paper's overhead metric (section IV-C: 3-4% MPI
   // overhead per solver) — maintained by Env.
@@ -154,9 +153,10 @@ class Runtime {
   /// fault injection (chaos plans name nodes, not jobs) resolves the
   /// victim job at fire time through this.
   [[nodiscard]] int jobOnNode(int nodeId) const {
-    for (const auto& p : procs_) {
-      if (p->nodeId == nodeId && p->sproc != nullptr && p->sproc->live()) {
-        return p->jobId;
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+      const Proc& p = procs_[i];
+      if (p.nodeId == nodeId && p.sproc != nullptr && p.sproc->live()) {
+        return p.jobId;
       }
     }
     return -1;
@@ -189,7 +189,24 @@ class Runtime {
   [[nodiscard]] const ProtocolParams& params() const { return params_; }
   [[nodiscard]] rm::ResourceManager& resources() const { return rm_; }
 
-  [[nodiscard]] const Proc& proc(int idx) const { return *procs_.at(static_cast<std::size_t>(idx)); }
+  [[nodiscard]] const Proc& proc(int idx) const { return procs_[static_cast<std::size_t>(idx)]; }
+
+  /// Footprint of the hot per-rank state — what "a world of N ranks" costs
+  /// beyond the application's own buffers.  All values are structural
+  /// (capacities and peaks, not instantaneous contents), so they are
+  /// byte-identical across process backends and worker counts.
+  struct MemoryStats {
+    std::size_t procSlabBytes = 0;       ///< Proc slab chunk storage
+    std::size_t requestSlots = 0;        ///< pool high-water slot count
+    std::size_t requestPoolBytes = 0;    ///< pool slot storage
+    std::size_t payloadArenaBytes = 0;   ///< sum of per-rank arena capacity
+    std::size_t payloadArenaPeakBytes = 0;  ///< sum of per-rank arena peaks
+    std::size_t matchQueueBytes = 0;     ///< posted+unexpected backing stores
+    std::size_t matchQueuePeakEntries = 0;  ///< sum of per-queue peak depths
+    std::size_t channelCount = 0;
+    std::size_t channelBytes = 0;        ///< channel slab + index + windows
+  };
+  [[nodiscard]] MemoryStats memoryStats() const;
 
   /// Aggregate time accounting over a job's ranks.
   struct JobTimes {
@@ -272,8 +289,8 @@ class Runtime {
     };
     std::uint32_t nextSendSeq = 0;
     std::uint32_t nextDeliverSeq = 0;
-    std::map<std::uint32_t, Inflight> inflight;  ///< sender side, by seq
-    std::map<std::uint32_t, std::function<void()>> reorder;  ///< receiver side
+    SeqMap<Inflight> inflight;  ///< sender side, by seq (retransmit window)
+    SeqMap<std::function<void()>> reorder;  ///< receiver side gap buffer
   };
 
   /// Sends `bytes` from proc `srcIdx` to proc `dstIdx` and runs `deliver`
@@ -294,13 +311,30 @@ class Runtime {
   /// Matches a newly arrived message against posted receives or a newly
   /// posted receive against the unexpected queue.
   bool tryMatchArrival(Proc& dst, Proc::UnexpectedMsg& msg);
-  void completeEagerRecv(Proc& dst, const Request& req,
-                         Proc::UnexpectedMsg msg);
-  void startRendezvousTransfer(Proc& dst, const Request& req,
-                               Proc::UnexpectedMsg msg);
+  void completeEagerRecv(Proc& dst, Request req, Proc::UnexpectedMsg msg);
+  void startRendezvousTransfer(Proc& dst, Request req, Proc::UnexpectedMsg msg);
   static bool matches(const RequestState& r, const Proc::UnexpectedMsg& m);
-  void completeRequest(Proc& owner, const Request& req, int srcRank, int tag,
+  void completeRequest(Proc& owner, Request req, int srcRank, int tag,
                        std::size_t bytes);
+
+  // ---- Request pool access (Env) -------------------------------------------
+  [[nodiscard]] bool requestDone(Request r) const {
+    const RequestState* s = requests_.find(r);
+    return s == nullptr || s->done;  // stale handle = completed and reclaimed
+  }
+  /// Returns the slot of a done request to the pool (stale handles are a
+  /// no-op) and hands back its Status — read before the slot is recycled.
+  Status finishRequest(Request r) {
+    RequestState* s = requests_.find(r);
+    if (s == nullptr) return Status{};
+    const Status st = s->status;
+    requests_.release(r, procs_[static_cast<std::size_t>(s->ownerProc)]
+                             .ownedRequests);
+    return st;
+  }
+  [[nodiscard]] Request newRequest(Proc& owner) {
+    return requests_.allocate(owner.idx, owner.ownedRequests);
+  }
 
   // ---- Process management ---------------------------------------------------
   Job& startJob(const std::string& appName, const std::vector<int>& nodes,
@@ -316,14 +350,26 @@ class Runtime {
   AppRegistry& registry_;
   ProtocolParams params_;
 
-  std::vector<std::unique_ptr<Proc>> procs_;
+  /// Per-rank state, indexed by procIdx.  The slab never moves an element
+  /// (closures and matching queues hold Proc references across growth) and
+  /// stores ranks contiguously in chunks — no per-rank heap allocation.
+  StableSlab<Proc> procs_;
+  /// Request slots for every rank's in-flight operations (see Request in
+  /// types.hpp for the handle semantics).
+  RequestPool requests_;
   std::deque<Job> jobs_;  // deque: stable references across growth
   std::deque<CommInfo> comms_;  // deque: stable references across growth
+  // Comm interning happens a handful of times per job (launch/split), so a
+  // std::map node walk is fine here — deliberately not part of the flat
+  // hot-path containers above.
   std::map<std::uint64_t, Comm> internedComms_;
-  /// Reliable-transport channels keyed by (srcIdx << 32) | dstIdx.
-  /// std::map: node stability under insertion (channel references stay
-  /// valid across reentrant delivery) and deterministic everything.
-  std::map<std::uint64_t, TransportChannel> channels_;
+  /// Reliable-transport channels keyed by (srcIdx << 32) | dstIdx.  The
+  /// slab (a deque) gives the same reference stability under insertion the
+  /// old std::map provided — channel references stay valid across
+  /// reentrant delivery — while the open-addressed index keeps lookup a
+  /// flat probe instead of a node walk.  Channels are never erased.
+  std::deque<TransportChannel> channelSlab_;
+  ChannelIndex channelIndex_;
   std::function<void(int)> drainHook_;
   int unreachablePeers_ = 0;
   mc::Chooser* chooser_ = nullptr;

@@ -1,0 +1,62 @@
+#pragma once
+
+// Chunked slab with stable addresses and index access.
+//
+// The runtime's per-rank state used to live behind one heap allocation per
+// rank (std::vector<std::unique_ptr<Proc>>): a pointer hop on every
+// procIdx lookup and a malloc header per rank — measurable at 100k+ ranks.
+// StableSlab stores elements directly in fixed-size chunks, so elements
+// are contiguous in groups of ChunkSize, lookups are two indexings with no
+// per-element heap header, and — the property the message engine depends
+// on — an element's address never changes after emplace() (closures and
+// queues hold references across arbitrary growth).
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace cbsim::pmpi {
+
+template <typename T, std::size_t ChunkSize = 256>
+class StableSlab {
+  static_assert((ChunkSize & (ChunkSize - 1)) == 0,
+                "ChunkSize must be a power of two");
+
+ public:
+  /// Value-initializes a new element at index size() and returns it.  The
+  /// reference (and every earlier one) stays valid for the slab's lifetime.
+  T& emplace() {
+    if (size_ == chunks_.size() * ChunkSize) {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+    T& slot = (*chunks_[size_ / ChunkSize])[size_ % ChunkSize];
+    ++size_;
+    return slot;
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    return (*chunks_[i / ChunkSize])[i % ChunkSize];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    return (*chunks_[i / ChunkSize])[i % ChunkSize];
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Bytes reserved by the slab's chunks (element storage only).
+  [[nodiscard]] std::size_t capacityBytes() const {
+    return chunks_.size() * sizeof(Chunk);
+  }
+
+ private:
+  struct Chunk {
+    T& operator[](std::size_t i) { return items[i]; }
+    T items[ChunkSize]{};
+  };
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cbsim::pmpi

@@ -3,6 +3,7 @@
 // Shared vocabulary of the pmpi (ParaStation-MPI-like) library.
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 
@@ -76,8 +77,20 @@ struct ProtocolParams {
 };
 
 /// Completion handle for nonblocking operations (MPI_Request analogue).
-struct RequestState;
-using Request = std::shared_ptr<RequestState>;
+///
+/// A trivially-copyable (slot, generation) ticket into the Runtime's
+/// RequestPool — not a pointer.  The pool recycles slots and bumps the
+/// generation on release, so a handle kept after its operation completed
+/// and was reclaimed resolves to "inactive" (MPI's inactive-request
+/// semantics) instead of dangling.  A default-constructed handle is null.
+struct Request {
+  std::uint32_t idx = 0;
+  std::uint32_t gen = 0;  ///< 0 = null handle; live slots never use 0
+
+  [[nodiscard]] constexpr bool valid() const { return gen != 0; }
+  explicit constexpr operator bool() const { return valid(); }
+  friend constexpr bool operator==(Request a, Request b) = default;
+};
 
 using Bytes = std::span<std::byte>;
 using ConstBytes = std::span<const std::byte>;

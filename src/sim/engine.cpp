@@ -211,7 +211,15 @@ void Engine::fireWatchdog(RunStats& stats, const std::string& why) const {
 }
 
 void Engine::reap(Process& p, RunStats& stats) {
+  // Release the substrate (fiber stack back to the pool / thread joined)
+  // and the user closure as soon as the process dies, not at engine
+  // teardown: with hundreds of thousands of ranks over a campaign, holding
+  // every dead process's stack and captures to the end is the difference
+  // between O(live) and O(ever-spawned) memory.  The Process object itself
+  // stays (callers hold Process* for state queries).
   p.exec_->finalize();
+  p.exec_.reset();
+  p.fn_ = nullptr;
   if (p.state() == Process::State::Failed) {
     const std::string msg = p.name() + ": " + p.errorMessage();
     if (!collectErrors_) {
@@ -235,7 +243,7 @@ void Engine::shutdownProcesses() {
       p->cancelRequested_ = true;
       p->resumeFromEngine();
     }
-    p->exec_->finalize();
+    if (p->exec_) p->exec_->finalize();  // already reaped processes have none
   }
   processes_.clear();
 }

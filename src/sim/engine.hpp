@@ -131,6 +131,29 @@ class Engine {
   /// can outlive state its closures reference.  Idempotent.
   void shutdown() { shutdownProcesses(); }
 
+  /// Fiber stack size for processes spawned after the call, in bytes;
+  /// 0 (the default) defers to $CBSIM_FIBER_STACK_KB / the 256 KiB
+  /// built-in.  Scenario descriptions route their per-workload stack
+  /// budget through this instead of mutating the environment.
+  void setFiberStackBytes(std::size_t bytes) { fiberStackBytes_ = bytes; }
+  [[nodiscard]] std::size_t fiberStackBytes() const { return fiberStackBytes_; }
+  /// Carve fiber stacks from shared slab mappings of `n` stacks each
+  /// instead of one fully guarded mapping per stack — required to fit
+  /// >~32k concurrent fibers under the kernel's default vm.max_map_count;
+  /// see detail::FiberStackPool::setStacksPerSlab for the guard-page
+  /// trade-off.  Must be called before the first process spawns; 0 (the
+  /// default) keeps per-stack guard pages.
+  void setFiberStacksPerSlab(std::size_t n) { stackPool_.setStacksPerSlab(n); }
+  /// Stack-mapping recycler shared by this engine's fibers (telemetry:
+  /// pooledCount / reuseCount).
+  [[nodiscard]] const detail::FiberStackPool& stackPool() const {
+    return stackPool_;
+  }
+  /// Processes ever spawned on this engine (reaped ones included).
+  [[nodiscard]] std::uint64_t spawnedProcessCount() const {
+    return nextProcId_ - 1;
+  }
+
   /// Process currently executing, or nullptr when inside a plain event
   /// callback / outside run().
   [[nodiscard]] Process* currentProcess() const { return current_; }
@@ -181,6 +204,10 @@ class Engine {
 
   SimTime now_ = SimTime::zero();
   std::uint64_t seq_ = 0;
+  /// Declared before processes_: fibers return stacks here on finalize,
+  /// so the pool must outlive every Process.
+  detail::FiberStackPool stackPool_;
+  std::size_t fiberStackBytes_ = 0;  ///< 0 = environment default
   /// Binary heap ordered by EventLater (std::push_heap/std::pop_heap), the
   /// same discipline std::priority_queue uses — kept as a plain vector so
   /// the top event can be moved out without const_cast (mutating through a

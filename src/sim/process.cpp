@@ -113,6 +113,102 @@ void setDefaultProcessBackend(ProcessBackend b) {
 
 namespace detail {
 
+// ---------------------------------------------------------- stack pooling
+
+FiberStackPool::~FiberStackPool() {
+#if defined(CBSIM_HAS_FIBERS)
+  // Slab chunks live inside the slab mappings; only whole mappings are
+  // ever handed to munmap.
+  if (stacksPerSlab_ != 0) {
+    for (const Stack& s : slabs_) munmap(s.map, s.mapSize);
+  } else {
+    for (const Stack& s : free_) munmap(s.map, s.mapSize);
+  }
+#endif
+}
+
+void FiberStackPool::setStacksPerSlab(std::size_t n) {
+  if (!free_.empty() || !slabs_.empty()) {
+    throw std::logic_error(
+        "FiberStackPool: slab mode must be chosen before any stack is "
+        "acquired");
+  }
+  stacksPerSlab_ = n;
+}
+
+FiberStackPool::Stack FiberStackPool::acquire(std::size_t mapSize) {
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i].mapSize != mapSize) continue;
+    const Stack s = free_[i];
+    free_[i] = free_.back();
+    free_.pop_back();
+    ++reuses_;
+    return s;
+  }
+  if (stacksPerSlab_ != 0) return carve(mapSize);
+  return Stack{};
+}
+
+FiberStackPool::Stack FiberStackPool::carve(std::size_t mapSize) {
+#if defined(CBSIM_HAS_FIBERS)
+  if (slabs_.empty() || slabCarved_ == stacksPerSlab_ ||
+      slabSlotSize_ != mapSize) {
+    const std::size_t total = stacksPerSlab_ * mapSize;
+    void* base = mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_STACK,
+                      -1, 0);
+    if (base == MAP_FAILED) {
+      throw std::runtime_error("sim: fiber stack slab mmap failed");
+    }
+    // Guard the slab's low edge so the very first stack still faults on
+    // overflow; interior chunk boundaries stay unprotected (that is the
+    // whole point — protecting them would split the slab back into two
+    // VMAs per stack).
+    const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+    if (mprotect(base, page, PROT_NONE) != 0) {
+      munmap(base, total);
+      throw std::runtime_error("sim: fiber stack slab mprotect failed");
+    }
+    slabs_.push_back(Stack{base, total});
+    slabCarved_ = 0;
+    slabSlotSize_ = mapSize;
+  }
+  Stack s{static_cast<char*>(slabs_.back().map) + slabCarved_ * mapSize,
+          mapSize};
+  ++slabCarved_;
+  return s;
+#else
+  (void)mapSize;
+  return Stack{};
+#endif
+}
+
+void FiberStackPool::release(Stack s) {
+#if defined(CBSIM_HAS_FIBERS)
+  if (s.map == nullptr) return;
+  if (stacksPerSlab_ == 0 && free_.size() >= kMaxPooled) {
+    munmap(s.map, s.mapSize);
+    return;
+  }
+  // Drop the resident pages but keep the mapping (guard page included):
+  // a pooled stack holds address space, not memory.  Reuse re-faults
+  // zero pages lazily, exactly like a fresh mapping.  Slab chunks skip
+  // the kMaxPooled cap: they cannot be unmapped individually, and their
+  // count is already bounded by the high-water live-fiber count.
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  madvise(static_cast<char*>(s.map) + page, s.mapSize - page, MADV_DONTNEED);
+  free_.push_back(s);
+#else
+  (void)s;
+#endif
+}
+
+std::size_t FiberStackPool::pooledAddressBytes() const {
+  std::size_t total = 0;
+  for (const Stack& s : free_) total += s.mapSize;
+  return total;
+}
+
 void ExecContext::runProcessBody(Process& p) { p.runBody(); }
 bool ExecContext::cancelRequested(const Process& p) {
   return p.cancelRequested_;
@@ -210,10 +306,11 @@ std::size_t fiberStackBytes() {
 
 class FiberExec final : public ExecContext {
  public:
-  explicit FiberExec(Process& proc) : proc_(proc) {}
+  FiberExec(Process& proc, FiberStackPool& pool, std::size_t stackBytesHint)
+      : proc_(proc), pool_(pool), stackBytesHint_(stackBytesHint) {}
 
   ~FiberExec() override {
-    if (map_ != nullptr) munmap(map_, mapSize_);
+    finalize();  // normally already ran via Engine::reap/shutdown
   }
 
   void switchToProcess() override {
@@ -251,7 +348,14 @@ class FiberExec final : public ExecContext {
 #endif
   }
 
-  void finalize() override {}  // nothing owns an OS resource needing a join
+  void finalize() override {
+    // Called once the process terminated: its stack can never be resumed,
+    // so the mapping goes back to the engine's pool for the next spawn.
+    if (map_ != nullptr) {
+      pool_.release(FiberStackPool::Stack{map_, mapSize_});
+      map_ = nullptr;
+    }
+  }
 
  private:
   static void trampoline(unsigned hi, unsigned lo) {
@@ -291,23 +395,33 @@ class FiberExec final : public ExecContext {
 
   void startFiber() {
     const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
-    std::size_t stackBytes = fiberStackBytes();
+    std::size_t stackBytes =
+        stackBytesHint_ != 0 ? std::max<std::size_t>(stackBytesHint_, 16 * 1024)
+                             : fiberStackBytes();
     stackBytes = (stackBytes + page - 1) / page * page;
     mapSize_ = stackBytes + page;  // + low guard page
-    void* base = mmap(nullptr, mapSize_, PROT_NONE,
-                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_STACK,
-                      -1, 0);
-    if (base == MAP_FAILED) {
-      throw std::runtime_error("sim: fiber stack mmap failed for process '" +
-                               processName() + "'");
+    const FiberStackPool::Stack pooled = pool_.acquire(mapSize_);
+    if (pooled.map != nullptr) {
+      // Recycled mapping: guard page and stack protections are still in
+      // place from its first life; contents were dropped on release.
+      map_ = pooled.map;
+    } else {
+      void* base = mmap(nullptr, mapSize_, PROT_NONE,
+                        MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_STACK,
+                        -1, 0);
+      if (base == MAP_FAILED) {
+        throw std::runtime_error("sim: fiber stack mmap failed for process '" +
+                                 processName() + "'");
+      }
+      map_ = base;
+      if (mprotect(static_cast<char*>(base) + page, stackBytes,
+                   PROT_READ | PROT_WRITE) != 0) {
+        munmap(map_, mapSize_);
+        map_ = nullptr;
+        throw std::runtime_error("sim: fiber stack mprotect failed");
+      }
     }
-    map_ = base;
-    char* lo = static_cast<char*>(base) + page;
-    if (mprotect(lo, stackBytes, PROT_READ | PROT_WRITE) != 0) {
-      munmap(map_, mapSize_);
-      map_ = nullptr;
-      throw std::runtime_error("sim: fiber stack mprotect failed");
-    }
+    char* lo = static_cast<char*>(map_) + page;
     stackLo_ = lo;
     stackBytes_ = stackBytes;
 
@@ -338,6 +452,8 @@ class FiberExec final : public ExecContext {
   [[nodiscard]] const std::string& processName() const { return proc_.name(); }
 
   Process& proc_;
+  FiberStackPool& pool_;
+  std::size_t stackBytesHint_;  ///< 0 = environment default
   sigjmp_buf engineJmp_{};  ///< resume point on the engine stack
   sigjmp_buf fiberJmp_{};   ///< resume point on the fiber stack
   void* map_ = nullptr;        ///< mmap base (guard page + stack)
@@ -359,14 +475,18 @@ class FiberExec final : public ExecContext {
 }  // namespace
 
 std::unique_ptr<ExecContext> makeExecContext(ProcessBackend backend,
-                                             Process& proc) {
+                                             Process& proc,
+                                             FiberStackPool& stackPool,
+                                             std::size_t stackBytes) {
 #if defined(CBSIM_HAS_FIBERS)
   if (backend == ProcessBackend::Fiber) {
-    return std::make_unique<FiberExec>(proc);
+    return std::make_unique<FiberExec>(proc, stackPool, stackBytes);
   }
 #else
   (void)backend;
 #endif
+  (void)stackPool;
+  (void)stackBytes;
   return std::make_unique<ThreadExec>(proc);
 }
 
@@ -387,7 +507,10 @@ Process::~Process() {
   if (exec_) exec_->finalize();
 }
 
-void Process::start() { exec_ = detail::makeExecContext(backend_, *this); }
+void Process::start() {
+  exec_ = detail::makeExecContext(backend_, *this, engine_.stackPool_,
+                                  engine_.fiberStackBytes_);
+}
 
 void Process::yieldToEngine() {
   exec_->switchToEngine();

@@ -23,10 +23,12 @@
 // backends therefore produce bit-identical simulations (asserted by
 // tests/test_backend.cpp).
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/time.hpp"
 
@@ -92,6 +94,67 @@ class Context {
 
 namespace detail {
 
+/// Recycles fiber stack mappings across process lifetimes.  mmap/munmap
+/// per process is measurable at campaign scale (TLB shootdowns plus VMA
+/// churn for hundreds of thousands of short-lived ranks); a finished
+/// fiber's mapping goes back here instead, its pages dropped so pooled
+/// stacks cost address space but no resident memory.  Stacks are matched
+/// by exact mapping size (the stack size is engine-wide per scenario, so
+/// the pool is effectively homogeneous); a size mismatch or a full pool
+/// falls through to munmap.  Owned by the Engine; thread backend unused.
+class FiberStackPool {
+ public:
+  struct Stack {
+    void* map = nullptr;  ///< mmap base (guard page + stack)
+    std::size_t mapSize = 0;
+  };
+
+  FiberStackPool() = default;
+  ~FiberStackPool();
+  FiberStackPool(const FiberStackPool&) = delete;
+  FiberStackPool& operator=(const FiberStackPool&) = delete;
+
+  /// A pooled mapping of exactly `mapSize` bytes, or {nullptr, 0}.  In
+  /// slab mode never null: an empty free list carves a fresh chunk (and
+  /// maps a new slab when the current one is exhausted).
+  [[nodiscard]] Stack acquire(std::size_t mapSize);
+  /// Returns a mapping to the pool (resident pages are released back to
+  /// the kernel) or unmaps it when the pool is at capacity.  Slab chunks
+  /// are always pooled — they cannot be unmapped individually.
+  void release(Stack s);
+
+  /// Slab mode: carve stacks out of shared mappings of `n` stacks each
+  /// instead of one mmap per stack.  A guarded per-stack mapping costs two
+  /// VMAs (PROT_NONE guard + stack), which caps concurrent fibers at about
+  /// half the kernel's vm.max_map_count (default 65530) — far below a
+  /// 131,072-rank world.  A slab is ONE mapping regardless of `n`, so VMA
+  /// use drops to ceil(fibers / n) + 1.  The trade: only the slab's low
+  /// edge keeps a guard page; an interior stack that overflows runs into
+  /// its neighbour's dead zone (the chunk's unprotected first page) and
+  /// then the neighbour's stack without faulting.  Opt-in for mass-scale
+  /// sweeps; 0 (the default) keeps fully guarded per-stack mappings.
+  /// Must be called before the first stack is acquired.
+  void setStacksPerSlab(std::size_t n);
+  [[nodiscard]] std::size_t stacksPerSlab() const { return stacksPerSlab_; }
+  [[nodiscard]] std::size_t slabCount() const { return slabs_.size(); }
+
+  [[nodiscard]] std::size_t pooledCount() const { return free_.size(); }
+  [[nodiscard]] std::size_t pooledAddressBytes() const;
+  /// Times acquire() was served from the pool (mmaps avoided).
+  [[nodiscard]] std::uint64_t reuseCount() const { return reuses_; }
+
+ private:
+  [[nodiscard]] Stack carve(std::size_t mapSize);
+
+  static constexpr std::size_t kMaxPooled = 256;
+  std::vector<Stack> free_;
+  std::uint64_t reuses_ = 0;
+  std::size_t stacksPerSlab_ = 0;  ///< 0 = one guarded mapping per stack
+  std::vector<Stack> slabs_;       ///< whole-slab mappings, for teardown
+  std::size_t slabCarved_ = 0;     ///< chunks carved from slabs_.back()
+  std::size_t slabSlotSize_ = 0;   ///< chunk size of the current slab
+};
+
 /// One process's execution substrate: an independent stack plus control
 /// transfer in both directions.  Exactly one side is ever running.
 class ExecContext {
@@ -114,8 +177,13 @@ class ExecContext {
   static void markCancelledBeforeStart(Process& p);
 };
 
+/// `stackBytes` 0 means the environment default ($CBSIM_FIBER_STACK_KB or
+/// 256 KiB); nonzero values are clamped to at least 16 KiB.  Both the pool
+/// and the size are ignored by the thread backend.
 std::unique_ptr<ExecContext> makeExecContext(ProcessBackend backend,
-                                             Process& proc);
+                                             Process& proc,
+                                             FiberStackPool& stackPool,
+                                             std::size_t stackBytes);
 
 }  // namespace detail
 

@@ -874,6 +874,53 @@ TEST(PmpiMatchOrder, FifoSurvivesRetransmitsOnALossyFabric) {
   EXPECT_GT(w.fabric.stats().retransmits, 0u);
 }
 
+TEST(PmpiMatchOrder, WildcardReceiverSurvivesATenThousandPostBurst) {
+  // A long-lived wildcard receive (tag 999) stays posted while 10,000
+  // other-tag messages flood the unexpected queue.  The queue must balloon,
+  // keep FIFO matching through the interleaved compactions, record its
+  // peak depth in the memory telemetry, and hand the ballooned capacity
+  // back once the burst drains — a 100k-rank world cannot afford one rank's
+  // worst historical queue depth as a permanent charge.
+  World w;
+  constexpr int kBurst = 10000;
+  std::size_t peakEntries = 0;
+  std::size_t bytesAtPeak = 0;
+  std::size_t bytesAfterDrain = 0;
+  w.registry.add("burst", [&](Env& env) {
+    const Comm c = env.world();
+    if (env.rank() == 0) {
+      for (std::int64_t i = 0; i < kBurst; ++i) {
+        env.send(c, 1, 7, std::as_bytes(std::span(&i, 1)));
+      }
+      std::int64_t fin = 424242;
+      env.send(c, 1, 999, std::as_bytes(std::span(&fin, 1)));
+    } else {
+      std::int64_t fin = -1;
+      const pmpi::Request wildcard = env.irecv(
+          c, AnySource, 999, std::as_writable_bytes(std::span(&fin, 1)));
+      // Channel delivery is FIFO, so once the trailing tag-999 message has
+      // matched the wildcard, the full burst is sitting unexpected.
+      env.wait(wildcard);
+      EXPECT_EQ(fin, 424242);
+      bytesAtPeak = w.rt.memoryStats().matchQueueBytes;
+      std::int64_t v = -1;
+      for (int i = 0; i < kBurst; ++i) {
+        env.recv(c, 0, 7, std::as_writable_bytes(std::span(&v, 1)));
+        ASSERT_EQ(v, static_cast<std::int64_t>(i));
+      }
+      const pmpi::Runtime::MemoryStats mem = w.rt.memoryStats();
+      peakEntries = mem.matchQueuePeakEntries;
+      bytesAfterDrain = mem.matchQueueBytes;
+    }
+  });
+  w.rt.launch("burst", hw::NodeKind::Cluster, 2);
+  w.run();
+  EXPECT_GE(peakEntries, static_cast<std::size_t>(kBurst));
+  EXPECT_GT(bytesAtPeak, static_cast<std::size_t>(kBurst) * sizeof(void*));
+  // The drained queue gave back the burst's backing store.
+  EXPECT_LT(bytesAfterDrain, bytesAtPeak / 4);
+}
+
 TEST(PmpiMatchOrder, ReverseDrainSurvivesQueueCompaction) {
   // Draining 48 unexpected messages in reverse tag order leaves a long
   // tombstone tail and forces MatchFifo::compact() mid-drain; every payload

@@ -373,6 +373,42 @@ TEST(MatchFifo, ExtractAtRemovesOnlyTheChosenCandidate) {
   EXPECT_EQ(rest, (std::vector<int>{10, 21, 30, 41}));
 }
 
+TEST(MatchFifo, BurstCapacityIsReleasedOnceTheLivePopulationShrinks) {
+  // A 10k-element burst balloons the backing store; draining it back down
+  // must hand the capacity back (compact() shrink + the live==0 release)
+  // while the peak telemetry keeps the high-water mark.
+  pmpi::MatchFifo<int> q;
+  constexpr int kBurst = 10000;
+  for (int i = 0; i < kBurst; ++i) q.push(i);
+  EXPECT_EQ(q.peakSize(), static_cast<std::size_t>(kBurst));
+  ASSERT_GE(q.capacitySlots(), static_cast<std::size_t>(kBurst));
+  for (int i = 0; i < kBurst; ++i) {
+    const std::optional<int> v = q.extractFirst([](int) { return true; });
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);  // FIFO survives the interleaved compactions
+  }
+  EXPECT_TRUE(q.empty());
+  // Capacity followed the population down instead of pinning the burst
+  // high-water mark forever (kRetainSlots bounds what may stay).
+  EXPECT_LE(q.capacitySlots(), 1024u);
+  EXPECT_EQ(q.peakSize(), static_cast<std::size_t>(kBurst));
+}
+
+TEST(MatchFifo, SteadyStateReusesCapacityWithoutReallocation) {
+  // Small-population churn (the common case: a few in-flight messages)
+  // keeps its modest capacity across drains — no realloc thrash, no
+  // shrink churn.
+  pmpi::MatchFifo<int> q;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 8; ++i) q.push(i);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(q.extractFirst([](int) { return true; }).has_value());
+    }
+  }
+  EXPECT_GT(q.capacitySlots(), 0u);   // retained across the empty drains
+  EXPECT_LE(q.capacitySlots(), 1024u);
+}
+
 TEST(MatchFifo, ExtractAtThrowsOnStaleSlot) {
   pmpi::MatchFifo<int> q;
   q.push(1);

@@ -364,6 +364,53 @@ TEST(Engine, ManyProcessesAllComplete) {
   EXPECT_EQ(e.liveProcessCount(), 0u);
 }
 
+TEST(Engine, FiberStacksAreRecycledAcrossProcessLifetimes) {
+  if (effectiveProcessBackend(ProcessBackend::Fiber) !=
+      ProcessBackend::Fiber) {
+    GTEST_SKIP() << "fiber backend unavailable on this build";
+  }
+  Engine e(1, ProcessBackend::Fiber);
+  e.setFiberStackBytes(64 * 1024);
+  // Sequential waves: each wave's fibers die before the next spawns, so
+  // later waves must run on recycled mappings instead of fresh mmaps.
+  for (int wave = 0; wave < 4; ++wave) {
+    for (int i = 0; i < 8; ++i) {
+      e.spawn("w" + std::to_string(i), [](Context& ctx) { ctx.delay(1_us); });
+    }
+    e.run();
+  }
+  EXPECT_GE(e.stackPool().reuseCount(), 24u);  // 3 recycled waves of 8
+  EXPECT_GT(e.stackPool().pooledCount(), 0u);
+  EXPECT_EQ(e.liveProcessCount(), 0u);
+}
+
+TEST(Engine, SlabStacksCarveManyFibersFromFewMappings) {
+  if (effectiveProcessBackend(ProcessBackend::Fiber) !=
+      ProcessBackend::Fiber) {
+    GTEST_SKIP() << "fiber backend unavailable on this build";
+  }
+  Engine e(1, ProcessBackend::Fiber);
+  e.setFiberStackBytes(32 * 1024);
+  e.setFiberStacksPerSlab(64);
+  int done = 0;
+  for (int i = 0; i < 200; ++i) {
+    e.spawn("s" + std::to_string(i), [&](Context& ctx) {
+      ctx.delay(1_us);
+      ++done;
+    });
+  }
+  e.run();
+  EXPECT_EQ(done, 200);
+  // 200 concurrent fibers at 64 stacks per slab is 4 mappings, not 200 —
+  // the VMA economy that lets a 131k-rank world fit under vm.max_map_count.
+  EXPECT_GT(e.stackPool().slabCount(), 0u);
+  EXPECT_LE(e.stackPool().slabCount(), 4u);
+  // Dead fibers' chunks are recycled, and slab mode cannot be toggled
+  // once stacks exist.
+  EXPECT_EQ(e.stackPool().pooledCount(), 200u);
+  EXPECT_THROW(e.setFiberStacksPerSlab(8), std::logic_error);
+}
+
 TEST(Engine, DestructionCancelsLiveProcesses) {
   bool sawCancel = false;
   {
